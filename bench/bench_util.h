@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benchmark binaries.
+ *
+ * Environment knobs:
+ *   HMCSIM_BENCH_FAST=1   shrink sweeps for smoke runs
+ *   HMCSIM_BENCH_SCALE=x  multiply measurement windows by x
+ */
+
+#ifndef HMCSIM_BENCH_BENCH_UTIL_H_
+#define HMCSIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+
+#include "common/types.h"
+
+namespace hmcsim {
+namespace bench {
+
+inline bool
+fastMode()
+{
+    const char *v = std::getenv("HMCSIM_BENCH_FAST");
+    return v != nullptr && std::string(v) != "0";
+}
+
+inline double
+windowScale()
+{
+    const char *v = std::getenv("HMCSIM_BENCH_SCALE");
+    if (!v)
+        return 1.0;
+    const double s = std::atof(v);
+    return s > 0.0 ? s : 1.0;
+}
+
+inline Tick
+scaled(Tick base)
+{
+    return static_cast<Tick>(static_cast<double>(base) * windowScale());
+}
+
+/** The paper's four request sizes. */
+constexpr std::uint32_t kSizes[] = {16, 32, 64, 128};
+
+}  // namespace bench
+}  // namespace hmcsim
+
+#endif  // HMCSIM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 8 reproduction: low-load latency over 1..350 requests per
+ * stream -- the linear region (partially utilized) followed by the
+ * constant region (queues full).
+ */
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "analysis/littles_law.h"
+#include "analysis/paper_ref.h"
+#include "analysis/report.h"
+#include "bench_util.h"
+#include "common/csv.h"
+#include "host/experiment.h"
+#include "host/system.h"
+
+using namespace hmcsim;
+using namespace hmcsim::bench;
+
+int
+main()
+{
+    const SystemConfig cfg;
+    const Tick warmup = scaled(3) * kMicrosecond;
+    const Tick window = scaled(fastMode() ? 8 : 20) * kMicrosecond;
+    const int step = fastMode() ? 50 : 15;
+
+    std::cout << "Fig. 8: latency vs requests in a stream (1..350)\n";
+    CsvWriter csv(std::cout,
+                  {"num_requests", "request_bytes", "avg_latency_us"});
+
+    std::map<std::uint32_t, std::vector<std::pair<int, double>>> series;
+    for (int n = 1; n <= 350; n = n == 1 ? step : n + step) {
+        for (std::uint32_t bytes : kSizes) {
+            StreamBatchSpec spec;
+            spec.batchSize = static_cast<std::uint32_t>(n);
+            spec.requestBytes = bytes;
+            spec.vault = 0;
+            spec.warmup = warmup;
+            spec.window = window;
+            const ExperimentResult r = runStreamBatch(cfg, spec);
+            series[bytes].emplace_back(n, r.avgReadLatencyNs / 1000.0);
+            csv.row().cell(n).cell(bytes).cell(
+                r.avgReadLatencyNs / 1000.0, 3);
+        }
+    }
+    csv.finish();
+
+    Report rep(std::cout);
+    rep.section("Fig. 8 paper-vs-measured");
+    for (std::uint32_t bytes : kSizes) {
+        // Knee: first n whose latency reaches 95% of the final level.
+        std::vector<double> curve;
+        for (const auto &[n, us] : series[bytes])
+            curve.push_back(us);
+        const std::size_t idx = saturationIndex(curve, 0.10);
+        rep.compare("knee (" + std::to_string(bytes) + " B requests)",
+                    paper::kFig8KneeRequests,
+                    static_cast<double>(series[bytes][idx].first),
+                    "requests", /*approximate=*/true);
+        rep.measured("saturated latency " + std::to_string(bytes) + " B",
+                     curve.back(), "us");
+    }
+    rep.note("linear region = partially utilized queue; constant "
+             "region = full queue (paper Section IV-B)");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation engine itself:
+ * event-queue throughput, router hop cost, DRAM service planning, and
+ * end-to-end simulated-time rate.  These guard the simulator's own
+ * performance (a full Fig. 10 sweep runs ~7k short simulations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dram/vault_memory.h"
+#include "host/experiment.h"
+#include "host/system.h"
+#include "sim/kernel.h"
+
+using namespace hmcsim;
+
+namespace {
+
+void
+BM_EventQueueScheduleExecute(benchmark::State &state)
+{
+    Kernel kernel;
+    const int batch = static_cast<int>(state.range(0));
+    std::uint64_t x = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < batch; ++i) {
+            kernel.scheduleIn(static_cast<Tick>((i * 7919) % 1000) + 1,
+                              [&x] { ++x; });
+        }
+        kernel.run();
+    }
+    benchmark::DoNotOptimize(x);
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleExecute)->Arg(256)->Arg(4096);
+
+void
+BM_DramServicePlanning(benchmark::State &state)
+{
+    Kernel kernel;
+    const DramTimingParams params = DramTimingParams::hmcGen2();
+    VaultMemory mem(kernel, nullptr, "vmem", params, 16);
+    Tick now = 0;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        DramAccess a;
+        a.bank = static_cast<BankId>(i % 16);
+        a.row = static_cast<RowId>((i * 2654435761u) % 65536);
+        a.bytes = 128;
+        const auto r = mem.service(a, now, PagePolicy::Closed);
+        now = r.colTime;
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramServicePlanning);
+
+void
+BM_EndToEndGups(benchmark::State &state)
+{
+    // Simulated microseconds per wall second, the number that bounds
+    // every figure sweep.
+    const std::uint32_t bytes = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        SystemConfig cfg;
+        System sys(cfg);
+        for (PortId p = 0; p < 9; ++p) {
+            GupsPort::Params gp;
+            gp.gen.pattern = sys.addressMap().pattern(16, 16);
+            gp.gen.requestBytes = bytes;
+            gp.gen.capacity = cfg.hmc.capacityBytes;
+            gp.gen.seed = 5 + p;
+            sys.configureGupsPort(p, gp);
+        }
+        sys.run(10 * kMicrosecond);
+        benchmark::DoNotOptimize(sys.now());
+    }
+    state.SetLabel("10us simulated per iteration");
+}
+BENCHMARK(BM_EndToEndGups)->Arg(16)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_StreamBatchExperiment(benchmark::State &state)
+{
+    for (auto _ : state) {
+        StreamBatchSpec spec;
+        spec.batchSize = 40;
+        spec.requestBytes = 64;
+        spec.warmup = 2 * kMicrosecond;
+        spec.window = 5 * kMicrosecond;
+        const ExperimentResult r = runStreamBatch(SystemConfig{}, spec);
+        benchmark::DoNotOptimize(r.avgReadLatencyNs);
+    }
+}
+BENCHMARK(BM_StreamBatchExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

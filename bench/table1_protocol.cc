@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table I + Equation 1 reproduction: packet sizes in flits for every
+ * transaction type and payload, and the link-bandwidth math.
+ */
+
+#include <iostream>
+
+#include "analysis/paper_ref.h"
+#include "analysis/report.h"
+#include "common/csv.h"
+#include "hmc/hmc_config.h"
+#include "hmc/packet.h"
+
+using namespace hmcsim;
+
+int
+main()
+{
+    std::cout << "Table I: HMC request/response read/write sizes "
+                 "(flits)\n";
+    CsvWriter csv(std::cout,
+                  {"data_bytes", "read_request", "write_request",
+                   "read_response", "write_response", "flow"});
+    for (std::uint32_t bytes = 16; bytes <= 128; bytes += 16) {
+        csv.row()
+            .cell(bytes)
+            .cell(HmcPacket::flitsFor(HmcCmd::Read, bytes))
+            .cell(HmcPacket::flitsFor(HmcCmd::Write, bytes))
+            .cell(HmcPacket::flitsFor(HmcCmd::ReadResponse, bytes))
+            .cell(HmcPacket::flitsFor(HmcCmd::WriteResponse, bytes))
+            .cell(HmcPacket::flitsFor(HmcCmd::Flow, 0));
+    }
+    csv.finish();
+
+    Report rep(std::cout);
+    rep.section("Table I spot checks (paper Section II-B)");
+    rep.compare("read request flits", 1.0,
+                HmcPacket::flitsFor(HmcCmd::Read, 128), "flits");
+    rep.compare("128B write request flits", 9.0,
+                HmcPacket::flitsFor(HmcCmd::Write, 128), "flits");
+    rep.compare("128B read response flits", 9.0,
+                HmcPacket::flitsFor(HmcCmd::ReadResponse, 128), "flits");
+    rep.compare("16B response efficiency", 0.5,
+                16.0 / (HmcPacket::flitsFor(HmcCmd::ReadResponse, 16) *
+                        kFlitBytes),
+                "fraction");
+    rep.compare("128B response efficiency", 0.89,
+                128.0 / (HmcPacket::flitsFor(HmcCmd::ReadResponse, 128) *
+                         kFlitBytes),
+                "fraction");
+
+    rep.section("Equation 1: peak bandwidth");
+    const HmcConfig cfg;
+    rep.compare("2 links x 8 lanes x 15 Gbps x duplex",
+                paper::kPeakBandwidthGBs, cfg.peakBandwidthGBs(), "GB/s");
+    rep.compare("response-direction cap", paper::kResponseCapGBs,
+                cfg.linkBandwidthGBsPerDirection(), "GB/s");
+    return 0;
+}

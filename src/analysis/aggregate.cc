@@ -1,0 +1,34 @@
+#include "analysis/aggregate.h"
+
+namespace hmcsim {
+
+SampleStats
+mergeReadLatencies(const std::vector<ExperimentResult> &runs)
+{
+    SampleStats out;
+    for (const ExperimentResult &r : runs)
+        out.merge(r.mergedRead);
+    return out;
+}
+
+double
+meanBandwidthGBs(const std::vector<ExperimentResult> &runs)
+{
+    if (runs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const ExperimentResult &r : runs)
+        sum += r.bandwidthGBs;
+    return sum / static_cast<double>(runs.size());
+}
+
+SampleStats
+statsOfValues(const std::vector<double> &values)
+{
+    SampleStats out;
+    for (double v : values)
+        out.add(v);
+    return out;
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Aggregation helpers for combining experiment results across ports,
+ * vaults, or repeated runs.
+ */
+
+#ifndef HMCSIM_ANALYSIS_AGGREGATE_H_
+#define HMCSIM_ANALYSIS_AGGREGATE_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "host/experiment.h"
+
+namespace hmcsim {
+
+/** Merge read-latency statistics of many results into one. */
+SampleStats mergeReadLatencies(const std::vector<ExperimentResult> &runs);
+
+/** Mean of the per-run total bandwidths. */
+double meanBandwidthGBs(const std::vector<ExperimentResult> &runs);
+
+/** Across-values sample statistics (e.g. per-vault means, Fig. 11). */
+SampleStats statsOfValues(const std::vector<double> &values);
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_ANALYSIS_AGGREGATE_H_

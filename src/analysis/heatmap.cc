@@ -1,0 +1,141 @@
+#include "analysis/heatmap.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace hmcsim {
+
+Heatmap::Heatmap(std::vector<std::string> row_labels,
+                 std::vector<std::string> col_labels)
+    : rowLabels_(std::move(row_labels)), colLabels_(std::move(col_labels))
+{
+    if (rowLabels_.empty() || colLabels_.empty())
+        panic("Heatmap: need at least one row and one column");
+    cells_.assign(rowLabels_.size(),
+                  std::vector<double>(colLabels_.size(), 0.0));
+}
+
+void
+Heatmap::checkIndex(std::size_t r, std::size_t c) const
+{
+    if (r >= rows() || c >= cols())
+        panic("Heatmap: index out of range");
+}
+
+void
+Heatmap::add(std::size_t r, std::size_t c, double weight)
+{
+    checkIndex(r, c);
+    cells_[r][c] += weight;
+}
+
+double
+Heatmap::at(std::size_t r, std::size_t c) const
+{
+    checkIndex(r, c);
+    return cells_[r][c];
+}
+
+double
+Heatmap::rowTotal(std::size_t r) const
+{
+    double total = 0.0;
+    for (double v : cells_[r])
+        total += v;
+    return total;
+}
+
+double
+Heatmap::rowMax(std::size_t r) const
+{
+    return *std::max_element(cells_[r].begin(), cells_[r].end());
+}
+
+double
+Heatmap::rowFraction(std::size_t r, std::size_t c) const
+{
+    checkIndex(r, c);
+    const double total = rowTotal(r);
+    return total > 0.0 ? cells_[r][c] / total : 0.0;
+}
+
+double
+Heatmap::rowMaxFraction(std::size_t r, std::size_t c) const
+{
+    checkIndex(r, c);
+    const double mx = rowMax(r);
+    return mx > 0.0 ? cells_[r][c] / mx : 0.0;
+}
+
+Heatmap
+Heatmap::fromHistograms(const std::vector<std::string> &row_labels,
+                        const std::vector<Histogram> &rows)
+{
+    if (rows.empty() || row_labels.size() != rows.size())
+        panic("Heatmap::fromHistograms: label/row mismatch");
+    std::vector<std::string> cols;
+    for (std::size_t b = 0; b < rows[0].bins(); ++b)
+        cols.push_back(formatDouble(rows[0].binLow(b), 0));
+    Heatmap hm(row_labels, cols);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (rows[r].bins() != rows[0].bins())
+            panic("Heatmap::fromHistograms: ragged histograms");
+        for (std::size_t b = 0; b < rows[r].bins(); ++b) {
+            hm.add(r, b, static_cast<double>(rows[r].count(b)));
+        }
+    }
+    return hm;
+}
+
+std::string
+Heatmap::toCsv(bool row_normalized) const
+{
+    std::ostringstream oss;
+    oss << "row";
+    for (const std::string &c : colLabels_)
+        oss << ',' << c;
+    oss << '\n';
+    for (std::size_t r = 0; r < rows(); ++r) {
+        oss << rowLabels_[r];
+        for (std::size_t c = 0; c < cols(); ++c) {
+            const double v =
+                row_normalized ? rowFraction(r, c) : cells_[r][c];
+            oss << ',' << formatDouble(v, 4);
+        }
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+std::string
+Heatmap::toAscii(bool row_normalized) const
+{
+    static const char ramp[] = " .:-=+*#%@";
+    std::ostringstream oss;
+    std::size_t label_width = 0;
+    for (const std::string &l : rowLabels_)
+        label_width = std::max(label_width, l.size());
+    for (std::size_t r = 0; r < rows(); ++r) {
+        oss << rowLabels_[r]
+            << std::string(label_width - rowLabels_[r].size() + 1, ' ')
+            << '|';
+        // Scale each row against its own max so shapes stay visible.
+        const double mx = rowMax(r);
+        for (std::size_t c = 0; c < cols(); ++c) {
+            double v = row_normalized
+                ? (mx > 0.0 ? cells_[r][c] / mx : 0.0)
+                : cells_[r][c];
+            v = std::clamp(v, 0.0, 1.0);
+            const int idx =
+                std::min<int>(9, static_cast<int>(v * 9.999));
+            oss << ramp[idx];
+        }
+        oss << "|\n";
+    }
+    return oss.str();
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Heatmap builder for the Fig. 10/12 latency-per-vault views: a matrix
+ * of row-normalized histogram fractions with CSV and ASCII rendering.
+ */
+
+#ifndef HMCSIM_ANALYSIS_HEATMAP_H_
+#define HMCSIM_ANALYSIS_HEATMAP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace hmcsim {
+
+class Heatmap
+{
+  public:
+    /**
+     * @param row_labels one label per row
+     * @param col_labels one label per column
+     */
+    Heatmap(std::vector<std::string> row_labels,
+            std::vector<std::string> col_labels);
+
+    std::size_t rows() const { return rowLabels_.size(); }
+    std::size_t cols() const { return colLabels_.size(); }
+
+    /** Accumulate @p weight into cell (r, c). */
+    void add(std::size_t r, std::size_t c, double weight = 1.0);
+
+    double at(std::size_t r, std::size_t c) const;
+
+    /** Cell value divided by its row's total (paper Fig. 10 scheme). */
+    double rowFraction(std::size_t r, std::size_t c) const;
+
+    /** Cell value divided by its row's max (paper Fig. 12 scheme). */
+    double rowMaxFraction(std::size_t r, std::size_t c) const;
+
+    /** Build rows from per-row histograms (bins become columns). */
+    static Heatmap fromHistograms(const std::vector<std::string> &row_labels,
+                                  const std::vector<Histogram> &rows);
+
+    /** Render as CSV with row/column labels, row-normalized. */
+    std::string toCsv(bool row_normalized = true) const;
+
+    /** Render as ASCII art with a 10-level shade ramp. */
+    std::string toAscii(bool row_normalized = true) const;
+
+  private:
+    std::vector<std::string> rowLabels_;
+    std::vector<std::string> colLabels_;
+    std::vector<std::vector<double>> cells_;
+
+    void checkIndex(std::size_t r, std::size_t c) const;
+    double rowTotal(std::size_t r) const;
+    double rowMax(std::size_t r) const;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_ANALYSIS_HEATMAP_H_

@@ -1,0 +1,46 @@
+#include "analysis/littles_law.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+double
+estimateOutstanding(double data_bandwidth_gbs, double latency_ns,
+                    std::uint32_t request_bytes)
+{
+    if (request_bytes == 0)
+        panic("estimateOutstanding: zero request size");
+    // GB/s = B/ns, so (B/ns * ns) / B is dimensionless.
+    return data_bandwidth_gbs * latency_ns /
+        static_cast<double>(request_bytes);
+}
+
+std::size_t
+saturationIndex(const std::vector<double> &bandwidth, double tolerance)
+{
+    if (bandwidth.empty())
+        panic("saturationIndex: empty curve");
+    const double peak = *std::max_element(bandwidth.begin(),
+                                          bandwidth.end());
+    if (peak <= 0.0)
+        return bandwidth.size() - 1;
+    for (std::size_t i = 0; i < bandwidth.size(); ++i) {
+        if (bandwidth[i] >= peak * (1.0 - tolerance))
+            return i;
+    }
+    return bandwidth.size() - 1;
+}
+
+double
+arrivalRatePerSec(double wire_bandwidth_gbs,
+                  std::uint32_t wire_bytes_per_access)
+{
+    if (wire_bytes_per_access == 0)
+        panic("arrivalRatePerSec: zero access size");
+    return wire_bandwidth_gbs * 1e9 /
+        static_cast<double>(wire_bytes_per_access);
+}
+
+}  // namespace hmcsim

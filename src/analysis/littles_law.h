@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Little's-law estimator used by the paper (Section IV-F / Fig. 14):
+ * the average number of outstanding requests inside a stationary
+ * system equals arrival rate times mean residence time.
+ */
+
+#ifndef HMCSIM_ANALYSIS_LITTLES_LAW_H_
+#define HMCSIM_ANALYSIS_LITTLES_LAW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hmcsim {
+
+/**
+ * Estimate outstanding requests from observables, exactly as the paper
+ * computes Fig. 14: measure the (data) bandwidth and latency at a
+ * saturated point, convert bandwidth to an arrival rate via the
+ * request size, and multiply by latency.
+ *
+ * @param data_bandwidth_gbs payload bandwidth in GB/s (decimal)
+ * @param latency_ns mean request latency in nanoseconds
+ * @param request_bytes request payload size
+ */
+double estimateOutstanding(double data_bandwidth_gbs, double latency_ns,
+                           std::uint32_t request_bytes);
+
+/**
+ * Locate the saturation (knee) point of a bandwidth curve: the first
+ * index whose value is within @p tolerance of the curve's maximum.
+ * Returns the last index if the curve never flattens.
+ */
+std::size_t saturationIndex(const std::vector<double> &bandwidth,
+                            double tolerance = 0.05);
+
+/**
+ * Utilization-law cross-check: arrival rate (requests/s) implied by a
+ * bandwidth measured with the paper's request+response formula.
+ */
+double arrivalRatePerSec(double wire_bandwidth_gbs,
+                         std::uint32_t wire_bytes_per_access);
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_ANALYSIS_LITTLES_LAW_H_

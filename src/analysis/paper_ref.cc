@@ -1,0 +1,58 @@
+#include "analysis/paper_ref.h"
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+const std::vector<PaperValue> &
+paperValues()
+{
+    static const std::vector<PaperValue> values = {
+        {"eq1", "peak_bandwidth", paper::kPeakBandwidthGBs, "GB/s", false},
+        {"eq1", "response_cap", paper::kResponseCapGBs, "GB/s", false},
+        {"fig6", "min_bandwidth_32B_1bank", paper::kFig6MinBandwidthGBs,
+         "GB/s", false},
+        {"fig6", "max_bandwidth_128B", paper::kFig6MaxBandwidthGBs, "GB/s",
+         false},
+        {"fig6", "vault_cap", paper::kFig6VaultCapGBs, "GB/s", false},
+        {"fig6", "latency_1bank_128B", paper::kFig6OneBank128BLatencyNs,
+         "ns", false},
+        {"fig6", "latency_multivault_16B",
+         paper::kFig6MultiVault16BLatencyNs, "ns", false},
+        {"fig7", "floor", paper::kFig7FloorUs, "us", false},
+        {"fig7", "max_16B_at_55", paper::kFig7Max16BUs, "us", false},
+        {"fig7", "max_128B_at_55", paper::kFig7Max128BUs, "us", false},
+        {"fig8", "knee_requests", paper::kFig8KneeRequests, "requests",
+         true},
+        {"fig7", "infrastructure", paper::kInfrastructureNs, "ns", false},
+        {"fig7", "hmc_no_load_min", paper::kHmcNoLoadMinNs, "ns", false},
+        {"fig7", "hmc_no_load_max", paper::kHmcNoLoadMaxNs, "ns", false},
+        {"fig9", "collision_penalty_pct",
+         paper::kFig9CollisionPenaltyPct, "%", false},
+        {"fig11", "stddev_16B", paper::kFig11Stddev16BNs, "ns", false},
+        {"fig11", "stddev_32B", paper::kFig11Stddev32BNs, "ns", false},
+        {"fig11", "stddev_64B", paper::kFig11Stddev64BNs, "ns", false},
+        {"fig11", "stddev_128B", paper::kFig11Stddev128BNs, "ns", false},
+        {"fig10", "range_16B", paper::kFig10Range16BNs, "ns", false},
+        {"fig10", "range_32B", paper::kFig10Range32BNs, "ns", false},
+        {"fig10", "range_64B", paper::kFig10Range64BNs, "ns", false},
+        {"fig10", "range_128B", paper::kFig10Range128BNs, "ns", false},
+        {"fig14", "outstanding_2banks", paper::kFig14TwoBanks, "requests",
+         false},
+        {"fig14", "outstanding_4banks", paper::kFig14FourBanks, "requests",
+         false},
+    };
+    return values;
+}
+
+double
+paperValue(const std::string &experiment, const std::string &name)
+{
+    for (const PaperValue &v : paperValues()) {
+        if (v.experiment == experiment && v.name == name)
+            return v.value;
+    }
+    fatal("paperValue: no reference '" + experiment + "/" + name + "'");
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reference numbers transcribed from the paper's text, used by the
+ * benchmark harnesses to print paper-vs-measured comparisons.  Only
+ * values stated numerically in the text are recorded; eyeballed plot
+ * values are marked approximate in the report strings.
+ */
+
+#ifndef HMCSIM_ANALYSIS_PAPER_REF_H_
+#define HMCSIM_ANALYSIS_PAPER_REF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hmcsim {
+
+/** One referenced quantity from the paper. */
+struct PaperValue {
+    std::string experiment;  ///< e.g. "fig6"
+    std::string name;        ///< e.g. "peak_bandwidth_128B"
+    double value;            ///< in `unit`
+    std::string unit;
+    bool approximate;        ///< read off a plot rather than stated
+};
+
+/** All transcribed reference values. */
+const std::vector<PaperValue> &paperValues();
+
+/** Look up a value; raises fatal() if missing. */
+double paperValue(const std::string &experiment, const std::string &name);
+
+namespace paper {
+
+// Section II / Eq. 1.
+constexpr double kPeakBandwidthGBs = 60.0;
+constexpr double kResponseCapGBs = 30.0;
+
+// Section IV-A (Fig. 6).
+constexpr double kFig6MinBandwidthGBs = 2.0;    // 32 B, one bank
+constexpr double kFig6MaxBandwidthGBs = 23.0;   // 128 B, >= 2 vaults
+constexpr double kFig6VaultCapGBs = 10.0;       // within one vault
+constexpr double kFig6OneBank128BLatencyNs = 24233.0;
+constexpr double kFig6MultiVault16BLatencyNs = 1966.0;
+
+// Section IV-B (Figs. 7/8).
+constexpr double kFig7FloorUs = 0.7;
+constexpr double kFig7Max16BUs = 1.1;    // at 55 requests
+constexpr double kFig7Max128BUs = 2.2;   // at 55 requests
+constexpr double kFig8KneeRequests = 100.0;
+constexpr double kInfrastructureNs = 547.0;
+constexpr double kHmcNoLoadMinNs = 100.0;
+constexpr double kHmcNoLoadMaxNs = 180.0;
+constexpr double kDramCoreNs = 41.0;  // tRCD + tCL + tRP
+
+// Section IV-C (Fig. 9).
+constexpr double kFig9CollisionPenaltyPct = 40.0;
+
+// Section IV-D (Figs. 10/11).
+constexpr double kFig11Stddev16BNs = 20.0;
+constexpr double kFig11Stddev32BNs = 40.0;
+constexpr double kFig11Stddev64BNs = 100.0;
+constexpr double kFig11Stddev128BNs = 106.0;
+constexpr double kFig10Range16BNs = 29.0;
+constexpr double kFig10Range32BNs = 76.0;
+constexpr double kFig10Range64BNs = 136.0;
+constexpr double kFig10Range128BNs = 203.0;
+// Heatmap axes (bin edges of Fig. 10a-d).
+constexpr double kFig10Lo16BNs = 1617.0;
+constexpr double kFig10Hi16BNs = 1675.0;
+constexpr double kFig10Lo128BNs = 3894.0;
+constexpr double kFig10Hi128BNs = 4300.0;
+
+// Section IV-F (Fig. 14).
+constexpr double kFig14TwoBanks = 288.0;
+constexpr double kFig14FourBanks = 535.0;
+
+}  // namespace paper
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_ANALYSIS_PAPER_REF_H_

@@ -1,0 +1,43 @@
+#include "analysis/report.h"
+
+#include <iomanip>
+
+#include "common/strutil.h"
+
+namespace hmcsim {
+
+void
+Report::section(const std::string &title)
+{
+    out_ << "\n==== " << title << " ====\n";
+}
+
+void
+Report::note(const std::string &text)
+{
+    out_ << "  " << text << '\n';
+}
+
+void
+Report::compare(const std::string &name, double paper_value,
+                double measured, const std::string &unit, bool approximate)
+{
+    const double ratio =
+        paper_value != 0.0 ? measured / paper_value : 0.0;
+    out_ << "  " << std::left << std::setw(36) << name << " paper"
+         << (approximate ? "~" : "=") << std::right << std::setw(10)
+         << formatDouble(paper_value, 2) << ' ' << std::setw(8) << unit
+         << "  measured=" << std::setw(10) << formatDouble(measured, 2)
+         << "  ratio=" << formatDouble(ratio, 2) << '\n';
+}
+
+void
+Report::measured(const std::string &name, double value,
+                 const std::string &unit)
+{
+    out_ << "  " << std::left << std::setw(36) << name
+         << " measured=" << std::right << std::setw(10)
+         << formatDouble(value, 2) << ' ' << unit << '\n';
+}
+
+}  // namespace hmcsim

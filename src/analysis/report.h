@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Formatting helpers for the benchmark harnesses: section banners and
+ * paper-vs-measured comparison lines with ratios.
+ */
+
+#ifndef HMCSIM_ANALYSIS_REPORT_H_
+#define HMCSIM_ANALYSIS_REPORT_H_
+
+#include <ostream>
+#include <string>
+
+namespace hmcsim {
+
+class Report
+{
+  public:
+    explicit Report(std::ostream &out) : out_(out) {}
+
+    /** "==== title ====" banner. */
+    void section(const std::string &title);
+
+    /** Free-form note line. */
+    void note(const std::string &text);
+
+    /**
+     * One comparison row: name, paper value, measured value, ratio.
+     * @param approximate marks paper values read off a plot
+     */
+    void compare(const std::string &name, double paper_value,
+                 double measured, const std::string &unit,
+                 bool approximate = false);
+
+    /** A plain measured value without a paper counterpart. */
+    void measured(const std::string &name, double value,
+                  const std::string &unit);
+
+  private:
+    std::ostream &out_;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_ANALYSIS_REPORT_H_

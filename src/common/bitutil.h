@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Bit-field extraction/insertion helpers for address mapping.
+ */
+
+#ifndef HMCSIM_COMMON_BITUTIL_H_
+#define HMCSIM_COMMON_BITUTIL_H_
+
+#include <cstdint>
+
+namespace hmcsim {
+
+/** Extract bits [lo, lo+width) of @p v. */
+constexpr std::uint64_t
+extractBits(std::uint64_t v, unsigned lo, unsigned width)
+{
+    if (width == 0)
+        return 0;
+    if (width >= 64)
+        return v >> lo;
+    return (v >> lo) & ((std::uint64_t{1} << width) - 1);
+}
+
+/** Insert @p field into bits [lo, lo+width) of @p v. */
+constexpr std::uint64_t
+insertBits(std::uint64_t v, unsigned lo, unsigned width, std::uint64_t field)
+{
+    const std::uint64_t mask =
+        (width >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+    return (v & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** True if @p v is a power of two (and nonzero). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2Exact(std::uint64_t v)
+{
+    unsigned n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Round @p v up to a multiple of @p align (align must be pow2). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_COMMON_BITUTIL_H_

@@ -1,0 +1,122 @@
+#include "common/csv.h"
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace hmcsim {
+
+CsvWriter::CsvWriter(std::ostream &out, std::vector<std::string> columns)
+    : out_(out), columns_(std::move(columns))
+{
+    if (columns_.empty())
+        panic("CsvWriter: need at least one column");
+}
+
+std::string
+CsvWriter::escape(const std::string &v)
+{
+    if (v.find_first_of(",\"\n") == std::string::npos)
+        return v;
+    std::string out = "\"";
+    for (char c : v) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::flushRow()
+{
+    if (!rowOpen_)
+        return;
+    if (!headerWritten_) {
+        for (std::size_t i = 0; i < columns_.size(); ++i) {
+            if (i)
+                out_ << ',';
+            out_ << escape(columns_[i]);
+        }
+        out_ << '\n';
+        headerWritten_ = true;
+    }
+    if (current_.size() != columns_.size()) {
+        panic("CsvWriter: row has " + std::to_string(current_.size()) +
+              " cells, expected " + std::to_string(columns_.size()));
+    }
+    for (std::size_t i = 0; i < current_.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(current_[i]);
+    }
+    out_ << '\n';
+    current_.clear();
+    rowOpen_ = false;
+}
+
+CsvWriter &
+CsvWriter::row()
+{
+    flushRow();
+    rowOpen_ = true;
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(const std::string &v)
+{
+    if (!rowOpen_)
+        panic("CsvWriter::cell without an open row");
+    current_.push_back(v);
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(const char *v)
+{
+    return cell(std::string(v));
+}
+
+CsvWriter &
+CsvWriter::cell(double v, int precision)
+{
+    return cell(formatDouble(v, precision));
+}
+
+CsvWriter &
+CsvWriter::cell(std::uint64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+CsvWriter &
+CsvWriter::cell(std::int64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+CsvWriter &
+CsvWriter::cell(int v)
+{
+    return cell(std::to_string(v));
+}
+
+void
+CsvWriter::finish()
+{
+    flushRow();
+    out_.flush();
+}
+
+CsvWriter::~CsvWriter()
+{
+    // Never throw from a destructor; a malformed final row is dropped.
+    try {
+        flushRow();
+    } catch (...) {
+    }
+}
+
+}  // namespace hmcsim

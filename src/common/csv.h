@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal CSV table writer used by the benchmark harnesses to emit the
+ * paper's figure series in a plot-ready form.
+ */
+
+#ifndef HMCSIM_COMMON_CSV_H_
+#define HMCSIM_COMMON_CSV_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hmcsim {
+
+class CsvWriter
+{
+  public:
+    /** Writes to @p out (not owned); header is emitted on first row. */
+    CsvWriter(std::ostream &out, std::vector<std::string> columns);
+
+    /** Begin a new row; previous row (if open) is flushed first. */
+    CsvWriter &row();
+
+    CsvWriter &cell(const std::string &v);
+    CsvWriter &cell(const char *v);
+    CsvWriter &cell(double v, int precision = 3);
+    CsvWriter &cell(std::uint64_t v);
+    CsvWriter &cell(std::int64_t v);
+    CsvWriter &cell(int v);
+
+    CsvWriter &
+    cell(std::uint32_t v)
+    {
+        return cell(static_cast<std::uint64_t>(v));
+    }
+
+    /** Flush any open row. Called by the destructor too. */
+    void finish();
+
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+    /** Quote a value per RFC 4180 if it contains separators/quotes. */
+    static std::string escape(const std::string &v);
+
+  private:
+    std::ostream &out_;
+    std::vector<std::string> columns_;
+    std::vector<std::string> current_;
+    bool headerWritten_ = false;
+    bool rowOpen_ = false;
+
+    void flushRow();
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_COMMON_CSV_H_

@@ -1,0 +1,86 @@
+#include "common/histogram.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi)
+{
+    if (bins == 0)
+        panic("Histogram: bins must be >= 1");
+    if (!(hi > lo))
+        panic("Histogram: hi must be > lo");
+    width_ = (hi - lo) / static_cast<double>(bins);
+    counts_.assign(bins, 0);
+}
+
+std::size_t
+Histogram::binIndex(double x) const
+{
+    if (x < lo_)
+        return 0;
+    const std::size_t last = counts_.size() - 1;
+    const double rel = (x - lo_) / width_;
+    if (rel >= static_cast<double>(counts_.size()))
+        return last;
+    return static_cast<std::size_t>(rel);
+}
+
+void
+Histogram::add(double x)
+{
+    ++counts_[binIndex(x)];
+    ++total_;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return binLow(i) + width_ / 2.0;
+}
+
+std::uint64_t
+Histogram::count(std::size_t i) const
+{
+    if (i >= counts_.size())
+        panic("Histogram::count: bin out of range");
+    return counts_[i];
+}
+
+double
+Histogram::fraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(count(i)) / static_cast<double>(total_);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+        other.hi_ != hi_) {
+        panic("Histogram::merge: shape mismatch");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
+void
+Histogram::reset()
+{
+    counts_.assign(counts_.size(), 0);
+    total_ = 0;
+}
+
+}  // namespace hmcsim

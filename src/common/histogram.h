@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fixed-bin histogram over double samples, used for the per-vault latency
+ * distributions of Figs. 10 and 12.
+ */
+
+#ifndef HMCSIM_COMMON_HISTOGRAM_H_
+#define HMCSIM_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hmcsim {
+
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower edge of the first bin
+     * @param hi upper edge of the last bin (must be > lo)
+     * @param bins number of equal-width bins (must be >= 1)
+     *
+     * Samples below lo land in bin 0; samples at/above hi land in the
+     * last bin (saturating, so the paper-style fixed axes still capture
+     * tails).
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    std::size_t bins() const { return counts_.size(); }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    double binWidth() const { return width_; }
+
+    /** Inclusive lower edge of bin @p i. */
+    double binLow(std::size_t i) const;
+
+    /** Center of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    std::uint64_t count(std::size_t i) const;
+    std::uint64_t total() const { return total_; }
+
+    /** count(i) / total(), or 0 if empty. */
+    double fraction(std::size_t i) const;
+
+    /** Bin index a sample would land in. */
+    std::size_t binIndex(double x) const;
+
+    /** Merge a same-shaped histogram; panics on shape mismatch. */
+    void merge(const Histogram &other);
+
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_COMMON_HISTOGRAM_H_

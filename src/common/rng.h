@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * We implement xoshiro256** seeded via splitmix64 rather than using
+ * std::mt19937 so that results are bit-identical across standard
+ * libraries, which keeps the benchmark outputs reproducible.
+ */
+
+#ifndef HMCSIM_COMMON_RNG_H_
+#define HMCSIM_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace hmcsim {
+
+/** splitmix64 step; used for seeding and hashing. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/** xoshiro256** generator. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Re-seed in place. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform in [0, bound) without modulo bias; bound must be > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p. */
+    bool nextBool(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_COMMON_RNG_H_

@@ -1,0 +1,96 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace hmcsim {
+
+void
+SampleStats::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+SampleStats::merge(const SampleStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double nt = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / nt;
+    mean_ = (na * mean_ + nb * other.mean_) / nt;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+SampleStats::reset()
+{
+    n_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+double
+SampleStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+SampleStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RateStat::begin(Tick now)
+{
+    bytes_ = 0;
+    begin_ = now;
+    end_ = now;
+    open_ = true;
+}
+
+void
+RateStat::end(Tick now)
+{
+    end_ = now;
+    open_ = false;
+}
+
+Tick
+RateStat::window() const
+{
+    return end_ >= begin_ ? end_ - begin_ : 0;
+}
+
+double
+RateStat::gbPerSec() const
+{
+    return bytesPerTickToGBs(static_cast<double>(bytes_), window());
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Lightweight statistics primitives: event counters, streaming sample
+ * statistics (Welford), and windowed rate measurement.  These back the
+ * per-port monitoring logic that mirrors the paper's FPGA monitors.
+ */
+
+#ifndef HMCSIM_COMMON_STATS_H_
+#define HMCSIM_COMMON_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/types.h"
+
+namespace hmcsim {
+
+/** Simple named monotonic counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Streaming min/max/mean/variance over double samples using Welford's
+ * online algorithm (numerically stable for long runs).
+ */
+class SampleStats
+{
+  public:
+    SampleStats() { reset(); }
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel-combine rule). */
+    void merge(const SampleStats &other);
+
+    void reset();
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Population variance; 0 with fewer than 2 samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+  private:
+    std::uint64_t n_;
+    double mean_;
+    double m2_;
+    double min_;
+    double max_;
+    double sum_;
+};
+
+/**
+ * Accumulates bytes over a measurement window and reports GB/s.
+ * The window is [begin(), end()] in ticks.
+ */
+class RateStat
+{
+  public:
+    RateStat() = default;
+
+    /** Start (or restart) the measurement window at @p now. */
+    void begin(Tick now);
+
+    /** Record @p bytes transferred. */
+    void add(std::uint64_t bytes) { bytes_ += bytes; }
+
+    /** Close the window at @p now. */
+    void end(Tick now);
+
+    std::uint64_t bytes() const { return bytes_; }
+    Tick window() const;
+
+    /** Decimal gigabytes per second over the window; 0 if empty window. */
+    double gbPerSec() const;
+
+  private:
+    std::uint64_t bytes_ = 0;
+    Tick begin_ = 0;
+    Tick end_ = 0;
+    bool open_ = false;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_COMMON_STATS_H_

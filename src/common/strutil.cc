@@ -1,0 +1,137 @@
+#include "common/strutil.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace hmcsim {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::vector<std::string>
+splitWhitespace(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream iss(s);
+    std::string tok;
+    while (iss >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+        s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    const std::string t = trim(s);
+    if (t.empty() || t[0] == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(t.c_str(), &end, 0);
+    if (errno != 0 || end == t.c_str() || *end != '\0')
+        return false;
+    out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+bool
+parseI64(const std::string &s, std::int64_t &out)
+{
+    const std::string t = trim(s);
+    if (t.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(t.c_str(), &end, 0);
+    if (errno != 0 || end == t.c_str() || *end != '\0')
+        return false;
+    out = static_cast<std::int64_t>(v);
+    return true;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    const std::string t = trim(s);
+    if (t.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(t.c_str(), &end);
+    if (errno != 0 || end == t.c_str() || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseBool(const std::string &s, bool &out)
+{
+    const std::string t = toLower(trim(s));
+    if (t == "true" || t == "1" || t == "yes" || t == "on") {
+        out = true;
+        return true;
+    }
+    if (t == "false" || t == "0" || t == "no" || t == "off") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(precision);
+    oss << v;
+    return oss.str();
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Small string utilities used by the config parser and trace reader.
+ */
+
+#ifndef HMCSIM_COMMON_STRUTIL_H_
+#define HMCSIM_COMMON_STRUTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hmcsim {
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Split @p s on @p sep; empty fields are preserved. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Split on arbitrary whitespace; empty fields are dropped. */
+std::vector<std::string> splitWhitespace(const std::string &s);
+
+/** True if @p s begins with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Lower-case ASCII copy. */
+std::string toLower(const std::string &s);
+
+/**
+ * Parse integers/doubles/bools with full-string validation.
+ * @return false (leaving @p out untouched) on any trailing garbage.
+ */
+bool parseU64(const std::string &s, std::uint64_t &out);
+bool parseI64(const std::string &s, std::int64_t &out);
+bool parseDouble(const std::string &s, double &out);
+bool parseBool(const std::string &s, bool &out);
+
+/** Render a double with @p precision fractional digits. */
+std::string formatDouble(double v, int precision);
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_COMMON_STRUTIL_H_

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fundamental scalar types and identifiers used across the simulator.
+ */
+
+#ifndef HMCSIM_COMMON_TYPES_H_
+#define HMCSIM_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace hmcsim {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no time" / "never". */
+constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/** Physical memory address inside the cube (34-bit field, 32 used). */
+using Addr = std::uint64_t;
+
+/** Identifier types. Plain integers; wrappers would add noise here. */
+using VaultId = std::uint32_t;
+using BankId = std::uint32_t;
+using QuadrantId = std::uint32_t;
+using LinkId = std::uint32_t;
+using PortId = std::uint32_t;
+using NodeId = std::uint32_t;
+using TagId = std::uint32_t;
+using PacketId = std::uint64_t;
+
+/** Sentinel node for "not routed yet". */
+constexpr NodeId kNodeInvalid = std::numeric_limits<NodeId>::max();
+
+/** Sentinel tag. */
+constexpr TagId kTagInvalid = std::numeric_limits<TagId>::max();
+
+// Convenience duration literals (integer picoseconds).
+constexpr Tick kPicosecond = 1;
+constexpr Tick kNanosecond = 1000;
+constexpr Tick kMicrosecond = 1000 * kNanosecond;
+constexpr Tick kMillisecond = 1000 * kMicrosecond;
+constexpr Tick kSecond = 1000 * kMillisecond;
+
+/** Size of one HMC flit in bytes (16 B, 128 bits). */
+constexpr std::uint32_t kFlitBytes = 16;
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_COMMON_TYPES_H_

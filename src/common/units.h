@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit conversion helpers between simulated ticks, bytes, and rates.
+ *
+ * All rates in the simulator are expressed either as GB/s (decimal
+ * gigabytes, matching the paper) or as picoseconds-per-byte for
+ * occupancy computations.
+ */
+
+#ifndef HMCSIM_COMMON_UNITS_H_
+#define HMCSIM_COMMON_UNITS_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace hmcsim {
+
+/** Convert nanoseconds (double) to integer ticks, rounding to nearest. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kNanosecond) + 0.5);
+}
+
+/** Convert ticks to nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kNanosecond);
+}
+
+/** Convert ticks to microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/** Convert a frequency in MHz to a clock period in ticks. */
+constexpr Tick
+mhzToPeriod(double mhz)
+{
+    return static_cast<Tick>(1e6 / mhz + 0.5);
+}
+
+/**
+ * Time to move @p bytes at @p gbps gigabits per second over @p lanes lanes.
+ * Used for SerDes serialization occupancy.
+ */
+constexpr Tick
+serializationTicks(std::uint64_t bytes, double gbps, std::uint32_t lanes)
+{
+    // bits / (lanes * Gb/s) in ns, then to ticks.
+    double ns = static_cast<double>(bytes) * 8.0 / (gbps * lanes);
+    return nsToTicks(ns);
+}
+
+/** Time to move @p bytes at a rate of @p gbs decimal gigabytes/second. */
+constexpr Tick
+transferTicks(std::uint64_t bytes, double gbs)
+{
+    double ns = static_cast<double>(bytes) / gbs;  // GB/s == B/ns
+    return nsToTicks(ns);
+}
+
+/** Bytes-over-interval to GB/s (decimal). */
+constexpr double
+bytesPerTickToGBs(double bytes, Tick interval)
+{
+    if (interval == 0)
+        return 0.0;
+    return bytes / static_cast<double>(interval) * 1000.0;  // B/ps -> GB/s
+}
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_COMMON_UNITS_H_

@@ -1,0 +1,114 @@
+#include "dram/bank.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+Bank::Bank(const DramTimingParams &params, BankId id)
+    : params_(params), id_(id)
+{
+}
+
+Tick
+Bank::activate(Tick when, RowId row)
+{
+    if (rowOpen_)
+        panic("Bank::activate on open row (bank " + std::to_string(id_) +
+              ")");
+    if (when < actAllowedAt_)
+        panic("Bank::activate violates tRP/tRC (bank " +
+              std::to_string(id_) + ")");
+    rowOpen_ = true;
+    openRow_ = row;
+    colAllowedAt_ = std::max(colAllowedAt_, when + params_.tRCD);
+    preAllowedAt_ = std::max(preAllowedAt_, when + params_.tRAS);
+    acts_.inc();
+    return when + params_.tRCD;
+}
+
+Bank::BurstTiming
+Bank::readBurst(Tick when, std::uint32_t beats)
+{
+    if (!rowOpen_)
+        panic("Bank::readBurst on closed row (bank " + std::to_string(id_) +
+              ")");
+    if (when < colAllowedAt_)
+        panic("Bank::readBurst violates tRCD/tCCD (bank " +
+              std::to_string(id_) + ")");
+    if (beats == 0)
+        panic("Bank::readBurst: zero beats");
+    BurstTiming t;
+    t.cmdTime = when;
+    t.dataStart = when + params_.tCL;
+    t.dataEnd = t.dataStart + beats * params_.tBURST;
+    colAllowedAt_ = when + beats * params_.tCCD;
+    const Tick last_cmd = when + (beats - 1) * params_.tCCD;
+    preAllowedAt_ = std::max(preAllowedAt_, last_cmd + params_.tRTP);
+    reads_.inc(beats);
+    return t;
+}
+
+Bank::BurstTiming
+Bank::writeBurst(Tick when, std::uint32_t beats)
+{
+    if (!rowOpen_)
+        panic("Bank::writeBurst on closed row (bank " +
+              std::to_string(id_) + ")");
+    if (when < colAllowedAt_)
+        panic("Bank::writeBurst violates tRCD/tCCD (bank " +
+              std::to_string(id_) + ")");
+    if (beats == 0)
+        panic("Bank::writeBurst: zero beats");
+    BurstTiming t;
+    t.cmdTime = when;
+    t.dataStart = when + params_.tWL;
+    t.dataEnd = t.dataStart + beats * params_.tBURST;
+    colAllowedAt_ = when + beats * params_.tCCD;
+    preAllowedAt_ = std::max(preAllowedAt_, t.dataEnd + params_.tWR);
+    writes_.inc(beats);
+    return t;
+}
+
+Tick
+Bank::precharge(Tick when)
+{
+    if (!rowOpen_)
+        panic("Bank::precharge on closed row (bank " + std::to_string(id_) +
+              ")");
+    if (when < preAllowedAt_)
+        panic("Bank::precharge violates tRAS/tRTP/tWR (bank " +
+              std::to_string(id_) + ")");
+    rowOpen_ = false;
+    openRow_ = kRowNone;
+    actAllowedAt_ = std::max(actAllowedAt_, when + params_.tRP);
+    pres_.inc();
+    return when + params_.tRP;
+}
+
+Tick
+Bank::refresh(Tick when)
+{
+    if (rowOpen_)
+        panic("Bank::refresh on open row (bank " + std::to_string(id_) +
+              ")");
+    if (when < actAllowedAt_)
+        panic("Bank::refresh violates tRP (bank " + std::to_string(id_) +
+              ")");
+    actAllowedAt_ = when + params_.tRFC;
+    refs_.inc();
+    return when + params_.tRFC;
+}
+
+void
+Bank::resetStats()
+{
+    acts_.reset();
+    reads_.reset();
+    writes_.reset();
+    pres_.reset();
+    refs_.reset();
+}
+
+}  // namespace hmcsim

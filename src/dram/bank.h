@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Single DRAM bank timing model.
+ *
+ * The bank tracks earliest-allowed issue times for each command class
+ * and validates that the controller respects them; scheduling policy
+ * lives entirely in the vault controller.  Data movement is modelled by
+ * the shared per-vault TSV bus, not here.
+ */
+
+#ifndef HMCSIM_DRAM_BANK_H_
+#define HMCSIM_DRAM_BANK_H_
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "dram/dram_types.h"
+#include "dram/timing.h"
+
+namespace hmcsim {
+
+class Bank
+{
+  public:
+    Bank(const DramTimingParams &params, BankId id);
+
+    BankId id() const { return id_; }
+    bool rowOpen() const { return rowOpen_; }
+    RowId openRow() const { return openRow_; }
+
+    /** Earliest time an ACTIVATE may be issued (bank-local view). */
+    Tick actReadyAt() const { return actAllowedAt_; }
+
+    /** Earliest time a column command may be issued (row must be open). */
+    Tick colReadyAt() const { return colAllowedAt_; }
+
+    /** Earliest time a PRECHARGE may be issued. */
+    Tick preReadyAt() const { return preAllowedAt_; }
+
+    /**
+     * Issue ACTIVATE at @p when for @p row.
+     * Panics if the row is open or @p when violates timing.
+     * @return time the row becomes usable (when + tRCD)
+     */
+    Tick activate(Tick when, RowId row);
+
+    /** Data timestamps of one column burst. */
+    struct BurstTiming {
+        /** Column command issue time. */
+        Tick cmdTime;
+        /** First data beat on the bus. */
+        Tick dataStart;
+        /** Last data beat has left the bus. */
+        Tick dataEnd;
+    };
+
+    /**
+     * Issue a read burst of @p beats 32 B beats starting at @p when.
+     * Panics on a closed row or a timing violation.
+     */
+    BurstTiming readBurst(Tick when, std::uint32_t beats);
+
+    /** Issue a write burst (data arrives after tWL). */
+    BurstTiming writeBurst(Tick when, std::uint32_t beats);
+
+    /**
+     * Issue PRECHARGE at @p when.
+     * @return time the bank can accept the next ACTIVATE (when + tRP)
+     */
+    Tick precharge(Tick when);
+
+    /**
+     * Issue REFRESH at @p when (bank must be idle).
+     * @return completion time (when + tRFC)
+     */
+    Tick refresh(Tick when);
+
+    // Statistics.
+    std::uint64_t activates() const { return acts_.value(); }
+    std::uint64_t reads() const { return reads_.value(); }
+    std::uint64_t writes() const { return writes_.value(); }
+    std::uint64_t precharges() const { return pres_.value(); }
+    std::uint64_t refreshes() const { return refs_.value(); }
+    void resetStats();
+
+  private:
+    const DramTimingParams &params_;
+    BankId id_;
+    bool rowOpen_ = false;
+    RowId openRow_ = kRowNone;
+    Tick actAllowedAt_ = 0;
+    Tick colAllowedAt_ = 0;
+    Tick preAllowedAt_ = 0;
+    Counter acts_;
+    Counter reads_;
+    Counter writes_;
+    Counter pres_;
+    Counter refs_;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_DRAM_BANK_H_

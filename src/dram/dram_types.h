@@ -1,0 +1,44 @@
+/**
+ * @file
+ * DRAM command vocabulary shared by the bank model and the vault
+ * controller's scheduler.
+ */
+
+#ifndef HMCSIM_DRAM_DRAM_TYPES_H_
+#define HMCSIM_DRAM_DRAM_TYPES_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace hmcsim {
+
+/** DRAM commands at the granularity the vault controller issues them. */
+enum class DramCmd {
+    Activate,
+    Read,
+    Write,
+    Precharge,
+    Refresh,
+};
+
+/** Row index within a bank. */
+using RowId = std::uint32_t;
+
+/** Column (32 B beat) index within a row. */
+using ColId = std::uint32_t;
+
+constexpr RowId kRowNone = ~RowId{0};
+
+/** One decoded DRAM access the controller hands to the memory. */
+struct DramAccess {
+    BankId bank = 0;
+    RowId row = 0;
+    ColId col = 0;
+    std::uint32_t bytes = 32;
+    bool isWrite = false;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_DRAM_DRAM_TYPES_H_

@@ -1,0 +1,48 @@
+#include "dram/refresh.h"
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+RefreshPolicy::RefreshPolicy(Tick trefi, std::uint32_t num_banks)
+    : trefi_(trefi)
+{
+    if (num_banks == 0)
+        panic("RefreshPolicy: zero banks");
+    nextDue_.resize(num_banks);
+    for (std::uint32_t b = 0; b < num_banks; ++b) {
+        // Stagger initial due times across the interval.
+        nextDue_[b] = trefi_ == 0
+            ? kTickNever
+            : trefi_ * (b + 1) / num_banks;
+    }
+}
+
+bool
+RefreshPolicy::due(BankId b, Tick now) const
+{
+    if (b >= nextDue_.size())
+        panic("RefreshPolicy::due: bank out of range");
+    return trefi_ != 0 && now >= nextDue_[b];
+}
+
+void
+RefreshPolicy::completed(BankId b, Tick when)
+{
+    if (b >= nextDue_.size())
+        panic("RefreshPolicy::completed: bank out of range");
+    if (trefi_ == 0)
+        return;
+    nextDue_[b] = when + trefi_;
+    ++issued_;
+}
+
+Tick
+RefreshPolicy::nextDue(BankId b) const
+{
+    if (b >= nextDue_.size())
+        panic("RefreshPolicy::nextDue: bank out of range");
+    return nextDue_[b];
+}
+
+}  // namespace hmcsim

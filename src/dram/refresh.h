@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Per-bank staggered refresh bookkeeping.
+ *
+ * The vault controller consults the policy before dequeuing a request:
+ * if the target bank's refresh is due, the refresh executes first
+ * (VaultMemory::refreshBank) and the request is planned afterwards.
+ * Staggering the per-bank due times avoids the unrealistic case of all
+ * 16 banks refreshing in lockstep.
+ */
+
+#ifndef HMCSIM_DRAM_REFRESH_H_
+#define HMCSIM_DRAM_REFRESH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hmcsim {
+
+class RefreshPolicy
+{
+  public:
+    /**
+     * @param trefi refresh interval per bank; 0 disables refresh
+     * @param num_banks banks in the vault
+     */
+    RefreshPolicy(Tick trefi, std::uint32_t num_banks);
+
+    bool enabled() const { return trefi_ != 0; }
+
+    /** True if bank @p b owes a refresh at time @p now. */
+    bool due(BankId b, Tick now) const;
+
+    /** Record that bank @p b completed a refresh at @p when. */
+    void completed(BankId b, Tick when);
+
+    /** Next due time of bank @p b (kTickNever when disabled). */
+    Tick nextDue(BankId b) const;
+
+    std::uint64_t refreshesIssued() const { return issued_; }
+
+  private:
+    Tick trefi_;
+    std::vector<Tick> nextDue_;
+    std::uint64_t issued_ = 0;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_DRAM_REFRESH_H_

@@ -1,0 +1,73 @@
+#include "dram/timing.h"
+
+#include "common/log.h"
+#include "common/units.h"
+
+namespace hmcsim {
+
+void
+DramTimingParams::validate() const
+{
+    if (tRCD == 0 || tCL == 0 || tRP == 0 || tBURST == 0)
+        fatal("dram timing: core parameters must be nonzero");
+    if (tRAS < tRCD)
+        fatal("dram timing: tRAS must cover at least tRCD");
+    if (tFAW != 0 && tFAW < tRRD)
+        fatal("dram timing: tFAW smaller than tRRD");
+    if (tREFI != 0 && tRFC == 0)
+        fatal("dram timing: refresh enabled but tRFC is zero");
+}
+
+DramTimingParams
+DramTimingParams::hmcGen2()
+{
+    DramTimingParams p;
+    p.tRCD = nsToTicks(13.75);
+    p.tCL = nsToTicks(13.75);
+    p.tWL = nsToTicks(10.0);
+    p.tRP = nsToTicks(13.75);   // tRCD + tCL + tRP = 41.25 ns
+    p.tRAS = nsToTicks(18.25);  // tRC = 32 ns
+    p.tRTP = nsToTicks(5.0);
+    p.tWR = nsToTicks(10.0);
+    p.tCCD = nsToTicks(3.2);    // back-to-back 32 B beats
+    p.tRRD = nsToTicks(4.0);
+    p.tFAW = nsToTicks(16.0);
+    p.tBURST = nsToTicks(3.2);  // 32 B / 3.2 ns = 10 GB/s per vault
+    p.tRFC = nsToTicks(160.0);
+    p.tREFI = 0;                // refresh disabled by default
+    p.validate();
+    return p;
+}
+
+DramTimingParams
+DramTimingParams::ddr3_1600()
+{
+    DramTimingParams p;
+    p.tRCD = nsToTicks(13.75);
+    p.tCL = nsToTicks(13.75);
+    p.tWL = nsToTicks(10.0);
+    p.tRP = nsToTicks(13.75);
+    p.tRAS = nsToTicks(35.0);
+    p.tRTP = nsToTicks(7.5);
+    p.tWR = nsToTicks(15.0);
+    p.tCCD = nsToTicks(5.0);
+    p.tRRD = nsToTicks(6.0);
+    p.tFAW = nsToTicks(30.0);
+    p.tBURST = nsToTicks(5.0);  // 64 B burst on a 64-bit DDR3-1600 bus
+    p.tRFC = nsToTicks(260.0);
+    p.tREFI = 0;
+    p.validate();
+    return p;
+}
+
+DramTimingParams
+DramTimingParams::preset(const std::string &name)
+{
+    if (name == "hmc_gen2")
+        return hmcGen2();
+    if (name == "ddr3_1600")
+        return ddr3_1600();
+    fatal("dram timing: unknown preset '" + name + "'");
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * DRAM timing parameter sets.
+ *
+ * The HMC Gen2 preset follows the figures the paper cites:
+ * tRCD + tCL + tRP ~= 41 ns ([4], [25] in the paper) and a 32 B vault
+ * data bus delivering 10 GB/s (32 B per 3.2 ns).
+ */
+
+#ifndef HMCSIM_DRAM_TIMING_H_
+#define HMCSIM_DRAM_TIMING_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace hmcsim {
+
+struct DramTimingParams {
+    /** Activate to internal read/write delay. */
+    Tick tRCD = 0;
+
+    /** Read command to first data beat (CAS latency). */
+    Tick tCL = 0;
+
+    /** Write command to first data beat. */
+    Tick tWL = 0;
+
+    /** Precharge to next activate on the same bank. */
+    Tick tRP = 0;
+
+    /** Activate to precharge minimum. */
+    Tick tRAS = 0;
+
+    /** Read to precharge minimum. */
+    Tick tRTP = 0;
+
+    /** End of write data to precharge (write recovery). */
+    Tick tWR = 0;
+
+    /** Column command to column command (same bank group). */
+    Tick tCCD = 0;
+
+    /** Activate to activate, different banks in the same vault. */
+    Tick tRRD = 0;
+
+    /** Rolling four-activate window per vault. */
+    Tick tFAW = 0;
+
+    /** One 32 B beat on the vault TSV data bus. */
+    Tick tBURST = 0;
+
+    /** Refresh cycle time (row refresh). */
+    Tick tRFC = 0;
+
+    /** Mean refresh interval. */
+    Tick tREFI = 0;
+
+    /** Minimum activate-to-activate on one bank (derived floor). */
+    Tick tRC() const { return tRAS + tRP; }
+
+    /** Validate internal consistency; raises fatal() on nonsense. */
+    void validate() const;
+
+    /** HMC Gen2-style preset (matches the paper's cited latencies). */
+    static DramTimingParams hmcGen2();
+
+    /** A DDR3-1600-like preset for the "traditional DDR" comparisons. */
+    static DramTimingParams ddr3_1600();
+
+    /** Look up a preset by name ("hmc_gen2", "ddr3_1600"). */
+    static DramTimingParams preset(const std::string &name);
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_DRAM_TIMING_H_

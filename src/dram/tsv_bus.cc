@@ -1,0 +1,44 @@
+#include "dram/tsv_bus.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+TsvBus::TsvBus(std::string name, std::uint32_t beat_bytes, Tick beat_time)
+    : name_(std::move(name)), beatBytes_(beat_bytes), beatTime_(beat_time)
+{
+    if (beatBytes_ == 0 || beatTime_ == 0)
+        panic("TsvBus '" + name_ + "': zero beat size or time");
+}
+
+std::uint32_t
+TsvBus::beatsFor(std::uint64_t bytes) const
+{
+    return static_cast<std::uint32_t>((bytes + beatBytes_ - 1) / beatBytes_);
+}
+
+TsvBus::Times
+TsvBus::reserve(std::uint64_t bytes, Tick earliest)
+{
+    if (bytes == 0)
+        panic("TsvBus '" + name_ + "': zero-byte reservation");
+    const std::uint32_t beats = beatsFor(bytes);
+    Times t;
+    t.start = std::max(earliest, nextFree_);
+    t.end = t.start + static_cast<Tick>(beats) * beatTime_;
+    nextFree_ = t.end;
+    bytes_.inc(static_cast<std::uint64_t>(beats) * beatBytes_);
+    busy_ += t.end - t.start;
+    return t;
+}
+
+void
+TsvBus::resetStats()
+{
+    bytes_.reset();
+    busy_ = 0;
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The shared per-vault 32 B TSV data bus.  Every data beat of every
+ * bank in a vault crosses this bus, capping a vault at 10 GB/s with the
+ * HMC Gen2 preset -- the plateau the paper measures for one-vault access
+ * patterns (Section IV-A).
+ */
+
+#ifndef HMCSIM_DRAM_TSV_BUS_H_
+#define HMCSIM_DRAM_TSV_BUS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace hmcsim {
+
+class TsvBus
+{
+  public:
+    /**
+     * @param beat_bytes bus width per beat (32 B in HMC)
+     * @param beat_time ticks per beat (3.2 ns -> 10 GB/s)
+     */
+    TsvBus(std::string name, std::uint32_t beat_bytes, Tick beat_time);
+
+    struct Times {
+        Tick start;
+        Tick end;
+    };
+
+    /**
+     * Reserve the bus for @p bytes (rounded up to whole beats) starting
+     * no earlier than @p earliest; the reservation is contiguous.
+     */
+    Times reserve(std::uint64_t bytes, Tick earliest);
+
+    Tick nextFree() const { return nextFree_; }
+    std::uint32_t beatBytes() const { return beatBytes_; }
+    Tick beatTime() const { return beatTime_; }
+
+    /** Beats needed for @p bytes. */
+    std::uint32_t beatsFor(std::uint64_t bytes) const;
+
+    std::uint64_t bytesCarried() const { return bytes_.value(); }
+    Tick busyTime() const { return busy_; }
+
+    void resetStats();
+
+  private:
+    std::string name_;
+    std::uint32_t beatBytes_;
+    Tick beatTime_;
+    Tick nextFree_ = 0;
+    Counter bytes_;
+    Tick busy_ = 0;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_DRAM_TSV_BUS_H_

@@ -1,0 +1,137 @@
+#include "hmc/address_map.h"
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace hmcsim {
+
+AddressMap::AddressMap(const HmcConfig &cfg)
+    : capacity_(cfg.capacityBytes), blockBytes_(cfg.blockBytes),
+      rowBytes_(cfg.rowBytes), numVaults_(cfg.numVaults),
+      numBanks_(cfg.numBanksPerVault),
+      vaultsPerQuad_(cfg.vaultsPerQuadrant()),
+      vaultFirst_(cfg.mapScheme == "vault_then_bank")
+{
+    offsetBits_ = log2Exact(blockBytes_);
+    vaultBits_ = log2Exact(numVaults_);
+    bankBits_ = log2Exact(numBanks_);
+    addrBits_ = log2Exact(capacity_);
+    if (vaultFirst_) {
+        vaultLow_ = offsetBits_;
+        bankLow_ = vaultLow_ + vaultBits_;
+        blockIdxLow_ = bankLow_ + bankBits_;
+    } else {
+        bankLow_ = offsetBits_;
+        vaultLow_ = bankLow_ + bankBits_;
+        blockIdxLow_ = vaultLow_ + vaultBits_;
+    }
+    blocksPerRow_ = rowBytes_ / blockBytes_;
+    if (blocksPerRow_ == 0)
+        fatal("address map: row smaller than block");
+}
+
+DecodedAddr
+AddressMap::decode(Addr addr) const
+{
+    if (addr >= capacity_)
+        panic("AddressMap::decode: address 0x" + std::to_string(addr) +
+              " beyond capacity");
+    DecodedAddr d;
+    d.blockOffset =
+        static_cast<std::uint32_t>(extractBits(addr, 0, offsetBits_));
+    d.vault =
+        static_cast<VaultId>(extractBits(addr, vaultLow_, vaultBits_));
+    d.bank = static_cast<BankId>(extractBits(addr, bankLow_, bankBits_));
+    d.vaultInQuad = d.vault % vaultsPerQuad_;
+    d.quadrant = d.vault / vaultsPerQuad_;
+    const std::uint64_t block_idx = addr >> blockIdxLow_;
+    d.row = static_cast<RowId>(block_idx / blocksPerRow_);
+    const std::uint32_t block_in_row =
+        static_cast<std::uint32_t>(block_idx % blocksPerRow_);
+    const std::uint32_t linear_in_row =
+        block_in_row * blockBytes_ + d.blockOffset;
+    d.col = linear_in_row / 32;
+    d.beatOffset = linear_in_row % 32;
+    return d;
+}
+
+Addr
+AddressMap::encode(const DecodedAddr &d) const
+{
+    if (d.vault >= numVaults_ || d.bank >= numBanks_)
+        panic("AddressMap::encode: vault/bank out of range");
+    const std::uint64_t beat_addr =
+        static_cast<std::uint64_t>(d.col) * 32 + d.beatOffset;
+    const std::uint64_t block_in_row = beat_addr / blockBytes_;
+    const std::uint32_t offset =
+        static_cast<std::uint32_t>(beat_addr % blockBytes_);
+    const std::uint64_t block_idx =
+        static_cast<std::uint64_t>(d.row) * blocksPerRow_ + block_in_row;
+    Addr addr = block_idx << blockIdxLow_;
+    addr = insertBits(addr, vaultLow_, vaultBits_, d.vault);
+    addr = insertBits(addr, bankLow_, bankBits_, d.bank);
+    addr = insertBits(addr, 0, offsetBits_, offset);
+    return addr;
+}
+
+DramAccess
+AddressMap::toAccess(Addr addr, std::uint32_t bytes, bool is_write) const
+{
+    const DecodedAddr d = decode(addr);
+    DramAccess a;
+    a.bank = d.bank;
+    a.row = d.row;
+    a.col = d.col;
+    a.bytes = bytes;
+    a.isWrite = is_write;
+    return a;
+}
+
+AddressPattern
+AddressMap::pattern(std::uint32_t num_vaults, std::uint32_t num_banks,
+                    VaultId base_vault, BankId base_bank) const
+{
+    if (!isPow2(num_vaults) || num_vaults > numVaults_)
+        fatal("address pattern: vault count must be a power of two <= " +
+              std::to_string(numVaults_));
+    if (!isPow2(num_banks) || num_banks > numBanks_)
+        fatal("address pattern: bank count must be a power of two <= " +
+              std::to_string(numBanks_));
+    if (base_vault % num_vaults != 0 || base_vault >= numVaults_)
+        fatal("address pattern: base vault must be aligned to the count");
+    if (base_bank % num_banks != 0 || base_bank >= numBanks_)
+        fatal("address pattern: base bank must be aligned to the count");
+
+    const unsigned free_vault_bits = log2Exact(num_vaults);
+    const unsigned free_bank_bits = log2Exact(num_banks);
+
+    // Start fully random within the capacity, then pin the high vault
+    // and bank bits.
+    Addr mask = capacity_ - 1;
+    Addr fixed = 0;
+
+    // Vault field: low free_vault_bits stay random; the rest are fixed
+    // to base_vault's bits.
+    mask = insertBits(mask, vaultLow_ + free_vault_bits,
+                      vaultBits_ - free_vault_bits, 0);
+    fixed = insertBits(fixed, vaultLow_, vaultBits_, base_vault);
+
+    mask = insertBits(mask, bankLow_ + free_bank_bits,
+                      bankBits_ - free_bank_bits, 0);
+    fixed = insertBits(fixed, bankLow_, bankBits_, base_bank);
+
+    return AddressPattern{mask, fixed};
+}
+
+AddressPattern
+AddressMap::vaultPattern(VaultId vault) const
+{
+    if (vault >= numVaults_)
+        fatal("address pattern: vault out of range");
+    Addr mask = capacity_ - 1;
+    mask = insertBits(mask, vaultLow_, vaultBits_, 0);
+    Addr fixed = insertBits(0, vaultLow_, vaultBits_, vault);
+    return AddressPattern{mask, fixed};
+}
+
+}  // namespace hmcsim

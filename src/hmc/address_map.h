@@ -1,0 +1,116 @@
+/**
+ * @file
+ * HMC 1.1 address mapping (spec Fig. 3 of the paper).
+ *
+ * Default "vault_then_bank" low-order interleave for a 4 GB cube with
+ * 128 B blocks:
+ *
+ *   bits [6:0]   block offset (128 B)
+ *   bits [8:7]   vault-in-quadrant
+ *   bits [10:9]  quadrant
+ *   bits [14:11] bank
+ *   bits [31:15] block index within the bank (row/column)
+ *
+ * so sequential blocks stripe across all 16 vaults first, then across
+ * banks -- a 4 KB OS page touches two banks in each of the 16 vaults.
+ * The "bank_then_vault" ablation swaps the vault and bank fields.
+ */
+
+#ifndef HMCSIM_HMC_ADDRESS_MAP_H_
+#define HMCSIM_HMC_ADDRESS_MAP_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "dram/dram_types.h"
+#include "hmc/hmc_config.h"
+
+namespace hmcsim {
+
+/** Fields of a decoded cube address. */
+struct DecodedAddr {
+    VaultId vault = 0;
+    QuadrantId quadrant = 0;
+    std::uint32_t vaultInQuad = 0;
+    BankId bank = 0;
+    RowId row = 0;
+    /** First 32 B beat within the row. */
+    ColId col = 0;
+    /** Byte offset within the block (informational). */
+    std::uint32_t blockOffset = 0;
+    /** Byte offset within the 32 B beat; with blocks smaller than a
+     *  beat this carries the sub-beat position encode() needs. */
+    std::uint32_t beatOffset = 0;
+};
+
+/**
+ * Mask/fixed-bits pair describing a GUPS-style access pattern:
+ * address = (random & mask) | fixed  (the paper's mask/anti-mask).
+ */
+struct AddressPattern {
+    Addr mask = 0;
+    Addr fixed = 0;
+
+    /** Apply to a raw random value. */
+    Addr apply(Addr random) const { return (random & mask) | fixed; }
+};
+
+class AddressMap
+{
+  public:
+    explicit AddressMap(const HmcConfig &cfg);
+
+    DecodedAddr decode(Addr addr) const;
+
+    /** Inverse of decode for trace/test generation. */
+    Addr encode(const DecodedAddr &d) const;
+
+    /** Convenience: build a full DramAccess for a request. */
+    DramAccess toAccess(Addr addr, std::uint32_t bytes, bool is_write) const;
+
+    /**
+     * Build the mask/fixed pair that confines random addresses to
+     * @p num_vaults vaults (starting at @p base_vault) and
+     * @p num_banks banks (starting at @p base_bank), with random rows.
+     * Both counts must be powers of two within the geometry.
+     */
+    AddressPattern pattern(std::uint32_t num_vaults, std::uint32_t num_banks,
+                           VaultId base_vault = 0,
+                           BankId base_bank = 0) const;
+
+    /** Pattern restricted to an explicit single vault, all banks. */
+    AddressPattern vaultPattern(VaultId vault) const;
+
+    // Field geometry (bit positions), exposed for tests and tooling.
+    unsigned offsetBits() const { return offsetBits_; }
+    unsigned vaultLow() const { return vaultLow_; }
+    unsigned vaultBits() const { return vaultBits_; }
+    unsigned bankLow() const { return bankLow_; }
+    unsigned bankBits() const { return bankBits_; }
+    unsigned addrBits() const { return addrBits_; }
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint32_t blockBytes() const { return blockBytes_; }
+    std::uint32_t rowBytes() const { return rowBytes_; }
+
+  private:
+    std::uint64_t capacity_;
+    std::uint32_t blockBytes_;
+    std::uint32_t rowBytes_;
+    std::uint32_t numVaults_;
+    std::uint32_t numBanks_;
+    std::uint32_t vaultsPerQuad_;
+    bool vaultFirst_;
+    unsigned offsetBits_;
+    unsigned vaultBits_;
+    unsigned bankBits_;
+    unsigned vaultLow_;
+    unsigned bankLow_;
+    unsigned blockIdxLow_;
+    unsigned addrBits_;
+    std::uint32_t blocksPerRow_;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_HMC_ADDRESS_MAP_H_

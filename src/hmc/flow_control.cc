@@ -1,0 +1,41 @@
+#include "hmc/flow_control.h"
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+TokenBucket::TokenBucket(std::uint32_t capacity)
+    : capacity_(capacity), available_(capacity)
+{
+    if (capacity_ == 0)
+        panic("TokenBucket: zero capacity");
+}
+
+void
+TokenBucket::consume(std::uint32_t n)
+{
+    if (n > available_)
+        panic("TokenBucket: consuming " + std::to_string(n) +
+              " tokens with only " + std::to_string(available_) +
+              " available");
+    available_ -= n;
+    consumed_ += n;
+}
+
+void
+TokenBucket::refund(std::uint32_t n)
+{
+    if (available_ + n > capacity_)
+        panic("TokenBucket: refund past capacity");
+    available_ += n;
+    if (onAvailable_)
+        onAvailable_();
+}
+
+void
+TokenBucket::setOnAvailable(std::function<void()> fn)
+{
+    onAvailable_ = std::move(fn);
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Token-based link-layer flow control.  The transmitter holds tokens
+ * equal to the receiver's buffer space (in flits); tokens are consumed
+ * when a packet starts transmission and returned (riding the reverse
+ * direction, hence a latency) when the receiver drains the packet.
+ */
+
+#ifndef HMCSIM_HMC_FLOW_CONTROL_H_
+#define HMCSIM_HMC_FLOW_CONTROL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace hmcsim {
+
+class TokenBucket
+{
+  public:
+    explicit TokenBucket(std::uint32_t capacity);
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t available() const { return available_; }
+    std::uint32_t inFlight() const { return capacity_ - available_; }
+
+    /** True if @p n tokens could be consumed right now. */
+    bool canConsume(std::uint32_t n) const { return available_ >= n; }
+
+    /** Consume @p n tokens; panics if unavailable. */
+    void consume(std::uint32_t n);
+
+    /** Return @p n tokens and fire the availability callback. */
+    void refund(std::uint32_t n);
+
+    /** Callback fired after every refund. */
+    void setOnAvailable(std::function<void()> fn);
+
+    /** Lifetime counters for diagnostics. */
+    std::uint64_t totalConsumed() const { return consumed_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::uint32_t available_;
+    std::uint64_t consumed_ = 0;
+    std::function<void()> onAvailable_;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_HMC_FLOW_CONTROL_H_

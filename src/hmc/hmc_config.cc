@@ -1,0 +1,218 @@
+#include "hmc/hmc_config.h"
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace hmcsim {
+
+SchedulerKind
+schedulerFromString(const std::string &s)
+{
+    if (s == "fifo")
+        return SchedulerKind::Fifo;
+    if (s == "frfcfs")
+        return SchedulerKind::FrFcfs;
+    fatal("unknown scheduler '" + s + "' (expected fifo|frfcfs)");
+}
+
+std::string
+toString(SchedulerKind k)
+{
+    return k == SchedulerKind::Fifo ? "fifo" : "frfcfs";
+}
+
+PagePolicy
+pagePolicyFromString(const std::string &s)
+{
+    if (s == "closed")
+        return PagePolicy::Closed;
+    if (s == "open")
+        return PagePolicy::Open;
+    fatal("unknown page policy '" + s + "' (expected closed|open)");
+}
+
+std::string
+toString(PagePolicy p)
+{
+    return p == PagePolicy::Closed ? "closed" : "open";
+}
+
+double
+HmcConfig::peakBandwidthGBs()const
+{
+    // Eq. 1: links * lanes * Gbps * 2 (duplex) / 8 bits.
+    return numLinks * lanesPerLink * linkGbps * 2.0 / 8.0;
+}
+
+double
+HmcConfig::linkBandwidthGBsPerDirection() const
+{
+    return numLinks * lanesPerLink * linkGbps / 8.0;
+}
+
+std::uint32_t
+HmcConfig::vaultsPerQuadrant() const
+{
+    return numVaults / numQuadrants;
+}
+
+DramTimingParams
+HmcConfig::dramTiming() const
+{
+    DramTimingParams p = DramTimingParams::preset(dramPreset);
+    p.tREFI = trefi;
+    return p;
+}
+
+void
+HmcConfig::validate() const
+{
+    if (!isPow2(numVaults) || !isPow2(numBanksPerVault))
+        fatal("hmc: vault and bank counts must be powers of two");
+    if (numQuadrants == 0 || numVaults % numQuadrants != 0)
+        fatal("hmc: vaults must divide evenly into quadrants");
+    if (!isPow2(blockBytes) || blockBytes < 16 || blockBytes > 256)
+        fatal("hmc: block size must be a power of two in [16, 256]");
+    if (!isPow2(rowBytes) || rowBytes < blockBytes)
+        fatal("hmc: row size must be a power of two >= block size");
+    if (!isPow2(capacityBytes))
+        fatal("hmc: capacity must be a power of two");
+    if (capacityBytes % (static_cast<std::uint64_t>(numVaults) *
+                         numBanksPerVault) != 0)
+        fatal("hmc: capacity must divide evenly across banks");
+    if (numLinks == 0 || numLinks > numQuadrants)
+        fatal("hmc: need 1..num_quadrants links");
+    if (linkGbps <= 0.0 || lanesPerLink == 0)
+        fatal("hmc: invalid link rate");
+    if (linkTokens < 16)
+        fatal("hmc: link token pool must hold at least one max packet "
+              "(16 flits)");
+    if (crcErrorProb < 0.0 || crcErrorProb >= 1.0)
+        fatal("hmc: crc error probability must be in [0, 1)");
+    if (vaultJitterNsPerFlit < 0.0)
+        fatal("hmc: vault jitter must be non-negative");
+    if (mapScheme != "vault_then_bank" && mapScheme != "bank_then_vault")
+        fatal("hmc: unknown map scheme '" + mapScheme + "'");
+    schedulerFromString(scheduler);
+    pagePolicyFromString(pagePolicy);
+    (void)dramTiming();  // validates the preset name
+}
+
+HmcConfig
+HmcConfig::fromConfig(const Config &cfg)
+{
+    HmcConfig c;
+    c.numVaults =
+        static_cast<std::uint32_t>(cfg.getU64("hmc.num_vaults", c.numVaults));
+    c.numQuadrants = static_cast<std::uint32_t>(
+        cfg.getU64("hmc.num_quadrants", c.numQuadrants));
+    c.numBanksPerVault = static_cast<std::uint32_t>(
+        cfg.getU64("hmc.banks_per_vault", c.numBanksPerVault));
+    c.capacityBytes = cfg.getU64("hmc.capacity_bytes", c.capacityBytes);
+    c.blockBytes =
+        static_cast<std::uint32_t>(cfg.getU64("hmc.block_bytes",
+                                              c.blockBytes));
+    c.rowBytes =
+        static_cast<std::uint32_t>(cfg.getU64("hmc.row_bytes", c.rowBytes));
+    c.mapScheme = cfg.getString("hmc.map_scheme", c.mapScheme);
+
+    c.numLinks =
+        static_cast<std::uint32_t>(cfg.getU64("hmc.num_links", c.numLinks));
+    c.lanesPerLink = static_cast<std::uint32_t>(
+        cfg.getU64("hmc.lanes_per_link", c.lanesPerLink));
+    c.linkGbps = cfg.getDouble("hmc.link_gbps", c.linkGbps);
+    c.linkWireLatency = cfg.getU64("hmc.link_wire_latency_ps",
+                                   c.linkWireLatency);
+    c.serdesLatency = cfg.getU64("hmc.serdes_latency_ps", c.serdesLatency);
+    c.linkTokens = static_cast<std::uint32_t>(
+        cfg.getU64("hmc.link_tokens", c.linkTokens));
+    c.tokenReturnLatency = cfg.getU64("hmc.token_return_latency_ps",
+                                      c.tokenReturnLatency);
+    c.crcErrorProb = cfg.getDouble("hmc.crc_error_prob", c.crcErrorProb);
+    c.retryDelay = cfg.getU64("hmc.retry_delay_ps", c.retryDelay);
+    c.linkSeed = cfg.getU64("hmc.link_seed", c.linkSeed);
+
+    c.topology = cfg.getString("hmc.topology", c.topology);
+    c.noc.flitPeriod = cfg.getU64("hmc.noc_flit_period_ps",
+                                  c.noc.flitPeriod);
+    c.noc.wireLatency = cfg.getU64("hmc.noc_wire_latency_ps",
+                                   c.noc.wireLatency);
+    c.noc.routerLatency = cfg.getU64("hmc.noc_router_latency_ps",
+                                     c.noc.routerLatency);
+    c.noc.creditLatency = cfg.getU64("hmc.noc_credit_latency_ps",
+                                     c.noc.creditLatency);
+    c.noc.inputBufferFlits = static_cast<std::uint32_t>(
+        cfg.getU64("hmc.noc_input_buffer_flits", c.noc.inputBufferFlits));
+    c.noc.outputQueueFlits = static_cast<std::uint32_t>(
+        cfg.getU64("hmc.noc_output_queue_flits", c.noc.outputQueueFlits));
+    c.noc.ejectQueueFlits = static_cast<std::uint32_t>(
+        cfg.getU64("hmc.noc_eject_queue_flits", c.noc.ejectQueueFlits));
+
+    c.vcInputQueueFlits = static_cast<std::uint32_t>(
+        cfg.getU64("hmc.vc_input_queue_flits", c.vcInputQueueFlits));
+    c.vcBankQueueDepth = static_cast<std::uint32_t>(
+        cfg.getU64("hmc.vc_bank_queue_depth", c.vcBankQueueDepth));
+    c.vcResponseQueueFlits = static_cast<std::uint32_t>(
+        cfg.getU64("hmc.vc_response_queue_flits", c.vcResponseQueueFlits));
+    c.vcFrontendLatency = cfg.getU64("hmc.vc_frontend_latency_ps",
+                                     c.vcFrontendLatency);
+    c.vcBackendLatency = cfg.getU64("hmc.vc_backend_latency_ps",
+                                    c.vcBackendLatency);
+    c.vcRequestCycle = cfg.getU64("hmc.vc_request_cycle_ps",
+                                  c.vcRequestCycle);
+    c.scheduler = cfg.getString("hmc.scheduler", c.scheduler);
+    c.pagePolicy = cfg.getString("hmc.page_policy", c.pagePolicy);
+    c.trefi = cfg.getU64("hmc.trefi_ps", c.trefi);
+    c.vaultJitterNsPerFlit = cfg.getDouble("hmc.vault_jitter_ns_per_flit",
+                                           c.vaultJitterNsPerFlit);
+    c.vaultJitterSeed = cfg.getU64("hmc.vault_jitter_seed",
+                                   c.vaultJitterSeed);
+
+    c.dramPreset = cfg.getString("hmc.dram_preset", c.dramPreset);
+    c.validate();
+    return c;
+}
+
+void
+HmcConfig::toConfig(Config &cfg) const
+{
+    cfg.setU64("hmc.num_vaults", numVaults);
+    cfg.setU64("hmc.num_quadrants", numQuadrants);
+    cfg.setU64("hmc.banks_per_vault", numBanksPerVault);
+    cfg.setU64("hmc.capacity_bytes", capacityBytes);
+    cfg.setU64("hmc.block_bytes", blockBytes);
+    cfg.setU64("hmc.row_bytes", rowBytes);
+    cfg.set("hmc.map_scheme", mapScheme);
+    cfg.setU64("hmc.num_links", numLinks);
+    cfg.setU64("hmc.lanes_per_link", lanesPerLink);
+    cfg.setDouble("hmc.link_gbps", linkGbps);
+    cfg.setU64("hmc.link_wire_latency_ps", linkWireLatency);
+    cfg.setU64("hmc.serdes_latency_ps", serdesLatency);
+    cfg.setU64("hmc.link_tokens", linkTokens);
+    cfg.setU64("hmc.token_return_latency_ps", tokenReturnLatency);
+    cfg.setDouble("hmc.crc_error_prob", crcErrorProb);
+    cfg.setU64("hmc.retry_delay_ps", retryDelay);
+    cfg.setU64("hmc.link_seed", linkSeed);
+    cfg.set("hmc.topology", topology);
+    cfg.setU64("hmc.noc_flit_period_ps", noc.flitPeriod);
+    cfg.setU64("hmc.noc_wire_latency_ps", noc.wireLatency);
+    cfg.setU64("hmc.noc_router_latency_ps", noc.routerLatency);
+    cfg.setU64("hmc.noc_credit_latency_ps", noc.creditLatency);
+    cfg.setU64("hmc.noc_input_buffer_flits", noc.inputBufferFlits);
+    cfg.setU64("hmc.noc_output_queue_flits", noc.outputQueueFlits);
+    cfg.setU64("hmc.noc_eject_queue_flits", noc.ejectQueueFlits);
+    cfg.setU64("hmc.vc_input_queue_flits", vcInputQueueFlits);
+    cfg.setU64("hmc.vc_bank_queue_depth", vcBankQueueDepth);
+    cfg.setU64("hmc.vc_response_queue_flits", vcResponseQueueFlits);
+    cfg.setU64("hmc.vc_frontend_latency_ps", vcFrontendLatency);
+    cfg.setU64("hmc.vc_backend_latency_ps", vcBackendLatency);
+    cfg.setU64("hmc.vc_request_cycle_ps", vcRequestCycle);
+    cfg.set("hmc.scheduler", scheduler);
+    cfg.set("hmc.page_policy", pagePolicy);
+    cfg.setU64("hmc.trefi_ps", trefi);
+    cfg.setDouble("hmc.vault_jitter_ns_per_flit", vaultJitterNsPerFlit);
+    cfg.setU64("hmc.vault_jitter_seed", vaultJitterSeed);
+    cfg.set("hmc.dram_preset", dramPreset);
+}
+
+}  // namespace hmcsim

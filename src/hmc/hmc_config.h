@@ -1,0 +1,142 @@
+/**
+ * @file
+ * All configuration knobs of the HMC device model, with defaults that
+ * reproduce the paper's AC-510 HMC 1.1 setup: 4 GB, 16 vaults in 4
+ * quadrants, 16 banks/vault, two half-width (8-lane) 15 Gbps links.
+ */
+
+#ifndef HMCSIM_HMC_HMC_CONFIG_H_
+#define HMCSIM_HMC_HMC_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "common/units.h"
+#include "dram/timing.h"
+#include "dram/vault_memory.h"
+#include "noc/router.h"
+
+namespace hmcsim {
+
+/** Request scheduling policy inside a vault controller. */
+enum class SchedulerKind {
+    /** Per-bank FIFO (default). */
+    Fifo,
+    /** First-ready, first-come-first-served (prefers open-row hits). */
+    FrFcfs,
+};
+
+SchedulerKind schedulerFromString(const std::string &s);
+std::string toString(SchedulerKind k);
+
+PagePolicy pagePolicyFromString(const std::string &s);
+std::string toString(PagePolicy p);
+
+struct HmcConfig {
+    // ----- geometry -----
+    std::uint32_t numVaults = 16;
+    std::uint32_t numQuadrants = 4;
+    std::uint32_t numBanksPerVault = 16;
+    std::uint64_t capacityBytes = 4ull << 30;
+    std::uint32_t blockBytes = 128;  // address-map max block size
+    std::uint32_t rowBytes = 256;    // DRAM row (page) size
+
+    /** "vault_then_bank" (spec Fig. 3) or "bank_then_vault". */
+    std::string mapScheme = "vault_then_bank";
+
+    // ----- external links -----
+    std::uint32_t numLinks = 2;
+    std::uint32_t lanesPerLink = 8;  // half width
+    double linkGbps = 15.0;
+    Tick linkWireLatency = nsToTicks(1.6);
+    /** Per-direction SerDes+PHY pipeline latency per packet. */
+    Tick serdesLatency = nsToTicks(16.0);
+    /**
+     * RX buffer (token pool) per link direction, in flits.  The
+     * response-direction pool doubles as the host controller's reorder
+     * buffer; it must be deep enough that a saturated deserializer
+     * queues responses at the host (FIFO, arrival-fair) instead of
+     * backing them up into the NoC, where per-input arbitration would
+     * starve the far quadrants.
+     */
+    std::uint32_t linkTokens = 256;
+    Tick tokenReturnLatency = nsToTicks(3.2);
+    double crcErrorProb = 0.0;
+    Tick retryDelay = nsToTicks(100.0);
+    std::uint64_t linkSeed = 0xC0FFEE;
+
+    // ----- logic-layer NoC -----
+    std::string topology = "quadrant_xbar";
+    RouterParams noc;  // defaults in noc/router.h
+
+    // ----- vault controllers -----
+    std::uint32_t vcInputQueueFlits = 16;
+    std::uint32_t vcBankQueueDepth = 128;
+    std::uint32_t vcResponseQueueFlits = 96;
+    Tick vcFrontendLatency = nsToTicks(4.0);
+    Tick vcBackendLatency = nsToTicks(2.0);
+    /**
+     * Scheduler pipeline: minimum spacing between two request plans in
+     * one vault controller.  6.4 ns caps a vault at ~156 M requests/s,
+     * which yields the paper's ~10 GB/s one-vault plateau.
+     */
+    Tick vcRequestCycle = nsToTicks(6.4);
+    std::string scheduler = "fifo";
+    std::string pagePolicy = "closed";
+    Tick trefi = 0;  // refresh disabled by default
+
+    /**
+     * Per-vault systematic service-latency variation, in ns per
+     * response data flit.  Stands in for the physical effects the
+     * paper observes but cannot isolate (Section IV-D: per-vault
+     * latency distributions differ although the position contributes
+     * little): each vault v gets a fixed factor f_v in [0,1) from
+     * vaultJitterSeed, and every request pays
+     * f_v * vaultJitterNsPerFlit * (response data flits) extra.
+     * Scaling per flit reproduces the paper's observation that larger
+     * request sizes show wider per-vault variation (Figs. 10/11).
+     * Set to 0 for a perfectly uniform cube.
+     */
+    double vaultJitterNsPerFlit = 25.0;
+    std::uint64_t vaultJitterSeed = 0x5EED;
+
+    // ----- DRAM -----
+    std::string dramPreset = "hmc_gen2";
+
+    /** Derived: peak bandwidth per Eq. 1, decimal GB/s, bidirectional. */
+    double peakBandwidthGBs() const;
+
+    /** Derived: one-direction link-aggregate bandwidth in GB/s. */
+    double linkBandwidthGBsPerDirection() const;
+
+    /** Derived: vault count per quadrant. */
+    std::uint32_t vaultsPerQuadrant() const;
+
+    /** Per-vault capacity in bytes. */
+    std::uint64_t vaultBytes() const { return capacityBytes / numVaults; }
+
+    /** Per-bank capacity in bytes. */
+    std::uint64_t
+    bankBytes() const
+    {
+        return vaultBytes() / numBanksPerVault;
+    }
+
+    /** DRAM timing parameters resolved from the preset name. */
+    DramTimingParams dramTiming() const;
+
+    /** Raise fatal() on inconsistent settings. */
+    void validate() const;
+
+    /** Read every "hmc.*" key from @p cfg over the defaults. */
+    static HmcConfig fromConfig(const Config &cfg);
+
+    /** Write all values into @p cfg under "hmc.*". */
+    void toConfig(Config &cfg) const;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_HMC_HMC_CONFIG_H_

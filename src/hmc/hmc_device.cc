@@ -1,0 +1,154 @@
+#include "hmc/hmc_device.h"
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "noc/topology.h"
+
+namespace hmcsim {
+
+HmcDevice::HmcDevice(Kernel &kernel, Component *parent, std::string name,
+                     const HmcConfig &cfg)
+    : Component(kernel, parent, std::move(name)), cfg_(cfg), map_(cfg_)
+{
+    cfg_.validate();
+
+    const TopologySpec topo = makeTopology(
+        cfg_.topology, cfg_.numVaults, cfg_.numQuadrants, cfg_.numLinks);
+    net_ = std::make_unique<Network>(kernel, this, "noc", topo, cfg_.noc);
+
+    SerdesLink::Params lp;
+    lp.lanes = cfg_.lanesPerLink;
+    lp.gbps = cfg_.linkGbps;
+    lp.wireLatency = cfg_.linkWireLatency;
+    lp.serdesLatency = cfg_.serdesLatency;
+    lp.tokens = cfg_.linkTokens;
+    lp.tokenReturnLatency = cfg_.tokenReturnLatency;
+    lp.crcErrorProb = cfg_.crcErrorProb;
+    lp.retryDelay = cfg_.retryDelay;
+    lp.seed = cfg_.linkSeed;
+
+    for (LinkId l = 0; l < cfg_.numLinks; ++l) {
+        links_.push_back(std::make_unique<SerdesLink>(
+            kernel, this, "link" + std::to_string(l), l, lp));
+    }
+
+    VaultController::Params vp;
+    vp.inputQueueFlits = cfg_.vcInputQueueFlits;
+    vp.bankQueueDepth = cfg_.vcBankQueueDepth;
+    vp.responseQueueFlits = cfg_.vcResponseQueueFlits;
+    vp.frontendLatency = cfg_.vcFrontendLatency;
+    vp.backendLatency = cfg_.vcBackendLatency;
+    vp.requestCycle = cfg_.vcRequestCycle;
+    vp.scheduler = schedulerFromString(cfg_.scheduler);
+    vp.pagePolicy = pagePolicyFromString(cfg_.pagePolicy);
+    vp.trefi = cfg_.trefi;
+
+    const DramTimingParams timing = cfg_.dramTiming();
+
+    for (VaultId v = 0; v < cfg_.numVaults; ++v) {
+        // Per-vault systematic variation factor f_v in [0, 1).
+        std::uint64_t s = cfg_.vaultJitterSeed + v;
+        const double f = static_cast<double>(splitmix64(s) >> 11) *
+            0x1.0p-53;
+        VaultController::Params vpv = vp;
+        vpv.jitterPerFlit =
+            nsToTicks(f * cfg_.vaultJitterNsPerFlit);
+        vaults_.push_back(std::make_unique<VaultController>(
+            kernel, this, "vault" + std::to_string(v), v,
+            vaultEndpoint(v), *net_, map_, timing, cfg_.numBanksPerVault,
+            vpv));
+    }
+
+    // Wire vault controllers as NoC endpoints.
+    for (VaultId v = 0; v < cfg_.numVaults; ++v) {
+        VaultController *vc = vaults_[v].get();
+        Network::EndpointOps ops;
+        ops.tryReserve = [vc](std::uint32_t flits) {
+            return vc->tryReserveInput(flits);
+        };
+        ops.deliver = [vc](const NocMessage &msg) {
+            vc->deliverRequest(msg);
+        };
+        ops.onInjectSpace = [vc] { vc->onInjectSpace(); };
+        net_->setEndpoint(vaultEndpoint(v), std::move(ops));
+    }
+
+    // Wire link masters: requests drain from the link RX buffer into
+    // the NoC; responses eject from the NoC into the link's upstream
+    // transmitter (token-reserved at switch allocation).
+    for (LinkId l = 0; l < cfg_.numLinks; ++l) {
+        SerdesLink *lk = links_[l].get();
+        const NodeId ep = linkEndpoint(l);
+
+        Network::EndpointOps ops;
+        ops.tryReserve = [lk](std::uint32_t flits) {
+            if (!lk->canSend(LinkDir::CubeToHost, flits))
+                return false;
+            lk->reserveTokens(LinkDir::CubeToHost, flits);
+            return true;
+        };
+        ops.deliver = [lk](const NocMessage &msg) {
+            auto pkt = std::static_pointer_cast<HmcPacket>(msg.payload);
+            lk->send(LinkDir::CubeToHost, pkt);
+        };
+        ops.onInjectSpace = [this, l] { drainLinkRx(l); };
+        net_->setEndpoint(ep, std::move(ops));
+
+        lk->setOnRxAvailable(LinkDir::HostToCube,
+                             [this, l] { drainLinkRx(l); });
+        lk->setOnTokensFree(LinkDir::CubeToHost, [this, ep] {
+            net_->kickEject(ep);
+        });
+    }
+}
+
+SerdesLink &
+HmcDevice::link(LinkId l)
+{
+    if (l >= links_.size())
+        panic("HmcDevice::link: link out of range");
+    return *links_[l];
+}
+
+VaultController &
+HmcDevice::vaultController(VaultId v)
+{
+    if (v >= vaults_.size())
+        panic("HmcDevice::vaultController: vault out of range");
+    return *vaults_[v];
+}
+
+void
+HmcDevice::drainLinkRx(LinkId l)
+{
+    SerdesLink &lk = *links_[l];
+    const NodeId ep = linkEndpoint(l);
+    while (lk.rxAvailable(LinkDir::HostToCube)) {
+        const HmcPacketPtr &head = lk.rxPeek(LinkDir::HostToCube);
+        const std::uint32_t flits = head->flits();
+        if (!net_->canInject(ep, flits))
+            return;  // onInjectSpace re-enters
+        HmcPacketPtr pkt = lk.rxPop(LinkDir::HostToCube);
+        pkt->vault = map_.decode(pkt->addr).vault;
+        pkt->link = l;
+        NocMessage msg;
+        msg.id = pkt->id;
+        msg.src = ep;
+        msg.dst = vaultEndpoint(pkt->vault);
+        msg.flits = flits;
+        msg.payload = pkt;
+        net_->inject(ep, std::move(msg));
+    }
+}
+
+std::uint64_t
+HmcDevice::totalRequestsServed() const
+{
+    std::uint64_t total = 0;
+    for (const auto &v : vaults_)
+        total += v->requestsServed();
+    return total;
+}
+
+}  // namespace hmcsim

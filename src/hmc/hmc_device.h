@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The assembled HMC device: external SerDes links, the logic-layer NoC,
+ * and one vault controller (with its DRAM) per vault.
+ *
+ * Endpoint numbering on the internal NoC: link masters occupy ids
+ * [0, numLinks); vault controllers occupy [numLinks, numLinks+numVaults).
+ */
+
+#ifndef HMCSIM_HMC_HMC_DEVICE_H_
+#define HMCSIM_HMC_HMC_DEVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "hmc/address_map.h"
+#include "hmc/hmc_config.h"
+#include "hmc/serdes_link.h"
+#include "hmc/vault_controller.h"
+#include "noc/network.h"
+
+namespace hmcsim {
+
+class HmcDevice : public Component
+{
+  public:
+    HmcDevice(Kernel &kernel, Component *parent, std::string name,
+              const HmcConfig &cfg);
+
+    const HmcConfig &config() const { return cfg_; }
+    const AddressMap &addressMap() const { return map_; }
+
+    SerdesLink &link(LinkId l);
+    VaultController &vaultController(VaultId v);
+    Network &network() { return *net_; }
+
+    NodeId linkEndpoint(LinkId l) const { return l; }
+
+    NodeId
+    vaultEndpoint(VaultId v) const
+    {
+        return cfg_.numLinks + v;
+    }
+
+    std::uint32_t numLinks() const { return cfg_.numLinks; }
+    std::uint32_t numVaults() const { return cfg_.numVaults; }
+
+    /** Sum of requests served by all vault controllers. */
+    std::uint64_t totalRequestsServed() const;
+
+  private:
+    HmcConfig cfg_;
+    AddressMap map_;
+    std::unique_ptr<Network> net_;
+    std::vector<std::unique_ptr<SerdesLink>> links_;
+    std::vector<std::unique_ptr<VaultController>> vaults_;
+
+    /** Move request packets from a link's RX buffer into the NoC. */
+    void drainLinkRx(LinkId l);
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_HMC_HMC_DEVICE_H_

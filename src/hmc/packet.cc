@@ -1,0 +1,115 @@
+#include "hmc/packet.h"
+
+#include <atomic>
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+namespace {
+
+std::atomic<PacketId> g_next_packet_id{1};
+
+PacketId
+nextPacketId()
+{
+    return g_next_packet_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::string
+toString(HmcCmd cmd)
+{
+    switch (cmd) {
+      case HmcCmd::Read: return "READ";
+      case HmcCmd::Write: return "WRITE";
+      case HmcCmd::ReadResponse: return "RD_RS";
+      case HmcCmd::WriteResponse: return "WR_RS";
+      case HmcCmd::Flow: return "FLOW";
+    }
+    return "?";
+}
+
+void
+validateDataBytes(std::uint32_t data_bytes)
+{
+    if (data_bytes < 16 || data_bytes > 128)
+        fatal("packet payload must be 16..128 bytes (got " +
+              std::to_string(data_bytes) + ")");
+}
+
+std::uint32_t
+HmcPacket::dataFlits() const
+{
+    switch (cmd) {
+      case HmcCmd::Write:
+      case HmcCmd::ReadResponse:
+        return (dataBytes + kFlitBytes - 1) / kFlitBytes;
+      case HmcCmd::Read:
+      case HmcCmd::WriteResponse:
+      case HmcCmd::Flow:
+        return 0;
+    }
+    return 0;
+}
+
+std::uint32_t
+HmcPacket::flitsFor(HmcCmd cmd, std::uint32_t data_bytes)
+{
+    HmcPacket tmp;
+    tmp.cmd = cmd;
+    tmp.dataBytes = data_bytes;
+    return 1 + tmp.dataFlits();
+}
+
+HmcPacket
+HmcPacket::makeResponse() const
+{
+    if (!isRequest())
+        panic("HmcPacket::makeResponse on a non-request packet");
+    HmcPacket r;
+    r.id = nextPacketId();
+    r.cmd = cmd == HmcCmd::Read ? HmcCmd::ReadResponse
+                                : HmcCmd::WriteResponse;
+    r.addr = addr;
+    r.tag = tag;
+    r.port = port;
+    r.link = link;
+    r.dataBytes = dataBytes;
+    r.vault = vault;
+    r.createdAt = createdAt;
+    r.linkTxAt = linkTxAt;
+    r.cubeArriveAt = cubeArriveAt;
+    r.vaultArriveAt = vaultArriveAt;
+    r.dataReadyAt = dataReadyAt;
+    return r;
+}
+
+HmcPacketPtr
+makeReadRequest(Addr addr, std::uint32_t data_bytes, PortId port)
+{
+    validateDataBytes(data_bytes);
+    auto p = std::make_shared<HmcPacket>();
+    p->id = nextPacketId();
+    p->cmd = HmcCmd::Read;
+    p->addr = addr;
+    p->dataBytes = data_bytes;
+    p->port = port;
+    return p;
+}
+
+HmcPacketPtr
+makeWriteRequest(Addr addr, std::uint32_t data_bytes, PortId port)
+{
+    validateDataBytes(data_bytes);
+    auto p = std::make_shared<HmcPacket>();
+    p->id = nextPacketId();
+    p->cmd = HmcCmd::Write;
+    p->addr = addr;
+    p->dataBytes = data_bytes;
+    p->port = port;
+    return p;
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * HMC transaction-layer packets and the Table-I flit accounting.
+ *
+ * Every packet carries one flit of header+tail overhead; data payloads
+ * add ceil(bytes/16) flits.  Read requests and write responses carry no
+ * data; write requests and read responses carry the payload.
+ */
+
+#ifndef HMCSIM_HMC_PACKET_H_
+#define HMCSIM_HMC_PACKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+
+namespace hmcsim {
+
+/** Transaction-layer packet commands. */
+enum class HmcCmd {
+    Read,
+    Write,
+    ReadResponse,
+    WriteResponse,
+    /** Flow-control packet (TRET/NULL); no data. */
+    Flow,
+};
+
+std::string toString(HmcCmd cmd);
+
+struct HmcPacket {
+    PacketId id = 0;
+    HmcCmd cmd = HmcCmd::Read;
+    Addr addr = 0;
+    TagId tag = kTagInvalid;
+    PortId port = 0;
+    LinkId link = 0;
+
+    /**
+     * Payload size in bytes.  For Read this is the *requested* size
+     * (the request itself carries no data).
+     */
+    std::uint32_t dataBytes = 0;
+
+    /** Filled in after address decode. */
+    VaultId vault = 0;
+
+    // --- latency decomposition timestamps (ticks) ---
+    Tick createdAt = 0;       ///< generated in the FPGA port
+    Tick linkTxAt = 0;        ///< first flit onto the external link
+    Tick cubeArriveAt = 0;    ///< fully received by the cube's link layer
+    Tick vaultArriveAt = 0;   ///< delivered to the vault controller
+    Tick dataReadyAt = 0;     ///< DRAM data transferred
+    Tick respInjectAt = 0;    ///< response entered the internal NoC
+    Tick hostArriveAt = 0;    ///< response drained by the host controller
+
+    /** Flits on the wire, including one flit of header/tail. */
+    std::uint32_t flits() const { return flitsFor(cmd, dataBytes); }
+
+    /** Bytes on the wire. */
+    std::uint32_t bytes() const { return flits() * kFlitBytes; }
+
+    bool
+    isRequest() const
+    {
+        return cmd == HmcCmd::Read || cmd == HmcCmd::Write;
+    }
+
+    bool
+    isResponse() const
+    {
+        return cmd == HmcCmd::ReadResponse || cmd == HmcCmd::WriteResponse;
+    }
+
+    bool hasData() const { return dataFlits() != 0; }
+
+    /** Payload flits only (no overhead). */
+    std::uint32_t dataFlits() const;
+
+    /** Table I flit count for any (command, payload) pair. */
+    static std::uint32_t flitsFor(HmcCmd cmd, std::uint32_t data_bytes);
+
+    /**
+     * Construct the response matching this request (copies identity
+     * fields).  Panics when called on a non-request.
+     */
+    HmcPacket makeResponse() const;
+};
+
+using HmcPacketPtr = std::shared_ptr<HmcPacket>;
+
+/**
+ * Allocate a read request.  @p data_bytes must be in [16, 128] -- the
+ * payload range the HMC 1.1 spec supports (1..8 flits).
+ */
+HmcPacketPtr makeReadRequest(Addr addr, std::uint32_t data_bytes,
+                             PortId port);
+
+/** Allocate a write request of @p data_bytes payload. */
+HmcPacketPtr makeWriteRequest(Addr addr, std::uint32_t data_bytes,
+                              PortId port);
+
+/** Validate a payload size; raises fatal() when out of spec. */
+void validateDataBytes(std::uint32_t data_bytes);
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_HMC_PACKET_H_

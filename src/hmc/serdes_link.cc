@@ -1,0 +1,195 @@
+#include "hmc/serdes_link.h"
+
+#include "common/log.h"
+#include "common/units.h"
+
+namespace hmcsim {
+
+SerdesLink::Direction::Direction(Kernel &kernel, const std::string &name,
+                                 Tick flit_period, Tick wire_latency,
+                                 std::uint32_t token_count)
+    : chan(kernel, name, flit_period, wire_latency), tokens(token_count)
+{
+}
+
+SerdesLink::SerdesLink(Kernel &kernel, Component *parent, std::string name,
+                       LinkId id, const Params &params)
+    : Component(kernel, parent, std::move(name)), id_(id), params_(params),
+      flitPeriod_(serializationTicks(kFlitBytes, params.gbps, params.lanes)),
+      dirs_{Direction(kernel, path() + ".down", flitPeriod_,
+                      params.wireLatency, params.tokens),
+            Direction(kernel, path() + ".up", flitPeriod_,
+                      params.wireLatency, params.tokens)},
+      rng_(params.seed + id)
+{
+    if (flitPeriod_ == 0)
+        fatal("SerdesLink: link too fast for tick resolution");
+}
+
+double
+SerdesLink::bandwidthGBs() const
+{
+    return params_.lanes * params_.gbps / 8.0;
+}
+
+bool
+SerdesLink::canSend(LinkDir d, std::uint32_t flits) const
+{
+    return dir(d).tokens.canConsume(flits);
+}
+
+void
+SerdesLink::reserveTokens(LinkDir d, std::uint32_t flits)
+{
+    Direction &dd = dir(d);
+    dd.tokens.consume(flits);
+    dd.reserved += flits;
+}
+
+void
+SerdesLink::send(LinkDir d, const HmcPacketPtr &pkt)
+{
+    if (!pkt)
+        panic("SerdesLink::send: null packet");
+    Direction &dd = dir(d);
+    const std::uint32_t flits = pkt->flits();
+    if (dd.reserved < flits)
+        panic("SerdesLink::send without a token reservation");
+    dd.reserved -= flits;
+    if (d == LinkDir::HostToCube)
+        pkt->linkTxAt = now();
+    transmit(d, pkt, now());
+}
+
+void
+SerdesLink::transmit(LinkDir d, const HmcPacketPtr &pkt, Tick earliest)
+{
+    Direction &dd = dir(d);
+    const Channel::Times t = dd.chan.reserve(pkt->flits(), earliest);
+    dd.packets.inc();
+    dd.flits.inc(pkt->flits());
+    const Tick deliverAt = t.arrival + params_.serdesLatency;
+
+    // CRC failure: the packet is re-transmitted after the retry delay,
+    // consuming link bandwidth again; tokens remain held throughout.
+    if (params_.crcErrorProb > 0.0 &&
+        rng_.nextBool(params_.crcErrorProb)) {
+        retries_.inc();
+        const Tick retryAt = t.serDone + params_.retryDelay;
+        kernel().scheduleAt(retryAt, [this, d, pkt, retryAt] {
+            transmit(d, pkt, retryAt);
+        });
+        return;
+    }
+
+    kernel().scheduleAt(deliverAt, [this, d, pkt] { arrive(d, pkt); });
+}
+
+void
+SerdesLink::arrive(LinkDir d, const HmcPacketPtr &pkt)
+{
+    Direction &dd = dir(d);
+    if (d == LinkDir::HostToCube)
+        pkt->cubeArriveAt = now();
+    dd.rxQ.push_back(pkt);
+    if (dd.onRxAvailable)
+        dd.onRxAvailable();
+}
+
+void
+SerdesLink::setOnTokensFree(LinkDir d, std::function<void()> fn)
+{
+    Direction &dd = dir(d);
+    dd.onTokensFree = std::move(fn);
+    dd.tokens.setOnAvailable([this, &dd] {
+        if (dd.onTokensFree)
+            dd.onTokensFree();
+    });
+}
+
+void
+SerdesLink::setOnRxAvailable(LinkDir d, std::function<void()> fn)
+{
+    dir(d).onRxAvailable = std::move(fn);
+}
+
+bool
+SerdesLink::rxAvailable(LinkDir d) const
+{
+    return !dir(d).rxQ.empty();
+}
+
+const HmcPacketPtr &
+SerdesLink::rxPeek(LinkDir d) const
+{
+    if (dir(d).rxQ.empty())
+        panic("SerdesLink::rxPeek: RX buffer empty");
+    return dir(d).rxQ.front();
+}
+
+HmcPacketPtr
+SerdesLink::rxPop(LinkDir d)
+{
+    Direction &dd = dir(d);
+    if (dd.rxQ.empty())
+        panic("SerdesLink::rxPop: RX buffer empty");
+    HmcPacketPtr pkt = dd.rxQ.front();
+    dd.rxQ.pop_front();
+    const std::uint32_t flits = pkt->flits();
+    kernel().scheduleIn(params_.tokenReturnLatency,
+                        [&dd, flits] { dd.tokens.refund(flits); });
+    return pkt;
+}
+
+std::uint64_t
+SerdesLink::packetsSent(LinkDir d) const
+{
+    return dir(d).packets.value();
+}
+
+std::uint64_t
+SerdesLink::flitsSent(LinkDir d) const
+{
+    return dir(d).flits.value();
+}
+
+std::uint64_t
+SerdesLink::bytesSent(LinkDir d) const
+{
+    return dir(d).flits.value() * kFlitBytes;
+}
+
+double
+SerdesLink::utilization(LinkDir d, Tick window) const
+{
+    if (window == 0)
+        return 0.0;
+    const Tick busy = dir(d).chan.busyTime() - dir(d).busyBase;
+    return static_cast<double>(busy) / static_cast<double>(window);
+}
+
+void
+SerdesLink::reportOwnStats(std::map<std::string, double> &out) const
+{
+    out[statName("down_packets")] =
+        static_cast<double>(dirs_[0].packets.value());
+    out[statName("up_packets")] =
+        static_cast<double>(dirs_[1].packets.value());
+    out[statName("down_flits")] =
+        static_cast<double>(dirs_[0].flits.value());
+    out[statName("up_flits")] = static_cast<double>(dirs_[1].flits.value());
+    out[statName("crc_retries")] = static_cast<double>(retries_.value());
+}
+
+void
+SerdesLink::resetOwnStats()
+{
+    for (Direction &d : dirs_) {
+        d.packets.reset();
+        d.flits.reset();
+        d.busyBase = d.chan.busyTime();
+    }
+    retries_.reset();
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * External full-duplex SerDes link between the host (FPGA) and the
+ * cube.  Each direction serializes packets at lanes*Gbps, applies a
+ * PHY/SerDes pipeline latency, enforces token-based flow control
+ * against the remote RX buffer, and can inject CRC failures that are
+ * healed by link-layer retry (at a bandwidth and latency cost).
+ */
+
+#ifndef HMCSIM_HMC_SERDES_LINK_H_
+#define HMCSIM_HMC_SERDES_LINK_H_
+
+#include <deque>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "hmc/flow_control.h"
+#include "hmc/packet.h"
+#include "noc/channel.h"
+#include "sim/component.h"
+
+namespace hmcsim {
+
+/** Traffic direction over one link. */
+enum class LinkDir : unsigned {
+    /** Requests: host -> cube. */
+    HostToCube = 0,
+    /** Responses: cube -> host. */
+    CubeToHost = 1,
+};
+
+class SerdesLink : public Component
+{
+  public:
+    struct Params {
+        std::uint32_t lanes = 8;
+        double gbps = 15.0;
+        Tick wireLatency = 1600;
+        Tick serdesLatency = 12800;
+        std::uint32_t tokens = 128;
+        Tick tokenReturnLatency = 3200;
+        double crcErrorProb = 0.0;
+        Tick retryDelay = 100000;
+        std::uint64_t seed = 0xC0FFEE;
+    };
+
+    SerdesLink(Kernel &kernel, Component *parent, std::string name,
+               LinkId id, const Params &params);
+
+    LinkId id() const { return id_; }
+
+    /** Ticks to serialize one 16 B flit on this link. */
+    Tick flitPeriod() const { return flitPeriod_; }
+
+    /** One-direction bandwidth in GB/s. */
+    double bandwidthGBs() const;
+
+    // ----- transmit side -----
+
+    /** True if @p flits of remote buffer tokens are free. */
+    bool canSend(LinkDir dir, std::uint32_t flits) const;
+
+    /**
+     * Reserve @p flits of tokens ahead of send().  Separating the two
+     * lets a NoC ejection port reserve at switch-allocation time and
+     * transmit at delivery time without over-committing tokens.
+     */
+    void reserveTokens(LinkDir dir, std::uint32_t flits);
+
+    /** Transmit a packet whose tokens were reserved. */
+    void send(LinkDir dir, const HmcPacketPtr &pkt);
+
+    /** Fired whenever tokens return (transmit may resume). */
+    void setOnTokensFree(LinkDir dir, std::function<void()> fn);
+
+    // ----- receive side -----
+
+    /** Fired when a packet lands in the RX buffer. */
+    void setOnRxAvailable(LinkDir dir, std::function<void()> fn);
+
+    bool rxAvailable(LinkDir dir) const;
+    const HmcPacketPtr &rxPeek(LinkDir dir) const;
+
+    /**
+     * Drain the head packet from the RX buffer.  Tokens flow back to
+     * the sender after the token-return latency.
+     */
+    HmcPacketPtr rxPop(LinkDir dir);
+
+    // ----- statistics -----
+    std::uint64_t packetsSent(LinkDir dir) const;
+    std::uint64_t flitsSent(LinkDir dir) const;
+    std::uint64_t bytesSent(LinkDir dir) const;
+    std::uint64_t crcRetries() const { return retries_.value(); }
+
+    /** Serializer busy fraction over @p window ticks. */
+    double utilization(LinkDir dir, Tick window) const;
+
+  protected:
+    void reportOwnStats(std::map<std::string, double> &out) const override;
+    void resetOwnStats() override;
+
+  private:
+    struct Direction {
+        Direction(Kernel &kernel, const std::string &name,
+                  Tick flit_period, Tick wire_latency,
+                  std::uint32_t tokens);
+
+        Channel chan;
+        TokenBucket tokens;
+        std::uint32_t reserved = 0;
+        std::deque<HmcPacketPtr> rxQ;
+        std::function<void()> onTokensFree;
+        std::function<void()> onRxAvailable;
+        Counter packets;
+        Counter flits;
+        Tick busyBase = 0;  // channel busy at last stats reset
+    };
+
+    LinkId id_;
+    Params params_;
+    Tick flitPeriod_;
+    Direction dirs_[2];
+    Rng rng_;
+    Counter retries_;
+
+    Direction &dir(LinkDir d) { return dirs_[static_cast<unsigned>(d)]; }
+    const Direction &
+    dir(LinkDir d) const
+    {
+        return dirs_[static_cast<unsigned>(d)];
+    }
+
+    void transmit(LinkDir d, const HmcPacketPtr &pkt, Tick earliest);
+    void arrive(LinkDir d, const HmcPacketPtr &pkt);
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_HMC_SERDES_LINK_H_

@@ -1,0 +1,39 @@
+#include "host/addr_gen.h"
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace hmcsim {
+
+GupsAddrGen::GupsAddrGen(const Params &params)
+    : params_(params), rng_(params.seed)
+{
+    if (!isPow2(params_.requestBytes))
+        fatal("GupsAddrGen: request size must be a power of two");
+    if (!isPow2(params_.capacity))
+        fatal("GupsAddrGen: capacity must be a power of two");
+    alignMask_ = ~static_cast<Addr>(params_.requestBytes - 1);
+}
+
+Addr
+GupsAddrGen::next()
+{
+    Addr raw;
+    if (params_.mode == AddrMode::Random) {
+        raw = rng_.next() & (params_.capacity - 1);
+    } else {
+        raw = (linearCounter_ * params_.requestBytes) &
+            (params_.capacity - 1);
+        ++linearCounter_;
+    }
+    return params_.pattern.apply(raw) & alignMask_;
+}
+
+void
+GupsAddrGen::reseed(std::uint64_t seed)
+{
+    rng_.seed(seed);
+    linearCounter_ = 0;
+}
+
+}  // namespace hmcsim

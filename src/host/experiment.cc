@@ -1,0 +1,129 @@
+#include "host/experiment.h"
+
+#include "common/log.h"
+#include "common/units.h"
+#include "host/system.h"
+
+namespace hmcsim {
+
+double
+ExperimentResult::accessesPerSec() const
+{
+    if (windowTicks == 0)
+        return 0.0;
+    return static_cast<double>(totalReads + totalWrites) /
+        (static_cast<double>(windowTicks) * 1e-12);
+}
+
+ExperimentResult
+collectResult(System &sys, Tick window_ticks)
+{
+    ExperimentResult r;
+    r.windowTicks = window_ticks;
+    for (PortId p = 0; p < sys.fpga().numPorts(); ++p) {
+        const Monitor &m = sys.port(p).monitor();
+        if (m.accesses() == 0)
+            continue;
+        PortStats ps;
+        ps.port = p;
+        ps.reads = m.reads();
+        ps.writes = m.writes();
+        ps.wireBytes = m.wireBytes();
+        ps.avgReadNs = m.readLatencyNs().mean();
+        ps.minReadNs = m.readLatencyNs().min();
+        ps.maxReadNs = m.readLatencyNs().max();
+        ps.stddevReadNs = m.readLatencyNs().stddev();
+        ps.bandwidthGBs = bytesPerTickToGBs(
+            static_cast<double>(ps.wireBytes), window_ticks);
+        r.totalReads += ps.reads;
+        r.totalWrites += ps.writes;
+        r.totalWireBytes += ps.wireBytes;
+        r.mergedRead.merge(m.readLatencyNs());
+        r.ports.push_back(ps);
+    }
+    r.bandwidthGBs = bytesPerTickToGBs(
+        static_cast<double>(r.totalWireBytes), window_ticks);
+    r.avgReadLatencyNs = r.mergedRead.mean();
+    r.minReadLatencyNs = r.mergedRead.min();
+    r.maxReadLatencyNs = r.mergedRead.max();
+    r.stddevReadLatencyNs = r.mergedRead.stddev();
+    return r;
+}
+
+ExperimentResult
+runGups(const SystemConfig &cfg, const GupsSpec &spec)
+{
+    System sys(cfg);
+    if (spec.activePorts == 0 || spec.activePorts > cfg.host.numPorts)
+        fatal("runGups: active port count out of range");
+
+    const AddressPattern pattern = sys.addressMap().pattern(
+        spec.numVaults, spec.numBanks, spec.baseVault, spec.baseBank);
+
+    const std::uint32_t write_ports = static_cast<std::uint32_t>(
+        spec.writePortFraction * spec.activePorts + 0.5);
+
+    for (PortId p = 0; p < spec.activePorts; ++p) {
+        GupsPort::Params gp;
+        gp.kind = p < write_ports ? ReqKind::WriteOnly : spec.kind;
+        gp.gen.mode = spec.mode;
+        gp.gen.pattern = pattern;
+        gp.gen.requestBytes = spec.requestBytes;
+        gp.gen.capacity = cfg.hmc.capacityBytes;
+        gp.gen.seed = spec.seed * 7919 + p;
+        sys.configureGupsPort(p, gp);
+    }
+
+    sys.run(spec.warmup);
+    return sys.measure(spec.window);
+}
+
+ExperimentResult
+runStreamBatch(const SystemConfig &cfg, const StreamBatchSpec &spec)
+{
+    System sys(cfg);
+    Rng rng(spec.seed * 104729 + spec.vault);
+    const AddressPattern pattern =
+        sys.addressMap().pattern(1, spec.numBanks, spec.vault, 0);
+
+    StreamPort::Params sp;
+    sp.trace = makeRandomTrace(rng, pattern, cfg.hmc.capacityBytes,
+                               spec.traceLength, spec.requestBytes);
+    sp.loop = true;
+    sp.batchSize = spec.batchSize;
+    // The in-flight window stays at the hardware default: for batches
+    // beyond the window, later requests wait (untimed) in the stream
+    // buffer, which is what produces the paper's constant region in
+    // Fig. 8.
+    sp.window = 0;
+    sys.configureStreamPort(0, sp);
+
+    sys.run(spec.warmup);
+    return sys.measure(spec.window);
+}
+
+ExperimentResult
+runStreamVaults(const SystemConfig &cfg, const StreamVaultsSpec &spec)
+{
+    if (spec.vaults.empty())
+        fatal("runStreamVaults: no vaults given");
+    if (spec.vaults.size() > cfg.host.numPorts)
+        fatal("runStreamVaults: more vaults than ports");
+
+    System sys(cfg);
+    for (std::size_t i = 0; i < spec.vaults.size(); ++i) {
+        Rng rng(spec.seed * 31337 + i);
+        StreamPort::Params sp;
+        sp.trace = makeRandomTrace(
+            rng, sys.addressMap().vaultPattern(spec.vaults[i]),
+            cfg.hmc.capacityBytes, spec.traceLength, spec.requestBytes);
+        sp.loop = true;
+        sp.window = spec.inFlightWindow;
+        sys.configureStreamPort(static_cast<PortId>(i), sp);
+    }
+
+    sys.run(spec.warmup);
+    return sys.measure(spec.window);
+}
+
+}  // namespace hmcsim

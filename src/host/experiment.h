@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Experiment harness: result structures and canned experiment runners
+ * that the benchmark binaries share.  Each runner builds a fresh
+ * System, configures ports per the spec, runs a warmup window, then
+ * measures a steady-state window and returns paper-formula statistics.
+ */
+
+#ifndef HMCSIM_HOST_EXPERIMENT_H_
+#define HMCSIM_HOST_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "host/addr_gen.h"
+
+namespace hmcsim {
+
+class System;
+
+/** Per-port slice of an experiment result. */
+struct PortStats {
+    PortId port = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t wireBytes = 0;
+    double avgReadNs = 0.0;
+    double minReadNs = 0.0;
+    double maxReadNs = 0.0;
+    double stddevReadNs = 0.0;
+    /** This port's bandwidth share (paper formula), GB/s. */
+    double bandwidthGBs = 0.0;
+};
+
+struct ExperimentResult {
+    Tick windowTicks = 0;
+    std::vector<PortStats> ports;
+
+    std::uint64_t totalReads = 0;
+    std::uint64_t totalWrites = 0;
+    std::uint64_t totalWireBytes = 0;
+
+    /** Total request+response bytes over the window, GB/s (Eq. in
+     *  Section III-B of the paper). */
+    double bandwidthGBs = 0.0;
+
+    double avgReadLatencyNs = 0.0;
+    double minReadLatencyNs = 0.0;
+    double maxReadLatencyNs = 0.0;
+    double stddevReadLatencyNs = 0.0;
+
+    /** Merged read-latency accumulator for further analysis. */
+    SampleStats mergedRead;
+
+    /** Accesses per second across all ports. */
+    double accessesPerSec() const;
+};
+
+/** Collect a result from @p sys over a window that just ended. */
+ExperimentResult collectResult(System &sys, Tick window_ticks);
+
+// ----- GUPS experiments (Figs. 6, 13, 14) -----
+
+struct GupsSpec {
+    std::uint32_t activePorts = 9;
+    std::uint32_t requestBytes = 32;
+    /** Access-pattern confinement (power-of-two counts). */
+    std::uint32_t numVaults = 16;
+    std::uint32_t numBanks = 16;
+    VaultId baseVault = 0;
+    BankId baseBank = 0;
+    ReqKind kind = ReqKind::ReadOnly;
+    AddrMode mode = AddrMode::Random;
+    /** Fraction of GUPS ports configured as write-only (0 or the
+     *  read/write-mix ablation). */
+    double writePortFraction = 0.0;
+    Tick warmup = 20 * kMicrosecond;
+    Tick window = 60 * kMicrosecond;
+    std::uint64_t seed = 1;
+};
+
+struct SystemConfig;  // host/system.h
+
+ExperimentResult runGups(const SystemConfig &cfg, const GupsSpec &spec);
+
+// ----- stream experiments (Figs. 7-12) -----
+
+/** Fig. 7/8: one port, batches of N reads into one vault's banks. */
+struct StreamBatchSpec {
+    std::uint32_t batchSize = 8;
+    std::uint32_t requestBytes = 32;
+    VaultId vault = 0;
+    std::uint32_t numBanks = 16;
+    std::size_t traceLength = 4096;
+    Tick warmup = 20 * kMicrosecond;
+    Tick window = 60 * kMicrosecond;
+    std::uint64_t seed = 1;
+};
+
+ExperimentResult runStreamBatch(const SystemConfig &cfg,
+                                const StreamBatchSpec &spec);
+
+/** Figs. 9-12: one stream port per listed vault, continuous load. */
+struct StreamVaultsSpec {
+    std::vector<VaultId> vaults;
+    std::uint32_t requestBytes = 32;
+    std::size_t traceLength = 4096;
+    /** Per-port in-flight window; 0 uses the host config default. */
+    std::uint32_t inFlightWindow = 0;
+    Tick warmup = 10 * kMicrosecond;
+    Tick window = 30 * kMicrosecond;
+    std::uint64_t seed = 1;
+};
+
+ExperimentResult runStreamVaults(const SystemConfig &cfg,
+                                 const StreamVaultsSpec &spec);
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_HOST_EXPERIMENT_H_

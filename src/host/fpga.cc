@@ -1,0 +1,120 @@
+#include "host/fpga.h"
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+Fpga::Fpga(Kernel &kernel, Component *parent, std::string name,
+           const HostConfig &cfg, HmcDevice &cube)
+    : Component(kernel, parent, std::move(name)), cfg_(cfg), cube_(cube),
+      clock_(ClockDomain::fromMhz("fpga", cfg.fpgaMhz))
+{
+    cfg_.validate();
+    ctrl_ = std::make_unique<HmcHostController>(kernel, this, "controller",
+                                                cfg_, cube_);
+    for (PortId p = 0; p < cfg_.numPorts; ++p) {
+        ports_.push_back(std::make_unique<GupsPort>(
+            kernel, this, "port" + std::to_string(p), p, cfg_,
+            defaultGupsParams(p)));
+    }
+    rebindController();
+}
+
+GupsPort::Params
+Fpga::defaultGupsParams(PortId p) const
+{
+    GupsPort::Params gp;
+    gp.kind = ReqKind::ReadOnly;
+    gp.gen.mode = AddrMode::Random;
+    gp.gen.pattern = AddressPattern{cube_.config().capacityBytes - 1, 0};
+    gp.gen.requestBytes = 32;
+    gp.gen.capacity = cube_.config().capacityBytes;
+    gp.gen.seed = cfg_.seed + 0x1000 + p;
+    return gp;
+}
+
+Port &
+Fpga::port(PortId p)
+{
+    if (p >= ports_.size())
+        panic("Fpga::port: port out of range");
+    return *ports_[p];
+}
+
+void
+Fpga::rebindController()
+{
+    std::vector<Port *> table;
+    table.reserve(ports_.size());
+    for (auto &p : ports_)
+        table.push_back(p.get());
+    ctrl_->setPorts(std::move(table));
+}
+
+GupsPort &
+Fpga::configureGupsPort(PortId p, const GupsPort::Params &params)
+{
+    if (p >= ports_.size())
+        panic("Fpga::configureGupsPort: port out of range");
+    auto port = std::make_unique<GupsPort>(
+        kernel(), this, "port" + std::to_string(p), p, cfg_, params);
+    GupsPort &ref = *port;
+    ports_[p] = std::move(port);
+    ref.setActive(true);
+    rebindController();
+    return ref;
+}
+
+StreamPort &
+Fpga::configureStreamPort(PortId p, const StreamPort::Params &params)
+{
+    if (p >= ports_.size())
+        panic("Fpga::configureStreamPort: port out of range");
+    auto port = std::make_unique<StreamPort>(
+        kernel(), this, "port" + std::to_string(p), p, cfg_, params);
+    StreamPort &ref = *port;
+    ports_[p] = std::move(port);
+    ref.setActive(true);
+    rebindController();
+    return ref;
+}
+
+void
+Fpga::deactivateAllPorts()
+{
+    for (auto &p : ports_)
+        p->setActive(false);
+}
+
+bool
+Fpga::allPortsIdle() const
+{
+    for (const auto &p : ports_) {
+        if (!p->idle())
+            return false;
+    }
+    return true;
+}
+
+void
+Fpga::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    const Tick first = clock_.nextEdgeAfter(now());
+    kernel().scheduleAt(first, [this] { tickAll(); });
+}
+
+void
+Fpga::tickAll()
+{
+    if (!running_)
+        return;
+    for (auto &p : ports_)
+        p->tick();
+    ctrl_->tick();
+    kernel().scheduleIn(clock_.period(), [this] { tickAll(); });
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The FPGA fabric: nine request ports and the host HMC controller,
+ * ticking at 187.5 MHz.  Ports start as inactive GUPS ports and are
+ * replaced in place when an experiment configures them.
+ */
+
+#ifndef HMCSIM_HOST_FPGA_H_
+#define HMCSIM_HOST_FPGA_H_
+
+#include <memory>
+#include <vector>
+
+#include "host/hmc_host_controller.h"
+#include "host/port.h"
+#include "sim/clock.h"
+
+namespace hmcsim {
+
+class Fpga : public Component
+{
+  public:
+    Fpga(Kernel &kernel, Component *parent, std::string name,
+         const HostConfig &cfg, HmcDevice &cube);
+
+    const HostConfig &config() const { return cfg_; }
+    const ClockDomain &clock() const { return clock_; }
+
+    Port &port(PortId p);
+    std::uint32_t numPorts() const { return cfg_.numPorts; }
+
+    /** Replace port @p p with a GUPS port (active). */
+    GupsPort &configureGupsPort(PortId p, const GupsPort::Params &params);
+
+    /** Replace port @p p with a stream port (active). */
+    StreamPort &configureStreamPort(PortId p,
+                                    const StreamPort::Params &params);
+
+    /** Deactivate every port (they keep their type). */
+    void deactivateAllPorts();
+
+    HmcHostController &controller() { return *ctrl_; }
+
+    /** Begin ticking; idempotent. */
+    void start();
+
+    /** Stop ticking after the current cycle. */
+    void stop() { running_ = false; }
+
+    bool running() const { return running_; }
+
+    /** True when every port reports idle. */
+    bool allPortsIdle() const;
+
+  private:
+    HostConfig cfg_;
+    HmcDevice &cube_;
+    ClockDomain clock_;
+    std::vector<std::unique_ptr<Port>> ports_;
+    std::unique_ptr<HmcHostController> ctrl_;
+    bool running_ = false;
+
+    void tickAll();
+    void rebindController();
+    GupsPort::Params defaultGupsParams(PortId p) const;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_HOST_FPGA_H_

@@ -1,0 +1,126 @@
+#include "host/hmc_host_controller.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+HmcHostController::HmcHostController(Kernel &kernel, Component *parent,
+                                     std::string name,
+                                     const HostConfig &cfg, HmcDevice &cube)
+    : Component(kernel, parent, std::move(name)), cfg_(cfg), cube_(cube),
+      portArb_(cfg.numPorts)
+{
+}
+
+void
+HmcHostController::setPorts(std::vector<Port *> ports)
+{
+    if (ports.size() != cfg_.numPorts)
+        panic("HmcHostController: port table size mismatch");
+    ports_ = std::move(ports);
+}
+
+void
+HmcHostController::tick()
+{
+    if (ports_.empty())
+        panic("HmcHostController: tick before setPorts");
+    tickRequests();
+    tickResponses();
+}
+
+void
+HmcHostController::tickRequests()
+{
+    // Rotate which link picks first so scarce requests (tag-limited
+    // ports) spread across both links -- responses return on the link
+    // their request used, so an unbalanced request path would halve
+    // the usable response bandwidth.
+    const LinkDir dir = LinkDir::HostToCube;
+    const std::uint32_t num_links = cube_.numLinks();
+    std::vector<std::uint32_t> grants(num_links,
+                                      cfg_.requestsPerCyclePerLink);
+    std::uint32_t idle_links = 0;
+    while (idle_links < num_links) {
+        const LinkId l = static_cast<LinkId>(txNextLink_ % num_links);
+        txNextLink_ = (txNextLink_ + 1) % num_links;
+        if (grants[l] == 0) {
+            ++idle_links;
+            continue;
+        }
+        SerdesLink &link = cube_.link(l);
+        std::vector<bool> req(ports_.size(), false);
+        bool any = false;
+        for (std::size_t p = 0; p < ports_.size(); ++p) {
+            req[p] = ports_[p]->hasRequest() &&
+                link.canSend(dir, ports_[p]->headFlits());
+            any = any || req[p];
+        }
+        if (!any) {
+            grants[l] = 0;
+            ++idle_links;
+            continue;
+        }
+        const std::size_t winner = portArb_.grant(req);
+        HmcPacketPtr pkt = ports_[winner]->popRequest();
+        pkt->link = l;
+        link.reserveTokens(dir, pkt->flits());
+        link.send(dir, pkt);
+        requestsSent_.inc();
+        --grants[l];
+        idle_links = 0;
+    }
+}
+
+void
+HmcHostController::tickResponses()
+{
+    const LinkDir dir = LinkDir::CubeToHost;
+    desFlitBudget_ = std::min(
+        desFlitBudget_ + cfg_.deserializerFlitsPerCycle,
+        cfg_.deserializerFlitBudgetCap);
+    desPacketBudget_ = std::min(
+        desPacketBudget_ + cfg_.deserializerPacketsPerCycle,
+        cfg_.deserializerPacketBudgetCap);
+    const std::uint32_t num_links = cube_.numLinks();
+    std::uint32_t exhausted = 0;
+    while (exhausted < num_links && desPacketBudget_ > 0) {
+        SerdesLink &link = cube_.link(
+            static_cast<LinkId>(rxNextLink_ % num_links));
+        rxNextLink_ = (rxNextLink_ + 1) % num_links;
+        if (!link.rxAvailable(dir)) {
+            ++exhausted;
+            continue;
+        }
+        if (link.rxPeek(dir)->flits() > desFlitBudget_)
+            return;  // datapath saturated this cycle
+        HmcPacketPtr pkt = link.rxPop(dir);
+        desFlitBudget_ -= pkt->flits();
+        --desPacketBudget_;
+        exhausted = 0;
+        if (pkt->port >= ports_.size())
+            panic("HmcHostController: response for unknown port");
+        responsesDelivered_.inc();
+        ports_[pkt->port]->onResponse(pkt);
+    }
+}
+
+void
+HmcHostController::reportOwnStats(std::map<std::string, double> &out) const
+{
+    out[statName("requests_sent")] =
+        static_cast<double>(requestsSent_.value());
+    out[statName("responses_delivered")] =
+        static_cast<double>(responsesDelivered_.value());
+}
+
+void
+HmcHostController::resetOwnStats()
+{
+    requestsSent_.reset();
+    responsesDelivered_.reset();
+}
+
+}  // namespace hmcsim

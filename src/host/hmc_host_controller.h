@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Host-side HMC controller (the Micron controller IP on the FPGA).
+ *
+ * Request path: once per FPGA cycle per link, round-robin over the
+ * ports, forward one request whose link tokens are available.
+ * Response path: a shared deserializer drains response flits from the
+ * links' RX buffers at a bounded rate with a per-packet processing
+ * overhead -- the ceiling that caps read bandwidth per request size
+ * (Figs. 6 and 13).
+ */
+
+#ifndef HMCSIM_HOST_HMC_HOST_CONTROLLER_H_
+#define HMCSIM_HOST_HMC_HOST_CONTROLLER_H_
+
+#include <vector>
+
+#include "hmc/hmc_device.h"
+#include "host/host_config.h"
+#include "host/port.h"
+#include "noc/arbiter.h"
+
+namespace hmcsim {
+
+class HmcHostController : public Component
+{
+  public:
+    HmcHostController(Kernel &kernel, Component *parent, std::string name,
+                      const HostConfig &cfg, HmcDevice &cube);
+
+    /** (Re)bind the port table; called whenever a port is replaced. */
+    void setPorts(std::vector<Port *> ports);
+
+    /** Advance one FPGA cycle: issue requests, drain responses. */
+    void tick();
+
+    std::uint64_t requestsSent() const { return requestsSent_.value(); }
+    std::uint64_t
+    responsesDelivered() const
+    {
+        return responsesDelivered_.value();
+    }
+
+  protected:
+    void reportOwnStats(std::map<std::string, double> &out) const override;
+    void resetOwnStats() override;
+
+  private:
+    HostConfig cfg_;
+    HmcDevice &cube_;
+    std::vector<Port *> ports_;
+    /** One arbiter shared by all links: a global round-robin pointer
+     *  keeps the nine ports' grant shares equal. */
+    RoundRobinArbiter portArb_;
+    std::uint32_t desFlitBudget_ = 0;
+    std::uint32_t desPacketBudget_ = 0;
+    std::size_t txNextLink_ = 0;
+    std::size_t rxNextLink_ = 0;
+    Counter requestsSent_;
+    Counter responsesDelivered_;
+
+    void tickRequests();
+    void tickResponses();
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_HOST_HMC_HOST_CONTROLLER_H_

@@ -1,0 +1,95 @@
+#include "host/host_config.h"
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+void
+HostConfig::validate() const
+{
+    if (fpgaMhz <= 0.0)
+        fatal("host: non-positive FPGA frequency");
+    if (numPorts == 0)
+        fatal("host: need at least one port");
+    if (tagsPerPort == 0)
+        fatal("host: need at least one tag per port");
+    if (portFifoDepth == 0)
+        fatal("host: need a request FIFO");
+    if (requestsPerCyclePerLink == 0)
+        fatal("host: controller must issue at least one request/cycle");
+    if (deserializerFlitsPerCycle == 0 || deserializerPacketsPerCycle == 0)
+        fatal("host: deserializer throughput must be nonzero");
+    if (deserializerFlitBudgetCap < 16)
+        fatal("host: deserializer flit budget cap must cover a max-size "
+              "packet (16 flits)");
+    if (deserializerPacketBudgetCap == 0)
+        fatal("host: deserializer packet budget cap must be nonzero");
+    if (streamWindow == 0 || streamDrainFlitsPerCycle == 0)
+        fatal("host: stream window and drain rate must be nonzero");
+    if (fixedLatencyNs < 0.0)
+        fatal("host: negative fixed latency");
+}
+
+HostConfig
+HostConfig::fromConfig(const Config &cfg)
+{
+    HostConfig c;
+    c.fpgaMhz = cfg.getDouble("host.fpga_mhz", c.fpgaMhz);
+    c.numPorts =
+        static_cast<std::uint32_t>(cfg.getU64("host.num_ports",
+                                              c.numPorts));
+    c.tagsPerPort = static_cast<std::uint32_t>(
+        cfg.getU64("host.tags_per_port", c.tagsPerPort));
+    c.portFifoDepth = static_cast<std::uint32_t>(
+        cfg.getU64("host.port_fifo_depth", c.portFifoDepth));
+    c.requestsPerCyclePerLink = static_cast<std::uint32_t>(
+        cfg.getU64("host.requests_per_cycle_per_link",
+                   c.requestsPerCyclePerLink));
+    c.deserializerPacketsPerCycle = static_cast<std::uint32_t>(
+        cfg.getU64("host.deserializer_packets_per_cycle",
+                   c.deserializerPacketsPerCycle));
+    c.deserializerPacketBudgetCap = static_cast<std::uint32_t>(
+        cfg.getU64("host.deserializer_packet_budget_cap",
+                   c.deserializerPacketBudgetCap));
+    c.deserializerFlitsPerCycle = static_cast<std::uint32_t>(
+        cfg.getU64("host.deserializer_flits_per_cycle",
+                   c.deserializerFlitsPerCycle));
+    c.deserializerFlitBudgetCap = static_cast<std::uint32_t>(
+        cfg.getU64("host.deserializer_flit_budget_cap",
+                   c.deserializerFlitBudgetCap));
+    c.fixedLatencyNs = cfg.getDouble("host.fixed_latency_ns",
+                                     c.fixedLatencyNs);
+    c.streamWindow = static_cast<std::uint32_t>(
+        cfg.getU64("host.stream_window", c.streamWindow));
+    c.streamDrainFlitsPerCycle = static_cast<std::uint32_t>(
+        cfg.getU64("host.stream_drain_flits_per_cycle",
+                   c.streamDrainFlitsPerCycle));
+    c.seed = cfg.getU64("host.seed", c.seed);
+    c.validate();
+    return c;
+}
+
+void
+HostConfig::toConfig(Config &cfg) const
+{
+    cfg.setDouble("host.fpga_mhz", fpgaMhz);
+    cfg.setU64("host.num_ports", numPorts);
+    cfg.setU64("host.tags_per_port", tagsPerPort);
+    cfg.setU64("host.port_fifo_depth", portFifoDepth);
+    cfg.setU64("host.requests_per_cycle_per_link", requestsPerCyclePerLink);
+    cfg.setU64("host.deserializer_packets_per_cycle",
+               deserializerPacketsPerCycle);
+    cfg.setU64("host.deserializer_packet_budget_cap",
+               deserializerPacketBudgetCap);
+    cfg.setU64("host.deserializer_flits_per_cycle",
+               deserializerFlitsPerCycle);
+    cfg.setU64("host.deserializer_flit_budget_cap",
+               deserializerFlitBudgetCap);
+    cfg.setDouble("host.fixed_latency_ns", fixedLatencyNs);
+    cfg.setU64("host.stream_window", streamWindow);
+    cfg.setU64("host.stream_drain_flits_per_cycle",
+               streamDrainFlitsPerCycle);
+    cfg.setU64("host.seed", seed);
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Host-side (FPGA + software) configuration, modelling the AC-510
+ * infrastructure: a 187.5 MHz fabric with nine ports, a vendor HMC
+ * controller that issues one request per cycle per link and drains
+ * response flits through a deserializer of limited width, per-port tag
+ * pools, and the fixed FPGA/PCIe latency the paper measures at ~547 ns.
+ */
+
+#ifndef HMCSIM_HOST_HOST_CONFIG_H_
+#define HMCSIM_HOST_HOST_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace hmcsim {
+
+struct HostConfig {
+    /** FPGA fabric frequency (the AC-510 runs at 187.5 MHz). */
+    double fpgaMhz = 187.5;
+
+    /** Number of request ports (the firmware instantiates nine). */
+    std::uint32_t numPorts = 9;
+
+    /** Outstanding-request tags per port. */
+    std::uint32_t tagsPerPort = 40;
+
+    /** Write-request FIFO depth per port (requests). */
+    std::uint32_t portFifoDepth = 16;
+
+    /** Requests the controller can issue per cycle per link. */
+    std::uint32_t requestsPerCyclePerLink = 1;
+
+    /**
+     * Response deserializer (shared across links): bounded both in
+     * packets per FPGA cycle (tag lookup / reassembly rate) and in
+     * flits per FPGA cycle (datapath width).  1 packet/cycle and
+     * 7 flits/cycle reproduce the paper's per-size response ceilings
+     * (~10 GB/s at 16 B rising to ~23 GB/s at 128 B reads).
+     */
+    std::uint32_t deserializerPacketsPerCycle = 1;
+    std::uint32_t deserializerPacketBudgetCap = 4;
+    std::uint32_t deserializerFlitsPerCycle = 7;
+    std::uint32_t deserializerFlitBudgetCap = 28;
+
+    /**
+     * Constant added to every measured latency sample, standing in for
+     * the FPGA controller / transceiver / PCIe / driver stages the
+     * paper attributes ~547 ns to (we model ~90 ns of the round trip
+     * explicitly).
+     */
+    double fixedLatencyNs = 600.0;
+
+    /** In-flight window of a stream port (AXI-Stream buffer depth). */
+    std::uint32_t streamWindow = 72;
+
+    /** Stream-port response drain rate (flits per FPGA cycle). */
+    std::uint32_t streamDrainFlitsPerCycle = 1;
+
+    /** Base RNG seed for the per-port address generators. */
+    std::uint64_t seed = 12345;
+
+    void validate() const;
+
+    static HostConfig fromConfig(const Config &cfg);
+    void toConfig(Config &cfg) const;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_HOST_HOST_CONFIG_H_

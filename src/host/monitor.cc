@@ -1,0 +1,64 @@
+#include "host/monitor.h"
+
+#include "common/log.h"
+#include "common/units.h"
+
+namespace hmcsim {
+
+Monitor::Monitor(double base_latency_ns) : baseNs_(base_latency_ns)
+{
+}
+
+double
+Monitor::latencyNs(Tick created, Tick completed) const
+{
+    if (completed < created)
+        panic("Monitor: completion before creation");
+    return ticksToNs(completed - created) + baseNs_;
+}
+
+void
+Monitor::recordRead(Tick created, Tick completed, std::uint64_t wire_bytes,
+                    const HmcPacket *pkt)
+{
+    const double ns = latencyNs(created, completed);
+    reads_.inc();
+    wireBytes_.inc(wire_bytes);
+    readNs_.add(ns);
+    if (hist_)
+        hist_->add(ns);
+    if (pkt && ns > worstNs_) {
+        worstNs_ = ns;
+        worst_ = *pkt;
+    }
+}
+
+void
+Monitor::recordWrite(Tick created, Tick completed, std::uint64_t wire_bytes)
+{
+    writes_.inc();
+    wireBytes_.inc(wire_bytes);
+    writeNs_.add(latencyNs(created, completed));
+}
+
+void
+Monitor::enableHistogram(double lo_ns, double hi_ns, std::size_t bins)
+{
+    hist_ = std::make_unique<Histogram>(lo_ns, hi_ns, bins);
+}
+
+void
+Monitor::reset()
+{
+    reads_.reset();
+    writes_.reset();
+    wireBytes_.reset();
+    readNs_.reset();
+    writeNs_.reset();
+    worst_ = HmcPacket{};
+    worstNs_ = -1.0;
+    if (hist_)
+        hist_->reset();
+}
+
+}  // namespace hmcsim

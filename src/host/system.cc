@@ -1,0 +1,89 @@
+#include "host/system.h"
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+void
+SystemConfig::validate() const
+{
+    hmc.validate();
+    host.validate();
+}
+
+SystemConfig
+SystemConfig::fromConfig(const Config &cfg)
+{
+    SystemConfig c;
+    c.hmc = HmcConfig::fromConfig(cfg);
+    c.host = HostConfig::fromConfig(cfg);
+    return c;
+}
+
+void
+SystemConfig::toConfig(Config &cfg) const
+{
+    hmc.toConfig(cfg);
+    host.toConfig(cfg);
+}
+
+namespace {
+
+/** Plain root node for the component tree. */
+class RootComponent : public Component
+{
+  public:
+    RootComponent(Kernel &kernel) : Component(kernel, nullptr, "system") {}
+};
+
+}  // namespace
+
+System::System(const SystemConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    root_ = std::make_unique<RootComponent>(kernel_);
+    cube_ = std::make_unique<HmcDevice>(kernel_, root_.get(), "hmc",
+                                        cfg_.hmc);
+    fpga_ = std::make_unique<Fpga>(kernel_, root_.get(), "fpga", cfg_.host,
+                                   *cube_);
+    fpga_->start();
+}
+
+void
+System::run(Tick duration)
+{
+    kernel_.run(kernel_.now() + duration);
+}
+
+bool
+System::runUntilIdle(Tick max_duration)
+{
+    const Tick deadline = kernel_.now() + max_duration;
+    kernel_.runUntil([this] { return fpga_->allPortsIdle(); }, deadline);
+    return fpga_->allPortsIdle();
+}
+
+void
+System::resetStats()
+{
+    root_->resetStats();
+}
+
+ExperimentResult
+System::measure(Tick duration)
+{
+    resetStats();
+    const Tick begin = kernel_.now();
+    run(duration);
+    return collectResult(*this, kernel_.now() - begin);
+}
+
+std::map<std::string, double>
+System::stats() const
+{
+    std::map<std::string, double> out;
+    root_->reportStats(out);
+    return out;
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Public entry point of the library: System assembles the full stack
+ * (FPGA host model + HMC device) from a SystemConfig and provides the
+ * run/measure API the examples and benchmarks are written against.
+ *
+ * Quickstart:
+ * @code
+ *   SystemConfig cfg;                       // paper's AC-510 defaults
+ *   System sys(cfg);
+ *   GupsPort::Params gp;
+ *   gp.gen.pattern = sys.addressMap().pattern(16, 16);
+ *   gp.gen.requestBytes = 64;
+ *   sys.configureGupsPort(0, gp);
+ *   sys.run(20 * kMicrosecond);             // warm up
+ *   ExperimentResult r = sys.measure(50 * kMicrosecond);
+ * @endcode
+ */
+
+#ifndef HMCSIM_HOST_SYSTEM_H_
+#define HMCSIM_HOST_SYSTEM_H_
+
+#include <memory>
+
+#include "hmc/hmc_device.h"
+#include "host/experiment.h"
+#include "host/fpga.h"
+#include "host/host_config.h"
+
+namespace hmcsim {
+
+/** Whole-system configuration: device plus host infrastructure. */
+struct SystemConfig {
+    HmcConfig hmc;
+    HostConfig host;
+
+    void validate() const;
+
+    /** Read "hmc.*" and "host.*" keys over the defaults. */
+    static SystemConfig fromConfig(const Config &cfg);
+    void toConfig(Config &cfg) const;
+};
+
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg = SystemConfig{});
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    const SystemConfig &config() const { return cfg_; }
+
+    Kernel &kernel() { return kernel_; }
+    Tick now() const { return kernel_.now(); }
+
+    HmcDevice &device() { return *cube_; }
+    Fpga &fpga() { return *fpga_; }
+    const AddressMap &addressMap() const { return cube_->addressMap(); }
+
+    Port &port(PortId p) { return fpga_->port(p); }
+
+    GupsPort &
+    configureGupsPort(PortId p, const GupsPort::Params &params)
+    {
+        return fpga_->configureGupsPort(p, params);
+    }
+
+    StreamPort &
+    configureStreamPort(PortId p, const StreamPort::Params &params)
+    {
+        return fpga_->configureStreamPort(p, params);
+    }
+
+    /** Advance simulated time by @p duration. */
+    void run(Tick duration);
+
+    /**
+     * Run until every port is idle (trace replay finished) or
+     * @p max_duration elapses.
+     * @return true if the system went idle
+     */
+    bool runUntilIdle(Tick max_duration);
+
+    /** Clear all statistics (monitors, link/NoC/vault counters). */
+    void resetStats();
+
+    /** resetStats() + run(): a measured steady-state window. */
+    ExperimentResult measure(Tick duration);
+
+    /** Dump the full stat tree (path -> value). */
+    std::map<std::string, double> stats() const;
+
+  private:
+    SystemConfig cfg_;
+    Kernel kernel_;
+    std::unique_ptr<Component> root_;
+    std::unique_ptr<HmcDevice> cube_;
+    std::unique_ptr<Fpga> fpga_;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_HOST_SYSTEM_H_

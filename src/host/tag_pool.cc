@@ -1,0 +1,51 @@
+#include "host/tag_pool.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+TagPool::TagPool(std::uint32_t capacity)
+    : capacity_(capacity), acquired_(capacity, false)
+{
+    if (capacity_ == 0)
+        panic("TagPool: zero capacity");
+    freeList_.reserve(capacity_);
+    // Hand out low tag ids first (cosmetic, deterministic).
+    for (std::uint32_t t = capacity_; t > 0; --t)
+        freeList_.push_back(t - 1);
+}
+
+TagId
+TagPool::acquire()
+{
+    if (freeList_.empty())
+        panic("TagPool: acquire from empty pool");
+    const TagId tag = freeList_.back();
+    freeList_.pop_back();
+    acquired_[tag] = true;
+    ++inUse_;
+    peak_ = std::max(peak_, inUse_);
+    return tag;
+}
+
+void
+TagPool::release(TagId tag)
+{
+    if (tag >= capacity_)
+        panic("TagPool: release of invalid tag " + std::to_string(tag));
+    if (!acquired_[tag])
+        panic("TagPool: double release of tag " + std::to_string(tag));
+    acquired_[tag] = false;
+    freeList_.push_back(tag);
+    --inUse_;
+}
+
+bool
+TagPool::isAcquired(TagId tag) const
+{
+    return tag < capacity_ && acquired_[tag];
+}
+
+}  // namespace hmcsim

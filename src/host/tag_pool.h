@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Per-port tag pool.  The AC-510 firmware tracks outstanding requests
+ * per port for retransmission, so each port can only keep a limited
+ * number of requests in flight -- the effect the paper blames for the
+ * low bandwidth utilization of small request sizes (Section IV-A).
+ */
+
+#ifndef HMCSIM_HOST_TAG_POOL_H_
+#define HMCSIM_HOST_TAG_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hmcsim {
+
+class TagPool
+{
+  public:
+    explicit TagPool(std::uint32_t capacity);
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t inUse() const { return inUse_; }
+    std::uint32_t freeCount() const { return capacity_ - inUse_; }
+    bool hasFree() const { return inUse_ < capacity_; }
+
+    /** Acquire a tag; panics when empty (callers must check). */
+    TagId acquire();
+
+    /** Release a tag back; panics on double release. */
+    void release(TagId tag);
+
+    /** True if @p tag is currently held. */
+    bool isAcquired(TagId tag) const;
+
+    /** High-water mark of simultaneously held tags. */
+    std::uint32_t peakInUse() const { return peak_; }
+
+    void resetStats() { peak_ = inUse_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::uint32_t inUse_ = 0;
+    std::uint32_t peak_ = 0;
+    std::vector<TagId> freeList_;
+    std::vector<bool> acquired_;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_HOST_TAG_POOL_H_

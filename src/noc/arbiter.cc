@@ -1,0 +1,69 @@
+#include "noc/arbiter.h"
+
+#include <limits>
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+RoundRobinArbiter::RoundRobinArbiter(std::size_t num_requestors)
+    : num_(num_requestors), last_(num_requestors ? num_requestors - 1 : 0)
+{
+    if (num_ == 0)
+        panic("RoundRobinArbiter: zero requestors");
+}
+
+std::size_t
+RoundRobinArbiter::grant(const std::vector<bool> &requests)
+{
+    if (requests.size() != num_)
+        panic("RoundRobinArbiter: request vector size mismatch");
+    for (std::size_t i = 1; i <= num_; ++i) {
+        const std::size_t idx = (last_ + i) % num_;
+        if (requests[idx]) {
+            last_ = idx;
+            return idx;
+        }
+    }
+    return npos;
+}
+
+PriorityArbiter::PriorityArbiter(std::size_t num_requestors,
+                                 std::vector<int> priorities)
+    : priorities_(std::move(priorities)), rr_(num_requestors)
+{
+    if (priorities_.size() != num_requestors)
+        panic("PriorityArbiter: priority vector size mismatch");
+}
+
+std::size_t
+PriorityArbiter::grant(const std::vector<bool> &requests)
+{
+    if (requests.size() != priorities_.size())
+        panic("PriorityArbiter: request vector size mismatch");
+    int best = std::numeric_limits<int>::max();
+    bool any = false;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (requests[i] && priorities_[i] < best) {
+            best = priorities_[i];
+            any = true;
+        }
+    }
+    if (!any)
+        return npos;
+    // Mask to the winning priority class and round-robin inside it.
+    std::vector<bool> masked(requests.size(), false);
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        masked[i] = requests[i] && priorities_[i] == best;
+    return rr_.grant(masked);
+}
+
+void
+PriorityArbiter::setPriority(std::size_t idx, int priority)
+{
+    if (idx >= priorities_.size())
+        panic("PriorityArbiter: index out of range");
+    priorities_[idx] = priority;
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Arbitration policies.  The host controller uses round-robin among the
+ * nine FPGA ports (one grant per cycle per link, as in the AC-510
+ * firmware); a priority arbiter is provided for QoS experiments.
+ */
+
+#ifndef HMCSIM_NOC_ARBITER_H_
+#define HMCSIM_NOC_ARBITER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hmcsim {
+
+/**
+ * Work-conserving round-robin arbiter over a fixed number of
+ * requestors.  Stateless callers pass a bitmap of requests; the arbiter
+ * remembers the last grant and starts the next search after it.
+ */
+class RoundRobinArbiter
+{
+  public:
+    explicit RoundRobinArbiter(std::size_t num_requestors);
+
+    std::size_t numRequestors() const { return num_; }
+
+    /**
+     * Grant one of the requesting inputs.
+     * @param requests per-input request flags (size must match)
+     * @return granted index, or npos if nobody requests
+     */
+    std::size_t grant(const std::vector<bool> &requests);
+
+    /** Sentinel for "no grant". */
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /** Reset the rotation pointer. */
+    void reset() { last_ = num_ - 1; }
+
+  private:
+    std::size_t num_;
+    std::size_t last_;
+};
+
+/**
+ * Strict-priority arbiter: lowest priority value wins; ties broken by
+ * round-robin among equal-priority requestors.
+ */
+class PriorityArbiter
+{
+  public:
+    PriorityArbiter(std::size_t num_requestors,
+                    std::vector<int> priorities);
+
+    std::size_t grant(const std::vector<bool> &requests);
+
+    void setPriority(std::size_t idx, int priority);
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  private:
+    std::vector<int> priorities_;
+    RoundRobinArbiter rr_;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_NOC_ARBITER_H_

@@ -1,0 +1,69 @@
+#include "noc/buffer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+FlitBuffer::FlitBuffer(std::uint32_t capacity_flits)
+    : capacity_(capacity_flits)
+{
+}
+
+bool
+FlitBuffer::canAccept(std::uint32_t flits) const
+{
+    if (capacity_ == 0)
+        return true;
+    return used_ + flits <= capacity_;
+}
+
+void
+FlitBuffer::push(const NocMessage &msg)
+{
+    if (!canAccept(msg.flits))
+        panic("FlitBuffer: overflow (used " + std::to_string(used_) +
+              ", incoming " + std::to_string(msg.flits) + ", cap " +
+              std::to_string(capacity_) + ")");
+    q_.push_back(msg);
+    used_ += msg.flits;
+    peak_ = std::max(peak_, used_);
+}
+
+NocMessage
+FlitBuffer::pop()
+{
+    if (q_.empty())
+        panic("FlitBuffer: pop from empty buffer");
+    NocMessage msg = std::move(q_.front());
+    q_.pop_front();
+    used_ -= msg.flits;
+    return msg;
+}
+
+const NocMessage &
+FlitBuffer::front() const
+{
+    if (q_.empty())
+        panic("FlitBuffer: front of empty buffer");
+    return q_.front();
+}
+
+std::uint32_t
+FlitBuffer::freeFlits() const
+{
+    if (capacity_ == 0)
+        return std::numeric_limits<std::uint32_t>::max();
+    return capacity_ - used_;
+}
+
+void
+FlitBuffer::clear()
+{
+    q_.clear();
+    used_ = 0;
+}
+
+}  // namespace hmcsim

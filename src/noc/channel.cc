@@ -1,0 +1,33 @@
+#include "noc/channel.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+Channel::Channel(Kernel &kernel, std::string name, Tick flit_period,
+                 Tick wire_latency)
+    : kernel_(kernel), name_(std::move(name)), flitPeriod_(flit_period),
+      wireLatency_(wire_latency)
+{
+    if (flitPeriod_ == 0)
+        panic("Channel '" + name_ + "': zero flit period");
+}
+
+Channel::Times
+Channel::reserve(std::uint32_t flits, Tick earliest)
+{
+    if (flits == 0)
+        panic("Channel '" + name_ + "': zero-flit reservation");
+    Times t;
+    t.start = std::max(earliest, std::max(nextFree_, kernel_.now()));
+    t.serDone = t.start + static_cast<Tick>(flits) * flitPeriod_;
+    t.arrival = t.serDone + wireLatency_;
+    nextFree_ = t.serDone;
+    flitsCarried_.inc(flits);
+    busy_ += t.serDone - t.start;
+    return t;
+}
+
+}  // namespace hmcsim

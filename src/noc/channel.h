@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Point-to-point NoC channel: serializes one message at a time at one
+ * flit per flit-period, then adds a fixed wire latency.  Occupancy is
+ * tracked so back-to-back sends queue up naturally.
+ */
+
+#ifndef HMCSIM_NOC_CHANNEL_H_
+#define HMCSIM_NOC_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "sim/kernel.h"
+
+namespace hmcsim {
+
+class Channel
+{
+  public:
+    /**
+     * @param flit_period ticks to transmit one flit
+     * @param wire_latency additional propagation delay after the last
+     *        flit leaves the sender
+     */
+    Channel(Kernel &kernel, std::string name, Tick flit_period,
+            Tick wire_latency);
+
+    /** Timestamps of one reserved transmission. */
+    struct Times {
+        /** First flit leaves the sender. */
+        Tick start;
+        /** Last flit has left the sender (channel free again). */
+        Tick serDone;
+        /** Message fully arrived downstream. */
+        Tick arrival;
+    };
+
+    /**
+     * Reserve the channel for @p flits starting no earlier than
+     * @p earliest.  Advances the channel's free time.
+     */
+    Times reserve(std::uint32_t flits, Tick earliest);
+
+    /** Earliest time a new transmission could start. */
+    Tick nextFree() const { return nextFree_; }
+
+    const std::string &name() const { return name_; }
+    Tick flitPeriod() const { return flitPeriod_; }
+    Tick wireLatency() const { return wireLatency_; }
+
+    /** Total flits ever pushed through (bandwidth accounting). */
+    std::uint64_t flitsCarried() const { return flitsCarried_.value(); }
+
+    /** Busy time accumulated, for utilization reporting. */
+    Tick busyTime() const { return busy_; }
+
+  private:
+    Kernel &kernel_;
+    std::string name_;
+    Tick flitPeriod_;
+    Tick wireLatency_;
+    Tick nextFree_ = 0;
+    Counter flitsCarried_;
+    Tick busy_ = 0;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_NOC_CHANNEL_H_

@@ -1,0 +1,4 @@
+#include "noc/flit.h"
+
+// NocMessage is a plain aggregate; this translation unit exists so the
+// header has an anchor for future non-inline helpers.

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Messages carried by the logic-layer NoC.
+ *
+ * The router model is virtual cut-through at packet granularity: a
+ * message occupies channels for flits() * flit-period and buffers for
+ * its full flit count, which preserves the bandwidth and queuing
+ * behaviour of a flit-level wormhole network while keeping the event
+ * count per packet small.
+ */
+
+#ifndef HMCSIM_NOC_FLIT_H_
+#define HMCSIM_NOC_FLIT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+
+namespace hmcsim {
+
+/** One message (an HMC packet) traversing the NoC. */
+struct NocMessage {
+    /** Unique id for tracing. */
+    PacketId id = 0;
+
+    /** Source endpoint (link master or vault controller). */
+    NodeId src = kNodeInvalid;
+
+    /** Destination endpoint. */
+    NodeId dst = kNodeInvalid;
+
+    /** Size in 16 B flits, including header/tail overhead. */
+    std::uint32_t flits = 1;
+
+    /** Time the message entered the network (set by Network::inject). */
+    Tick injectedAt = 0;
+
+    /** Opaque payload, typically a shared_ptr<HmcPacket>. */
+    std::shared_ptr<void> payload;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_NOC_FLIT_H_

@@ -1,0 +1,207 @@
+#include "noc/network.h"
+
+#include "common/log.h"
+#include "common/units.h"
+
+namespace hmcsim {
+
+Network::Network(Kernel &kernel, Component *parent, std::string name,
+                 const TopologySpec &spec, const RouterParams &params)
+    : Component(kernel, parent, std::move(name)), spec_(spec),
+      routes_(computeRoutes(spec))
+{
+    const std::uint32_t nr = spec_.numRouters;
+    const std::uint32_t ne = spec_.numEndpoints();
+
+    ops_.resize(ne);
+    opsSet_.assign(ne, false);
+
+    for (std::uint32_t r = 0; r < nr; ++r) {
+        routers_.push_back(std::make_unique<Router>(
+            kernel, this, "router" + std::to_string(r), r, params));
+    }
+
+    // Router-to-router wiring: each undirected link becomes two
+    // channels.  Credits freed at the downstream input flow back to the
+    // upstream output; the output index is only known after addInput,
+    // so the closure reads it through a shared slot.
+    //
+    // outputToNeighbor[r][n] remembers which output of router r reaches
+    // neighbour n so route tables can be filled afterwards.
+    std::vector<std::vector<int>> outputToNeighbor(
+        nr, std::vector<int>(nr, -1));
+    for (const auto &link : spec_.routerLinks) {
+        const std::uint32_t a = link.first;
+        const std::uint32_t b = link.second;
+        Router *ra = routers_[a].get();
+        Router *rb = routers_[b].get();
+
+        // a -> b: credits freed at b's input return to a's output.
+        {
+            // The output index on a is allocated after the input on b,
+            // so capture via a small shared slot.
+            auto slot = std::make_shared<int>(-1);
+            const int inB = rb->addInput([ra, slot](std::uint32_t flits) {
+                ra->returnCredits(*slot, flits);
+            });
+            const int outA = ra->addOutputToRouter(rb, inB);
+            *slot = outA;
+            outputToNeighbor[a][b] = outA;
+        }
+        // b -> a.
+        {
+            auto slot = std::make_shared<int>(-1);
+            const int inA = ra->addInput([rb, slot](std::uint32_t flits) {
+                rb->returnCredits(*slot, flits);
+            });
+            const int outB = rb->addOutputToRouter(ra, inA);
+            *slot = outB;
+            outputToNeighbor[b][a] = outB;
+        }
+    }
+
+    // Endpoint attachment: injection channel + credited router input,
+    // and an ejection output with reservation callbacks.
+    injectPorts_.resize(ne);
+    ejectLocs_.resize(ne);
+    std::vector<std::vector<int>> ejectOutput(nr, std::vector<int>(ne, -1));
+    for (std::uint32_t e = 0; e < ne; ++e) {
+        const std::uint32_t home = spec_.endpointRouter[e];
+        Router *router = routers_[home].get();
+
+        InjectPort &ip = injectPorts_[e];
+        ip.router = router;
+        ip.credits = params.inputBufferFlits;
+        ip.chan = std::make_unique<Channel>(
+            kernel, path() + ".inject" + std::to_string(e),
+            params.flitPeriod, params.wireLatency);
+        const NodeId ep = e;
+        ip.input = router->addInput([this, ep](std::uint32_t flits) {
+            injectPorts_[ep].credits += flits;
+            if (opsSet_[ep] && ops_[ep].onInjectSpace)
+                ops_[ep].onInjectSpace();
+        });
+
+        ejectLocs_[e].router = router;
+        Router::Eject ej;
+        ej.tryReserve = [this, ep](std::uint32_t flits) {
+            return opsFor(ep).tryReserve(flits);
+        };
+        ej.deliver = [this, ep](const NocMessage &msg) {
+            onDelivered(ep, msg);
+        };
+        ejectOutput[home][e] = router->addOutputToEndpoint(e, std::move(ej));
+    }
+
+    // Routing tables: per router, output port for each destination.
+    for (std::uint32_t r = 0; r < nr; ++r) {
+        std::vector<int> table(ne, -1);
+        for (std::uint32_t e = 0; e < ne; ++e) {
+            const std::uint32_t next = routes_.nextRouter[r][e];
+            if (next == r) {
+                table[e] = ejectOutput[r][e];
+                if (table[e] < 0)
+                    panic("Network: missing eject output");
+            } else {
+                table[e] = outputToNeighbor[r][next];
+                if (table[e] < 0)
+                    panic("Network: missing neighbour output");
+            }
+        }
+        routers_[r]->setRoutes(std::move(table));
+    }
+}
+
+void
+Network::setEndpoint(NodeId ep, EndpointOps ops)
+{
+    if (ep >= ops_.size())
+        panic("Network::setEndpoint: endpoint out of range");
+    if (opsSet_[ep])
+        panic("Network::setEndpoint: endpoint " + std::to_string(ep) +
+              " registered twice");
+    if (!ops.tryReserve || !ops.deliver)
+        panic("Network::setEndpoint: incomplete callbacks");
+    ops_[ep] = std::move(ops);
+    opsSet_[ep] = true;
+}
+
+const Network::EndpointOps &
+Network::opsFor(NodeId ep) const
+{
+    if (ep >= ops_.size() || !opsSet_[ep])
+        panic("Network: endpoint " + std::to_string(ep) +
+              " has no registered ops");
+    return ops_[ep];
+}
+
+bool
+Network::canInject(NodeId ep, std::uint32_t flits) const
+{
+    if (ep >= injectPorts_.size())
+        panic("Network::canInject: endpoint out of range");
+    return injectPorts_[ep].credits >= flits;
+}
+
+void
+Network::inject(NodeId ep, NocMessage msg)
+{
+    if (!canInject(ep, msg.flits))
+        panic("Network::inject without credits (endpoint " +
+              std::to_string(ep) + ")");
+    InjectPort &ip = injectPorts_[ep];
+    ip.credits -= msg.flits;
+    msg.injectedAt = now();
+    const Channel::Times t = ip.chan->reserve(msg.flits, now());
+    Router *router = ip.router;
+    const int input = ip.input;
+    kernel().scheduleAt(t.arrival, [router, input, msg] {
+        router->acceptMessage(input, msg);
+    });
+}
+
+void
+Network::kickEject(NodeId ep)
+{
+    if (ep >= ejectLocs_.size())
+        panic("Network::kickEject: endpoint out of range");
+    ejectLocs_[ep].router->kickEject(ep);
+}
+
+std::uint32_t
+Network::hopCount(NodeId from, NodeId to) const
+{
+    if (from >= spec_.numEndpoints() || to >= spec_.numEndpoints())
+        panic("Network::hopCount: endpoint out of range");
+    return routes_.hops[spec_.endpointRouter[from]][to];
+}
+
+void
+Network::onDelivered(NodeId ep, const NocMessage &msg)
+{
+    delivered_.inc();
+    flitsDelivered_.inc(msg.flits);
+    latencyNs_.add(ticksToNs(now() - msg.injectedAt));
+    opsFor(ep).deliver(msg);
+}
+
+void
+Network::reportOwnStats(std::map<std::string, double> &out) const
+{
+    out[statName("messages_delivered")] =
+        static_cast<double>(delivered_.value());
+    out[statName("flits_delivered")] =
+        static_cast<double>(flitsDelivered_.value());
+    out[statName("avg_latency_ns")] = latencyNs_.mean();
+    out[statName("max_latency_ns")] = latencyNs_.max();
+}
+
+void
+Network::resetOwnStats()
+{
+    latencyNs_.reset();
+    delivered_.reset();
+    flitsDelivered_.reset();
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,150 @@
+#include "noc/topology.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+void
+TopologySpec::validate() const
+{
+    if (numRouters == 0)
+        fatal("topology: no routers");
+    if (endpointRouter.empty())
+        fatal("topology: no endpoints");
+    for (auto r : endpointRouter) {
+        if (r >= numRouters)
+            fatal("topology: endpoint attached to invalid router " +
+                  std::to_string(r));
+    }
+    for (const auto &[a, b] : routerLinks) {
+        if (a >= numRouters || b >= numRouters)
+            fatal("topology: link references invalid router");
+        if (a == b)
+            fatal("topology: self-link on router " + std::to_string(a));
+    }
+}
+
+RoutingTables
+computeRoutes(const TopologySpec &spec)
+{
+    spec.validate();
+    const std::uint32_t nr = spec.numRouters;
+    const std::uint32_t ne = spec.numEndpoints();
+
+    // Adjacency, sorted for deterministic BFS order.
+    std::vector<std::vector<std::uint32_t>> adj(nr);
+    for (const auto &[a, b] : spec.routerLinks) {
+        adj[a].push_back(b);
+        adj[b].push_back(a);
+    }
+    for (auto &n : adj)
+        std::sort(n.begin(), n.end());
+
+    RoutingTables out;
+    out.nextRouter.assign(nr, std::vector<std::uint32_t>(ne, 0));
+    out.hops.assign(nr, std::vector<std::uint32_t>(ne, 0));
+
+    constexpr std::uint32_t kUnset = ~std::uint32_t{0};
+
+    // BFS from each endpoint's home router; record, for every router,
+    // the first hop of a shortest path *toward* the home router.
+    for (std::uint32_t e = 0; e < ne; ++e) {
+        const std::uint32_t home = spec.endpointRouter[e];
+        std::vector<std::uint32_t> dist(nr, kUnset);
+        std::vector<std::uint32_t> next(nr, kUnset);
+        std::queue<std::uint32_t> bfs;
+        dist[home] = 0;
+        next[home] = home;  // local eject
+        bfs.push(home);
+        while (!bfs.empty()) {
+            const std::uint32_t r = bfs.front();
+            bfs.pop();
+            for (std::uint32_t n : adj[r]) {
+                if (dist[n] == kUnset) {
+                    dist[n] = dist[r] + 1;
+                    next[n] = r;  // n forwards toward home via r
+                    bfs.push(n);
+                }
+            }
+        }
+        for (std::uint32_t r = 0; r < nr; ++r) {
+            if (dist[r] == kUnset)
+                fatal("topology: endpoint " + std::to_string(e) +
+                      " unreachable from router " + std::to_string(r));
+            out.nextRouter[r][e] = next[r];
+            out.hops[r][e] = dist[r];
+        }
+    }
+    return out;
+}
+
+TopologySpec
+makeQuadrantTopology(std::uint32_t num_vaults, std::uint32_t num_quadrants,
+                     std::uint32_t num_links, bool xbar)
+{
+    if (num_quadrants == 0 || num_vaults % num_quadrants != 0)
+        fatal("topology: vaults must divide evenly into quadrants");
+    if (num_links == 0 || num_links > num_quadrants)
+        fatal("topology: need 1..num_quadrants links");
+
+    TopologySpec spec;
+    spec.numRouters = num_quadrants;
+
+    if (xbar) {
+        for (std::uint32_t a = 0; a < num_quadrants; ++a)
+            for (std::uint32_t b = a + 1; b < num_quadrants; ++b)
+                spec.routerLinks.emplace_back(a, b);
+    } else if (num_quadrants > 1) {
+        for (std::uint32_t a = 0; a < num_quadrants; ++a)
+            spec.routerLinks.emplace_back(a, (a + 1) % num_quadrants);
+        if (num_quadrants == 2) {
+            // Avoid a duplicate (0,1)/(1,0) pair in the 2-router ring.
+            spec.routerLinks.pop_back();
+        }
+    }
+
+    // Links first (endpoints [0, num_links)), spread across quadrants.
+    for (std::uint32_t l = 0; l < num_links; ++l)
+        spec.endpointRouter.push_back(l * num_quadrants / num_links);
+
+    // Vaults (endpoints [num_links, ...)).
+    const std::uint32_t per_quad = num_vaults / num_quadrants;
+    for (std::uint32_t v = 0; v < num_vaults; ++v)
+        spec.endpointRouter.push_back(v / per_quad);
+
+    spec.validate();
+    return spec;
+}
+
+TopologySpec
+makeSingleSwitchTopology(std::uint32_t num_vaults, std::uint32_t num_links)
+{
+    TopologySpec spec;
+    spec.numRouters = 1;
+    for (std::uint32_t l = 0; l < num_links; ++l)
+        spec.endpointRouter.push_back(0);
+    for (std::uint32_t v = 0; v < num_vaults; ++v)
+        spec.endpointRouter.push_back(0);
+    spec.validate();
+    return spec;
+}
+
+TopologySpec
+makeTopology(const std::string &name, std::uint32_t num_vaults,
+             std::uint32_t num_quadrants, std::uint32_t num_links)
+{
+    if (name == "quadrant_xbar")
+        return makeQuadrantTopology(num_vaults, num_quadrants, num_links,
+                                    true);
+    if (name == "quadrant_ring")
+        return makeQuadrantTopology(num_vaults, num_quadrants, num_links,
+                                    false);
+    if (name == "single_switch")
+        return makeSingleSwitchTopology(num_vaults, num_links);
+    fatal("topology: unknown topology '" + name + "'");
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Topology descriptions for the logic-layer NoC and shortest-path
+ * routing-table computation.
+ *
+ * The HMC 1.1 logic layer groups four vaults per quadrant; each external
+ * link enters through a quadrant switch.  We model that as one router
+ * per quadrant with configurable inter-quadrant wiring (full crossbar by
+ * default, ring and single-switch variants for ablation).
+ */
+
+#ifndef HMCSIM_NOC_TOPOLOGY_H_
+#define HMCSIM_NOC_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hmcsim {
+
+/** Static description of a NoC: routers, inter-router links, endpoints. */
+struct TopologySpec {
+    /** Number of routers. */
+    std::uint32_t numRouters = 0;
+
+    /** Undirected router-router links (each becomes two channels). */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> routerLinks;
+
+    /** For each endpoint id, the router it attaches to. */
+    std::vector<std::uint32_t> endpointRouter;
+
+    std::uint32_t numEndpoints() const
+    {
+        return static_cast<std::uint32_t>(endpointRouter.size());
+    }
+
+    /** Sanity-check indices; raises fatal() on inconsistency. */
+    void validate() const;
+};
+
+/**
+ * Routing tables: for router r and destination endpoint e,
+ * nextRouter[r][e] is the neighbouring router to forward to, or r
+ * itself when e is locally attached (eject).
+ */
+struct RoutingTables {
+    std::vector<std::vector<std::uint32_t>> nextRouter;
+
+    /** Hop count (router-to-router) from router r to endpoint e. */
+    std::vector<std::vector<std::uint32_t>> hops;
+};
+
+/**
+ * Compute deterministic shortest-path routes (BFS, lowest-index
+ * neighbour wins ties).  Raises fatal() if any endpoint is unreachable
+ * from any router.
+ */
+RoutingTables computeRoutes(const TopologySpec &spec);
+
+/**
+ * Build the default HMC quadrant topology.
+ *
+ * Endpoints are numbered: [0, num_links) are link masters,
+ * [num_links, num_links + num_vaults) are vault controllers.
+ * Vault v lives in quadrant v / (num_vaults / num_quadrants).
+ * Link l attaches to quadrant (l * num_quadrants) / num_links, i.e.
+ * two links land on quadrants 0 and 2, matching the spec's layout.
+ *
+ * @param xbar if true, quadrants are fully connected; otherwise they
+ *        form a bidirectional ring.
+ */
+TopologySpec makeQuadrantTopology(std::uint32_t num_vaults,
+                                  std::uint32_t num_quadrants,
+                                  std::uint32_t num_links,
+                                  bool xbar);
+
+/** Single central switch connecting every endpoint (idealized NoC). */
+TopologySpec makeSingleSwitchTopology(std::uint32_t num_vaults,
+                                      std::uint32_t num_links);
+
+/**
+ * Build a topology by name: "quadrant_xbar", "quadrant_ring", or
+ * "single_switch".  Raises fatal() for unknown names.
+ */
+TopologySpec makeTopology(const std::string &name, std::uint32_t num_vaults,
+                          std::uint32_t num_quadrants,
+                          std::uint32_t num_links);
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_NOC_TOPOLOGY_H_

@@ -1,0 +1,61 @@
+#include "sim/clock.h"
+
+#include "common/log.h"
+#include "common/units.h"
+
+namespace hmcsim {
+
+ClockDomain::ClockDomain(std::string name, Tick period_ticks,
+                         Tick phase_ticks)
+    : name_(std::move(name)), period_(period_ticks), phase_(phase_ticks)
+{
+    if (period_ == 0)
+        panic("ClockDomain '" + name_ + "': zero period");
+}
+
+ClockDomain
+ClockDomain::fromMhz(std::string name, double mhz)
+{
+    if (mhz <= 0.0)
+        panic("ClockDomain: non-positive frequency");
+    return ClockDomain(std::move(name), mhzToPeriod(mhz));
+}
+
+double
+ClockDomain::frequencyMhz() const
+{
+    return 1e6 / static_cast<double>(period_);
+}
+
+std::uint64_t
+ClockDomain::cycleAt(Tick t) const
+{
+    if (t < phase_)
+        return 0;
+    return (t - phase_) / period_;
+}
+
+Tick
+ClockDomain::cycleStart(std::uint64_t c) const
+{
+    return phase_ + c * period_;
+}
+
+Tick
+ClockDomain::nextEdgeAtOrAfter(Tick t) const
+{
+    if (t <= phase_)
+        return phase_;
+    const Tick rel = t - phase_;
+    const Tick cycles = (rel + period_ - 1) / period_;
+    return phase_ + cycles * period_;
+}
+
+Tick
+ClockDomain::nextEdgeAfter(Tick t) const
+{
+    const Tick aligned = nextEdgeAtOrAfter(t);
+    return aligned == t ? aligned + period_ : aligned;
+}
+
+}  // namespace hmcsim

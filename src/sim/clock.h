@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Clock domains.  Each hardware block (FPGA fabric, NoC, DRAM bus) runs
+ * at its own frequency; a ClockDomain converts between cycles and ticks
+ * and aligns arbitrary times to cycle boundaries.
+ */
+
+#ifndef HMCSIM_SIM_CLOCK_H_
+#define HMCSIM_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace hmcsim {
+
+class ClockDomain
+{
+  public:
+    /**
+     * @param name human-readable domain name (diagnostics)
+     * @param period_ticks clock period in ticks; must be > 0
+     * @param phase_ticks offset of cycle 0 from tick 0
+     */
+    ClockDomain(std::string name, Tick period_ticks, Tick phase_ticks = 0);
+
+    /** Construct from frequency in MHz. */
+    static ClockDomain fromMhz(std::string name, double mhz);
+
+    const std::string &name() const { return name_; }
+    Tick period() const { return period_; }
+    double frequencyMhz() const;
+
+    /** Cycle index containing tick @p t (cycles start at phase). */
+    std::uint64_t cycleAt(Tick t) const;
+
+    /** Tick at which cycle @p c begins. */
+    Tick cycleStart(std::uint64_t c) const;
+
+    /**
+     * Earliest cycle boundary at or after @p t.  Used to model
+     * synchronizer behaviour when a packet crosses domains.
+     */
+    Tick nextEdgeAtOrAfter(Tick t) const;
+
+    /** Earliest cycle boundary strictly after @p t. */
+    Tick nextEdgeAfter(Tick t) const;
+
+  private:
+    std::string name_;
+    Tick period_;
+    Tick phase_;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_SIM_CLOCK_H_

@@ -1,0 +1,80 @@
+#include "sim/component.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+Component::Component(Kernel &kernel, Component *parent, std::string name)
+    : kernel_(kernel), parent_(parent), name_(std::move(name))
+{
+    if (name_.empty())
+        panic("Component: empty name");
+    if (name_.find('.') != std::string::npos)
+        panic("Component '" + name_ + "': '.' is reserved for paths");
+    if (parent_)
+        parent_->addChild(this);
+}
+
+Component::~Component()
+{
+    if (parent_)
+        parent_->removeChild(this);
+}
+
+std::string
+Component::path() const
+{
+    if (!parent_)
+        return name_;
+    return parent_->path() + "." + name_;
+}
+
+void
+Component::addChild(Component *child)
+{
+    children_.push_back(child);
+}
+
+void
+Component::removeChild(Component *child)
+{
+    auto it = std::find(children_.begin(), children_.end(), child);
+    if (it != children_.end())
+        children_.erase(it);
+}
+
+void
+Component::reportStats(std::map<std::string, double> &out) const
+{
+    reportOwnStats(out);
+    for (const Component *c : children_)
+        c->reportStats(out);
+}
+
+void
+Component::resetStats()
+{
+    resetOwnStats();
+    for (Component *c : children_)
+        c->resetStats();
+}
+
+void
+Component::reportOwnStats(std::map<std::string, double> &) const
+{
+}
+
+void
+Component::resetOwnStats()
+{
+}
+
+std::string
+Component::statName(const std::string &stat) const
+{
+    return path() + "." + stat;
+}
+
+}  // namespace hmcsim

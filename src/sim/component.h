@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Base class for named simulation components.  Components form a tree
+ * (device -> vault controller -> bank, ...) whose paths name statistics
+ * in dumps, mirroring gem5's SimObject hierarchy at a small scale.
+ */
+
+#ifndef HMCSIM_SIM_COMPONENT_H_
+#define HMCSIM_SIM_COMPONENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.h"
+
+namespace hmcsim {
+
+class Component
+{
+  public:
+    /**
+     * @param kernel the simulation kernel (not owned, must outlive us)
+     * @param parent enclosing component or nullptr for a root
+     * @param name leaf name; the full path is parent-path.name
+     */
+    Component(Kernel &kernel, Component *parent, std::string name);
+
+    virtual ~Component();
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    const std::string &name() const { return name_; }
+    std::string path() const;
+    Component *parent() const { return parent_; }
+    const std::vector<Component *> &children() const { return children_; }
+
+    Kernel &kernel() const { return kernel_; }
+    Tick now() const { return kernel_.now(); }
+
+    /**
+     * Contribute statistics as path-qualified name/value pairs.
+     * Default implementation recurses into children only.
+     */
+    virtual void reportStats(std::map<std::string, double> &out) const;
+
+    /** Reset local statistics; recurses into children. */
+    virtual void resetStats();
+
+  protected:
+    /** Hook for subclasses: add own stats into @p out. */
+    virtual void reportOwnStats(std::map<std::string, double> &out) const;
+
+    /** Hook for subclasses: clear own stats. */
+    virtual void resetOwnStats();
+
+    /** Qualify @p stat with this component's path. */
+    std::string statName(const std::string &stat) const;
+
+  private:
+    Kernel &kernel_;
+    Component *parent_;
+    std::string name_;
+    std::vector<Component *> children_;
+
+    void addChild(Component *child);
+    void removeChild(Component *child);
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_SIM_COMPONENT_H_

@@ -1,0 +1,45 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+void
+EventQueue::schedule(Tick when, EventFn fn, int priority)
+{
+    if (!fn)
+        panic("EventQueue::schedule: null event function");
+    heap_.push(Entry{when, priority, nextSeq_++, std::move(fn)});
+}
+
+Tick
+EventQueue::nextTime() const
+{
+    return heap_.empty() ? kTickNever : heap_.top().when;
+}
+
+Tick
+EventQueue::executeNext()
+{
+    if (heap_.empty())
+        panic("EventQueue::executeNext on empty queue");
+    // priority_queue::top() is const; move out via const_cast is UB-free
+    // here because we pop immediately, but copying keeps it simple and
+    // std::function copies are cheap relative to model work.
+    Entry e = heap_.top();
+    heap_.pop();
+    ++executed_;
+    e.fn();
+    return e.when;
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap_.empty())
+        heap_.pop();
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Discrete-event queue: the heart of the cycle-level simulator.
+ *
+ * Events are ordered by (time, priority, insertion sequence).  The
+ * sequence number guarantees FIFO order among same-time same-priority
+ * events, which keeps simulations deterministic regardless of heap
+ * internals.
+ */
+
+#ifndef HMCSIM_SIM_EVENT_QUEUE_H_
+#define HMCSIM_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hmcsim {
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/** Scheduling priorities; lower value fires first at equal time. */
+struct EventPriority {
+    static constexpr int kDefault = 0;
+    /** Stat-window boundaries run after all same-tick model activity. */
+    static constexpr int kStats = 100;
+    /** Simulation-stop sentinels run last. */
+    static constexpr int kStop = 1000;
+};
+
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Schedule @p fn at absolute time @p when. */
+    void schedule(Tick when, EventFn fn, int priority = 0);
+
+    /** True if no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Time of the earliest pending event; kTickNever if empty. */
+    Tick nextTime() const;
+
+    /**
+     * Pop and execute the earliest event.
+     * @return the time the event fired.
+     * Must not be called on an empty queue.
+     */
+    Tick executeNext();
+
+    /** Total events executed so far (for engine micro-benchmarks). */
+    std::uint64_t executedCount() const { return executed_; }
+
+    /** Drop every pending event. */
+    void clear();
+
+  private:
+    struct Entry {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_SIM_EVENT_QUEUE_H_

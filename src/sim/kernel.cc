@@ -1,0 +1,52 @@
+#include "sim/kernel.h"
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+void
+Kernel::scheduleAt(Tick when, EventFn fn, int priority)
+{
+    if (when < now_)
+        panic("Kernel::scheduleAt: time " + std::to_string(when) +
+              " is in the past (now " + std::to_string(now_) + ")");
+    queue_.schedule(when, std::move(fn), priority);
+}
+
+std::uint64_t
+Kernel::run(Tick until)
+{
+    stopRequested_ = false;
+    std::uint64_t executed = 0;
+    while (!queue_.empty() && !stopRequested_) {
+        const Tick next = queue_.nextTime();
+        if (next > until)
+            break;
+        now_ = next;
+        queue_.executeNext();
+        ++executed;
+    }
+    // Advance time to the requested horizon so back-to-back windows
+    // measure contiguous intervals even if the queue went idle early.
+    if (until != kTickNever && now_ < until && !stopRequested_)
+        now_ = until;
+    return executed;
+}
+
+std::uint64_t
+Kernel::runUntil(const std::function<bool()> &pred, Tick until)
+{
+    stopRequested_ = false;
+    std::uint64_t executed = 0;
+    while (!queue_.empty() && !stopRequested_ && !pred()) {
+        const Tick next = queue_.nextTime();
+        if (next > until)
+            break;
+        now_ = next;
+        queue_.executeNext();
+        ++executed;
+    }
+    return executed;
+}
+
+}  // namespace hmcsim

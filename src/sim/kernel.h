@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Simulation kernel: owns the event queue and the global clock, and
+ * provides the run loop with stop conditions.
+ */
+
+#ifndef HMCSIM_SIM_KERNEL_H_
+#define HMCSIM_SIM_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace hmcsim {
+
+class Kernel
+{
+  public:
+    Kernel() = default;
+
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay, EventFn fn, int priority = 0)
+    {
+        queue_.schedule(now_ + delay, std::move(fn), priority);
+    }
+
+    /** Schedule @p fn at absolute @p when; panics if @p when is past. */
+    void scheduleAt(Tick when, EventFn fn, int priority = 0);
+
+    /**
+     * Run until the queue drains or simulated time would pass @p until.
+     * Events exactly at @p until still execute.
+     * @return number of events executed by this call.
+     */
+    std::uint64_t run(Tick until = kTickNever);
+
+    /**
+     * Run until @p pred returns true (checked after every event), the
+     * queue drains, or @p until passes.
+     */
+    std::uint64_t runUntil(const std::function<bool()> &pred,
+                           Tick until = kTickNever);
+
+    /** Request that the current run() returns after the active event. */
+    void stop() { stopRequested_ = true; }
+
+    /** Direct queue access (tests, stats). */
+    EventQueue &queue() { return queue_; }
+    const EventQueue &queue() const { return queue_; }
+
+    /** Events executed over the kernel's lifetime. */
+    std::uint64_t eventsExecuted() const { return queue_.executedCount(); }
+
+  private:
+    EventQueue queue_;
+    Tick now_ = 0;
+    bool stopRequested_ = false;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_SIM_KERNEL_H_

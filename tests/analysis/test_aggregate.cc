@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "analysis/aggregate.h"
+
+namespace hmcsim {
+namespace {
+
+ExperimentResult
+resultWith(double bw, std::initializer_list<double> latencies)
+{
+    ExperimentResult r;
+    r.bandwidthGBs = bw;
+    for (double l : latencies)
+        r.mergedRead.add(l);
+    r.windowTicks = 1000;
+    r.totalReads = latencies.size();
+    return r;
+}
+
+TEST(Aggregate, MergeReadLatencies)
+{
+    std::vector<ExperimentResult> runs;
+    runs.push_back(resultWith(1.0, {100.0, 200.0}));
+    runs.push_back(resultWith(2.0, {300.0}));
+    const SampleStats s = mergeReadLatencies(runs);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 200.0);
+    EXPECT_DOUBLE_EQ(s.max(), 300.0);
+}
+
+TEST(Aggregate, MergeEmptyRuns)
+{
+    EXPECT_EQ(mergeReadLatencies({}).count(), 0u);
+}
+
+TEST(Aggregate, MeanBandwidth)
+{
+    std::vector<ExperimentResult> runs;
+    runs.push_back(resultWith(10.0, {}));
+    runs.push_back(resultWith(20.0, {}));
+    EXPECT_DOUBLE_EQ(meanBandwidthGBs(runs), 15.0);
+    EXPECT_DOUBLE_EQ(meanBandwidthGBs({}), 0.0);
+}
+
+TEST(Aggregate, StatsOfValues)
+{
+    const SampleStats s = statsOfValues({1.0, 2.0, 3.0});
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Aggregate, AccessesPerSec)
+{
+    ExperimentResult r;
+    r.windowTicks = kMicrosecond;  // 1 us
+    r.totalReads = 100;
+    r.totalWrites = 50;
+    EXPECT_NEAR(r.accessesPerSec(), 150e6, 1.0);
+    ExperimentResult empty;
+    EXPECT_DOUBLE_EQ(empty.accessesPerSec(), 0.0);
+}
+
+}  // namespace
+}  // namespace hmcsim

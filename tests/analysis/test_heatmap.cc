@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "analysis/heatmap.h"
+#include "common/log.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(Heatmap, AccumulatesCells)
+{
+    Heatmap h({"r0", "r1"}, {"c0", "c1", "c2"});
+    EXPECT_EQ(h.rows(), 2u);
+    EXPECT_EQ(h.cols(), 3u);
+    h.add(0, 1);
+    h.add(0, 1, 2.0);
+    EXPECT_DOUBLE_EQ(h.at(0, 1), 3.0);
+    EXPECT_DOUBLE_EQ(h.at(1, 2), 0.0);
+}
+
+TEST(Heatmap, RowFractionNormalization)
+{
+    Heatmap h({"r"}, {"a", "b", "c", "d"});
+    h.add(0, 0, 1.0);
+    h.add(0, 1, 3.0);
+    EXPECT_DOUBLE_EQ(h.rowFraction(0, 0), 0.25);
+    EXPECT_DOUBLE_EQ(h.rowFraction(0, 1), 0.75);
+    EXPECT_DOUBLE_EQ(h.rowFraction(0, 2), 0.0);
+}
+
+TEST(Heatmap, RowMaxNormalization)
+{
+    Heatmap h({"r"}, {"a", "b"});
+    h.add(0, 0, 2.0);
+    h.add(0, 1, 8.0);
+    EXPECT_DOUBLE_EQ(h.rowMaxFraction(0, 0), 0.25);
+    EXPECT_DOUBLE_EQ(h.rowMaxFraction(0, 1), 1.0);
+}
+
+TEST(Heatmap, EmptyRowFractionsAreZero)
+{
+    Heatmap h({"r"}, {"a"});
+    EXPECT_DOUBLE_EQ(h.rowFraction(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(h.rowMaxFraction(0, 0), 0.0);
+}
+
+TEST(Heatmap, FromHistograms)
+{
+    std::vector<Histogram> rows;
+    rows.emplace_back(0.0, 10.0, 5);
+    rows.emplace_back(0.0, 10.0, 5);
+    rows[0].add(1.0);
+    rows[0].add(1.5);
+    rows[1].add(9.0);
+    const Heatmap h = Heatmap::fromHistograms({"v0", "v1"}, rows);
+    EXPECT_EQ(h.rows(), 2u);
+    EXPECT_EQ(h.cols(), 5u);
+    EXPECT_DOUBLE_EQ(h.at(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(h.at(1, 4), 1.0);
+}
+
+TEST(Heatmap, FromHistogramsRaggedPanics)
+{
+    std::vector<Histogram> rows;
+    rows.emplace_back(0.0, 10.0, 5);
+    rows.emplace_back(0.0, 10.0, 4);
+    EXPECT_THROW(Heatmap::fromHistograms({"a", "b"}, rows), PanicError);
+}
+
+TEST(Heatmap, CsvOutput)
+{
+    Heatmap h({"v1"}, {"10", "20"});
+    h.add(0, 0, 1.0);
+    h.add(0, 1, 1.0);
+    const std::string csv = h.toCsv();
+    EXPECT_NE(csv.find("row,10,20"), std::string::npos);
+    EXPECT_NE(csv.find("v1,0.5000,0.5000"), std::string::npos);
+}
+
+TEST(Heatmap, CsvRawValues)
+{
+    Heatmap h({"v1"}, {"c"});
+    h.add(0, 0, 7.0);
+    EXPECT_NE(h.toCsv(false).find("7.0000"), std::string::npos);
+}
+
+TEST(Heatmap, AsciiHasOneLinePerRow)
+{
+    Heatmap h({"a", "bb"}, {"c0", "c1", "c2"});
+    h.add(0, 0, 1.0);
+    h.add(1, 2, 1.0);
+    const std::string art = h.toAscii();
+    EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+    // Hot cells render with the densest shade.
+    EXPECT_NE(art.find('@'), std::string::npos);
+}
+
+TEST(Heatmap, IndexOutOfRangePanics)
+{
+    Heatmap h({"r"}, {"c"});
+    EXPECT_THROW(h.add(1, 0), PanicError);
+    EXPECT_THROW(h.at(0, 1), PanicError);
+}
+
+TEST(Heatmap, EmptyConstructionPanics)
+{
+    EXPECT_THROW(Heatmap({}, {"c"}), PanicError);
+    EXPECT_THROW(Heatmap({"r"}, {}), PanicError);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "analysis/littles_law.h"
+#include "common/log.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(LittlesLaw, BasicIdentity)
+{
+    // 2 GB/s of 32 B requests with 4.6 us latency:
+    // N = (2e9 / 32) * 4.6e-6 = 287.5 -- the paper's two-bank figure.
+    EXPECT_NEAR(estimateOutstanding(2.0, 4600.0, 32), 287.5, 0.1);
+}
+
+TEST(LittlesLaw, ScalesLinearlyWithLatency)
+{
+    const double n1 = estimateOutstanding(1.0, 1000.0, 64);
+    const double n2 = estimateOutstanding(1.0, 2000.0, 64);
+    EXPECT_DOUBLE_EQ(n2, 2.0 * n1);
+}
+
+TEST(LittlesLaw, SizeIndependenceWhenBandwidthScales)
+{
+    // If bandwidth scales with size at fixed request rate, the
+    // outstanding estimate is size-independent (Fig. 14's flat bars).
+    const double rate = 100e6;  // requests/s
+    for (std::uint32_t size : {16u, 32u, 64u, 128u}) {
+        const double bw = rate * size / 1e9;
+        EXPECT_NEAR(estimateOutstanding(bw, 2000.0, size), rate * 2e-6,
+                    1e-6);
+    }
+}
+
+TEST(LittlesLaw, ZeroSizePanics)
+{
+    EXPECT_THROW(estimateOutstanding(1.0, 100.0, 0), PanicError);
+}
+
+TEST(Saturation, FindsKnee)
+{
+    const std::vector<double> curve{2.0, 4.0, 8.0, 9.7, 9.9, 10.0};
+    EXPECT_EQ(saturationIndex(curve, 0.05), 3u);
+}
+
+TEST(Saturation, MonotoneCurveWithoutPlateau)
+{
+    const std::vector<double> curve{1.0, 2.0, 3.0};
+    EXPECT_EQ(saturationIndex(curve, 0.05), 2u);
+}
+
+TEST(Saturation, FlatCurveSaturatesImmediately)
+{
+    const std::vector<double> curve{5.0, 5.0, 5.0};
+    EXPECT_EQ(saturationIndex(curve, 0.05), 0u);
+}
+
+TEST(Saturation, AllZeroReturnsLast)
+{
+    const std::vector<double> curve{0.0, 0.0};
+    EXPECT_EQ(saturationIndex(curve, 0.05), 1u);
+}
+
+TEST(Saturation, EmptyPanics)
+{
+    EXPECT_THROW(saturationIndex({}, 0.05), PanicError);
+}
+
+TEST(ArrivalRate, WireFormula)
+{
+    // 23 GB/s of 160 B transactions = 143.75 M/s.
+    EXPECT_NEAR(arrivalRatePerSec(23.0, 160), 143.75e6, 1e3);
+}
+
+TEST(ArrivalRate, ZeroSizePanics)
+{
+    EXPECT_THROW(arrivalRatePerSec(1.0, 0), PanicError);
+}
+
+}  // namespace
+}  // namespace hmcsim

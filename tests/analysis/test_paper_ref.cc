@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "analysis/paper_ref.h"
+#include "common/log.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(PaperRef, HeadlineNumbers)
+{
+    EXPECT_DOUBLE_EQ(paperValue("eq1", "peak_bandwidth"), 60.0);
+    EXPECT_DOUBLE_EQ(paperValue("fig6", "max_bandwidth_128B"), 23.0);
+    EXPECT_DOUBLE_EQ(paperValue("fig6", "vault_cap"), 10.0);
+    EXPECT_DOUBLE_EQ(paperValue("fig14", "outstanding_2banks"), 288.0);
+    EXPECT_DOUBLE_EQ(paperValue("fig14", "outstanding_4banks"), 535.0);
+}
+
+TEST(PaperRef, LatencyEndpointsFromFig6)
+{
+    EXPECT_DOUBLE_EQ(paperValue("fig6", "latency_1bank_128B"), 24233.0);
+    EXPECT_DOUBLE_EQ(paperValue("fig6", "latency_multivault_16B"),
+                     1966.0);
+    // The paper's headline contrast: single-bank latency is more than
+    // 10x the well-distributed one.
+    EXPECT_GT(paperValue("fig6", "latency_1bank_128B"),
+              10.0 * paperValue("fig6", "latency_multivault_16B"));
+}
+
+TEST(PaperRef, Fig11StddevsIncreaseWithSize)
+{
+    const double s16 = paperValue("fig11", "stddev_16B");
+    const double s32 = paperValue("fig11", "stddev_32B");
+    const double s64 = paperValue("fig11", "stddev_64B");
+    const double s128 = paperValue("fig11", "stddev_128B");
+    EXPECT_LT(s16, s32);
+    EXPECT_LT(s32, s64);
+    EXPECT_LE(s64, s128);
+}
+
+TEST(PaperRef, Fig10RangesIncreaseWithSize)
+{
+    EXPECT_LT(paperValue("fig10", "range_16B"),
+              paperValue("fig10", "range_32B"));
+    EXPECT_LT(paperValue("fig10", "range_32B"),
+              paperValue("fig10", "range_64B"));
+    EXPECT_LT(paperValue("fig10", "range_64B"),
+              paperValue("fig10", "range_128B"));
+}
+
+TEST(PaperRef, NoLoadDecomposition)
+{
+    // 547 ns infrastructure + 100..180 ns HMC = the ~0.7 us floor.
+    const double floor_us = paperValue("fig7", "floor");
+    const double infra = paperValue("fig7", "infrastructure");
+    const double lo = paperValue("fig7", "hmc_no_load_min");
+    const double hi = paperValue("fig7", "hmc_no_load_max");
+    EXPECT_GE(floor_us * 1000.0, infra + lo - 60.0);
+    EXPECT_LE(floor_us * 1000.0, infra + hi + 60.0);
+}
+
+TEST(PaperRef, TableIsConsistent)
+{
+    for (const PaperValue &v : paperValues()) {
+        EXPECT_FALSE(v.experiment.empty());
+        EXPECT_FALSE(v.name.empty());
+        EXPECT_FALSE(v.unit.empty());
+        EXPECT_DOUBLE_EQ(paperValue(v.experiment, v.name), v.value);
+    }
+}
+
+TEST(PaperRef, MissingValueIsFatal)
+{
+    EXPECT_THROW(paperValue("fig99", "nothing"), FatalError);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/report.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(Report, SectionBanner)
+{
+    std::ostringstream oss;
+    Report r(oss);
+    r.section("Fig. 6");
+    EXPECT_NE(oss.str().find("==== Fig. 6 ===="), std::string::npos);
+}
+
+TEST(Report, CompareShowsRatio)
+{
+    std::ostringstream oss;
+    Report r(oss);
+    r.compare("bandwidth", 23.0, 22.0, "GB/s");
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("bandwidth"), std::string::npos);
+    EXPECT_NE(out.find("23.00"), std::string::npos);
+    EXPECT_NE(out.find("22.00"), std::string::npos);
+    EXPECT_NE(out.find("ratio=0.96"), std::string::npos);
+    EXPECT_NE(out.find("paper="), std::string::npos);
+}
+
+TEST(Report, ApproximateMarker)
+{
+    std::ostringstream oss;
+    Report r(oss);
+    r.compare("knee", 100.0, 90.0, "requests", true);
+    EXPECT_NE(oss.str().find("paper~"), std::string::npos);
+}
+
+TEST(Report, ZeroPaperValueRatioIsZero)
+{
+    std::ostringstream oss;
+    Report r(oss);
+    r.compare("x", 0.0, 5.0, "ns");
+    EXPECT_NE(oss.str().find("ratio=0.00"), std::string::npos);
+}
+
+TEST(Report, MeasuredOnly)
+{
+    std::ostringstream oss;
+    Report r(oss);
+    r.measured("noc latency", 117.0, "ns");
+    EXPECT_NE(oss.str().find("117.00 ns"), std::string::npos);
+}
+
+TEST(Report, Note)
+{
+    std::ostringstream oss;
+    Report r(oss);
+    r.note("substitution: simulated cube");
+    EXPECT_NE(oss.str().find("substitution"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(BitUtil, ExtractBasic)
+{
+    EXPECT_EQ(extractBits(0xFF00, 8, 8), 0xFFu);
+    EXPECT_EQ(extractBits(0xFF00, 0, 8), 0x00u);
+    EXPECT_EQ(extractBits(0xABCD, 4, 4), 0xCu);
+}
+
+TEST(BitUtil, ExtractZeroWidth)
+{
+    EXPECT_EQ(extractBits(0xFFFF, 4, 0), 0u);
+}
+
+TEST(BitUtil, ExtractFullWidth)
+{
+    const std::uint64_t v = 0xDEADBEEFCAFEF00Dull;
+    EXPECT_EQ(extractBits(v, 0, 64), v);
+}
+
+TEST(BitUtil, InsertBasic)
+{
+    EXPECT_EQ(insertBits(0, 8, 8, 0xAB), 0xAB00u);
+    EXPECT_EQ(insertBits(0xFFFF, 4, 8, 0), 0xF00Fu);
+}
+
+TEST(BitUtil, InsertMasksField)
+{
+    // Field wider than width is truncated.
+    EXPECT_EQ(insertBits(0, 0, 4, 0xFF), 0xFu);
+}
+
+TEST(BitUtil, InsertExtractRoundTrip)
+{
+    for (unsigned lo = 0; lo < 32; lo += 3) {
+        for (unsigned w = 1; w <= 16; w += 5) {
+            const std::uint64_t field = 0x5A5A & ((1ull << w) - 1);
+            const std::uint64_t v = insertBits(0, lo, w, field);
+            EXPECT_EQ(extractBits(v, lo, w), field)
+                << "lo=" << lo << " w=" << w;
+        }
+    }
+}
+
+TEST(BitUtil, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(12));
+}
+
+TEST(BitUtil, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(2), 1u);
+    EXPECT_EQ(log2Exact(128), 7u);
+    EXPECT_EQ(log2Exact(1ull << 32), 32u);
+}
+
+TEST(BitUtil, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 16), 0u);
+    EXPECT_EQ(alignUp(1, 16), 16u);
+    EXPECT_EQ(alignUp(16, 16), 16u);
+    EXPECT_EQ(alignUp(17, 16), 32u);
+}
+
+}  // namespace
+}  // namespace hmcsim

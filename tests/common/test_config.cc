@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "common/log.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(Config, SetGetString)
+{
+    Config c;
+    c.set("a.b", "hello");
+    EXPECT_TRUE(c.has("a.b"));
+    EXPECT_EQ(c.getString("a.b"), "hello");
+    EXPECT_EQ(c.getString("missing", "dflt"), "dflt");
+}
+
+TEST(Config, MissingRequiredKeyIsFatal)
+{
+    Config c;
+    EXPECT_THROW(c.getString("nope"), FatalError);
+}
+
+TEST(Config, TypedAccess)
+{
+    Config c;
+    c.setU64("n", 42);
+    c.setDouble("d", 2.5);
+    c.setBool("b", true);
+    EXPECT_EQ(c.getU64("n"), 42u);
+    EXPECT_DOUBLE_EQ(c.getDouble("d"), 2.5);
+    EXPECT_TRUE(c.getBool("b"));
+    EXPECT_EQ(c.getU64("missing", 7), 7u);
+    EXPECT_DOUBLE_EQ(c.getDouble("missing", 1.5), 1.5);
+    EXPECT_FALSE(c.getBool("missing", false));
+}
+
+TEST(Config, MalformedValueIsFatal)
+{
+    Config c;
+    c.set("n", "not-a-number");
+    EXPECT_THROW(c.getU64("n"), FatalError);
+    EXPECT_THROW(c.getDouble("n"), FatalError);
+    EXPECT_THROW(c.getBool("n"), FatalError);
+    // Even with a fallback, a present-but-malformed value is an error.
+    EXPECT_THROW(c.getU64("n", 3), FatalError);
+}
+
+TEST(Config, ParseIniSections)
+{
+    Config c;
+    c.parseString("top = 1\n"
+                  "[hmc]\n"
+                  "num_vaults = 16  # comment\n"
+                  "topology = quadrant_xbar\n"
+                  "[host]\n"
+                  "num_ports=9\n");
+    EXPECT_EQ(c.getU64("top"), 1u);
+    EXPECT_EQ(c.getU64("hmc.num_vaults"), 16u);
+    EXPECT_EQ(c.getString("hmc.topology"), "quadrant_xbar");
+    EXPECT_EQ(c.getU64("host.num_ports"), 9u);
+}
+
+TEST(Config, ParseCommentsAndBlank)
+{
+    Config c;
+    c.parseString("# full comment\n"
+                  "\n"
+                  "; semicolon comment\n"
+                  "key = value ; trailing\n");
+    EXPECT_EQ(c.getString("key"), "value");
+}
+
+TEST(Config, ParseErrors)
+{
+    Config c;
+    EXPECT_THROW(c.parseString("novalue\n"), FatalError);
+    EXPECT_THROW(c.parseString("[unclosed\n"), FatalError);
+    EXPECT_THROW(c.parseString("= bare\n"), FatalError);
+}
+
+TEST(Config, LaterKeysWin)
+{
+    Config c;
+    c.parseString("k = 1\nk = 2\n");
+    EXPECT_EQ(c.getU64("k"), 2u);
+}
+
+TEST(Config, Overrides)
+{
+    Config c;
+    c.set("a", "1");
+    c.applyOverrides({"a=2", "b.c = 3"});
+    EXPECT_EQ(c.getU64("a"), 2u);
+    EXPECT_EQ(c.getU64("b.c"), 3u);
+    EXPECT_THROW(c.applyOverrides({"noequals"}), FatalError);
+}
+
+TEST(Config, KeysSortedAndToString)
+{
+    Config c;
+    c.set("z", "1");
+    c.set("a", "2");
+    const auto keys = c.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "a");
+    EXPECT_EQ(keys[1], "z");
+    EXPECT_NE(c.toString().find("a = 2"), std::string::npos);
+}
+
+TEST(Config, MergeOtherWins)
+{
+    Config a;
+    a.set("k", "1");
+    a.set("only_a", "x");
+    Config b;
+    b.set("k", "2");
+    a.merge(b);
+    EXPECT_EQ(a.getU64("k"), 2u);
+    EXPECT_EQ(a.getString("only_a"), "x");
+}
+
+TEST(Config, Erase)
+{
+    Config c;
+    c.set("k", "1");
+    EXPECT_TRUE(c.erase("k"));
+    EXPECT_FALSE(c.erase("k"));
+    EXPECT_FALSE(c.has("k"));
+}
+
+TEST(Config, ParseFileMissingIsFatal)
+{
+    Config c;
+    EXPECT_THROW(c.parseFile("/nonexistent/path/cfg.ini"), FatalError);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/log.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(Csv, HeaderAndRows)
+{
+    std::ostringstream oss;
+    {
+        CsvWriter w(oss, {"a", "b"});
+        w.row().cell(1).cell(2.5, 1);
+        w.row().cell("x").cell(std::uint64_t{7});
+        w.finish();
+    }
+    EXPECT_EQ(oss.str(), "a,b\n1,2.5\nx,7\n");
+}
+
+TEST(Csv, NoRowsNoHeader)
+{
+    std::ostringstream oss;
+    {
+        CsvWriter w(oss, {"a"});
+        w.finish();
+    }
+    EXPECT_EQ(oss.str(), "");
+}
+
+TEST(Csv, EscapingCommasAndQuotes)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, EscapedCellRoundTrips)
+{
+    std::ostringstream oss;
+    {
+        CsvWriter w(oss, {"v"});
+        w.row().cell("a,b");
+        w.finish();
+    }
+    EXPECT_EQ(oss.str(), "v\n\"a,b\"\n");
+}
+
+TEST(Csv, WrongArityPanics)
+{
+    std::ostringstream oss;
+    CsvWriter w(oss, {"a", "b"});
+    w.row().cell(1);
+    EXPECT_THROW(w.row(), PanicError);  // flushing a short row
+}
+
+TEST(Csv, CellWithoutRowPanics)
+{
+    std::ostringstream oss;
+    CsvWriter w(oss, {"a"});
+    EXPECT_THROW(w.cell(1), PanicError);
+}
+
+TEST(Csv, EmptyColumnsPanics)
+{
+    std::ostringstream oss;
+    EXPECT_THROW(CsvWriter(oss, {}), PanicError);
+}
+
+TEST(Csv, DestructorFlushesOpenRow)
+{
+    std::ostringstream oss;
+    {
+        CsvWriter w(oss, {"a"});
+        w.row().cell(3);
+    }
+    EXPECT_EQ(oss.str(), "a\n3\n");
+}
+
+TEST(Csv, NegativeAndPrecision)
+{
+    std::ostringstream oss;
+    {
+        CsvWriter w(oss, {"a", "b"});
+        w.row().cell(std::int64_t{-5}).cell(1.0 / 3.0, 4);
+        w.finish();
+    }
+    EXPECT_EQ(oss.str(), "a,b\n-5,0.3333\n");
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/log.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(Histogram, BinGeometry)
+{
+    Histogram h(0.0, 100.0, 10);
+    EXPECT_EQ(h.bins(), 10u);
+    EXPECT_DOUBLE_EQ(h.binWidth(), 10.0);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binLow(9), 90.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 5.0);
+}
+
+TEST(Histogram, AddAndCount)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(9.5);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, SaturatingEdges)
+{
+    Histogram h(10.0, 20.0, 2);
+    h.add(-100.0);  // below -> bin 0
+    h.add(9.9);
+    h.add(20.0);    // at hi -> last bin
+    h.add(1e9);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 2u);
+}
+
+TEST(Histogram, BoundaryBelongsToUpperBin)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.binIndex(2.0), 1u);
+    EXPECT_EQ(h.binIndex(1.9999), 0u);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(0.5);
+    h.add(0.6);
+    h.add(2.5);
+    h.add(3.5);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.fraction(2), 0.25);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);
+}
+
+TEST(Histogram, EmptyFractionIsZero)
+{
+    Histogram h(0.0, 1.0, 2);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, Merge)
+{
+    Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 5);
+    a.add(1.0);
+    b.add(1.0);
+    b.add(9.0);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.count(0), 2u);
+    EXPECT_EQ(a.count(4), 1u);
+}
+
+TEST(Histogram, MergeShapeMismatchPanics)
+{
+    Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 4);
+    EXPECT_THROW(a.merge(b), PanicError);
+    Histogram c(0.0, 11.0, 5);
+    EXPECT_THROW(a.merge(c), PanicError);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.1);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.count(0), 0u);
+}
+
+TEST(Histogram, InvalidConstructionPanics)
+{
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), PanicError);
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), PanicError);
+    EXPECT_THROW(Histogram(2.0, 1.0, 4), PanicError);
+}
+
+TEST(Histogram, CountOutOfRangePanics)
+{
+    Histogram h(0.0, 1.0, 2);
+    EXPECT_THROW(h.count(2), PanicError);
+}
+
+}  // namespace
+}  // namespace hmcsim

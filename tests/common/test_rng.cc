@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    const std::uint64_t first = a.next();
+    a.next();
+    a.seed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowOneIsZero)
+{
+    Rng r(3);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(r.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextBelowZeroPanics)
+{
+    Rng r(3);
+    EXPECT_THROW(r.nextBelow(0), PanicError);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng r(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = r.nextRange(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(Rng, NextRangeBadBoundsPanics)
+{
+    Rng r(5);
+    EXPECT_THROW(r.nextRange(10, 9), PanicError);
+}
+
+TEST(Rng, NextDoubleUnitInterval)
+{
+    Rng r(9);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated)
+{
+    Rng r(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.nextBool(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, UniformityOverBuckets)
+{
+    Rng r(13);
+    int buckets[8] = {};
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[r.nextBelow(8)];
+    for (int b = 0; b < 8; ++b)
+        EXPECT_NEAR(buckets[b], n / 8, n / 8 * 0.1);
+}
+
+TEST(SplitMix, KnownToAdvanceState)
+{
+    std::uint64_t s = 0;
+    const std::uint64_t v1 = splitmix64(s);
+    const std::uint64_t v2 = splitmix64(s);
+    EXPECT_NE(v1, v2);
+    EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(Counter, IncAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SampleStats, Empty)
+{
+    SampleStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleStats, BasicMoments)
+{
+    SampleStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);  // classic example
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SampleStats, SingleSampleVarianceZero)
+{
+    SampleStats s;
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(SampleStats, MergeMatchesCombined)
+{
+    SampleStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double v = i * 0.37;
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SampleStats, MergeWithEmpty)
+{
+    SampleStats a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    SampleStats c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(SampleStats, Reset)
+{
+    SampleStats s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+}
+
+TEST(RateStat, BandwidthMath)
+{
+    RateStat r;
+    r.begin(0);
+    r.add(1000);
+    r.end(1000);  // 1000 B over 1000 ps -> 1 B/ps = 1000 GB/s
+    EXPECT_DOUBLE_EQ(r.gbPerSec(), 1000.0);
+}
+
+TEST(RateStat, RealisticWindow)
+{
+    RateStat r;
+    r.begin(0);
+    // 23 GB/s over 10 us = 230 kB.
+    r.add(230000);
+    r.end(10 * kMicrosecond);
+    EXPECT_NEAR(r.gbPerSec(), 23.0, 1e-9);
+}
+
+TEST(RateStat, EmptyWindowIsZero)
+{
+    RateStat r;
+    r.begin(5);
+    r.add(100);
+    r.end(5);
+    EXPECT_DOUBLE_EQ(r.gbPerSec(), 0.0);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/strutil.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(StrUtil, Trim)
+{
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(StrUtil, Split)
+{
+    const auto v = split("a,b,,c", ',');
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[2], "");
+    EXPECT_EQ(v[3], "c");
+}
+
+TEST(StrUtil, SplitKeepsTrailingEmpty)
+{
+    const auto v = split("a,", ',');
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[1], "");
+}
+
+TEST(StrUtil, SplitWhitespace)
+{
+    const auto v = splitWhitespace("  a \t b\nc ");
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[1], "b");
+    EXPECT_EQ(v[2], "c");
+}
+
+TEST(StrUtil, StartsWith)
+{
+    EXPECT_TRUE(startsWith("hmc.num_vaults", "hmc."));
+    EXPECT_FALSE(startsWith("hmc", "hmc."));
+}
+
+TEST(StrUtil, ToLower)
+{
+    EXPECT_EQ(toLower("AbC123"), "abc123");
+}
+
+TEST(StrUtil, ParseU64)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parseU64("42", v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_TRUE(parseU64("0x10", v));
+    EXPECT_EQ(v, 16u);
+    EXPECT_FALSE(parseU64("12abc", v));
+    EXPECT_FALSE(parseU64("", v));
+    EXPECT_FALSE(parseU64("-3", v));
+    EXPECT_TRUE(parseU64(" 7 ", v));
+    EXPECT_EQ(v, 7u);
+}
+
+TEST(StrUtil, ParseI64)
+{
+    std::int64_t v = 0;
+    EXPECT_TRUE(parseI64("-42", v));
+    EXPECT_EQ(v, -42);
+    EXPECT_FALSE(parseI64("4.2", v));
+}
+
+TEST(StrUtil, ParseDouble)
+{
+    double v = 0.0;
+    EXPECT_TRUE(parseDouble("3.5", v));
+    EXPECT_DOUBLE_EQ(v, 3.5);
+    EXPECT_TRUE(parseDouble("-1e3", v));
+    EXPECT_DOUBLE_EQ(v, -1000.0);
+    EXPECT_FALSE(parseDouble("abc", v));
+    EXPECT_FALSE(parseDouble("1.5x", v));
+}
+
+TEST(StrUtil, ParseBool)
+{
+    bool v = false;
+    EXPECT_TRUE(parseBool("true", v));
+    EXPECT_TRUE(v);
+    EXPECT_TRUE(parseBool("OFF", v));
+    EXPECT_FALSE(v);
+    EXPECT_TRUE(parseBool("1", v));
+    EXPECT_TRUE(v);
+    EXPECT_FALSE(parseBool("maybe", v));
+}
+
+TEST(StrUtil, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "dram/bank.h"
+
+namespace hmcsim {
+namespace {
+
+class BankTest : public ::testing::Test
+{
+  protected:
+    BankTest() : params_(DramTimingParams::hmcGen2()), bank_(params_, 0) {}
+
+    DramTimingParams params_;
+    Bank bank_;
+};
+
+TEST_F(BankTest, StartsIdle)
+{
+    EXPECT_FALSE(bank_.rowOpen());
+    EXPECT_EQ(bank_.actReadyAt(), 0u);
+}
+
+TEST_F(BankTest, ActivateOpensRow)
+{
+    const Tick open = bank_.activate(0, 42);
+    EXPECT_TRUE(bank_.rowOpen());
+    EXPECT_EQ(bank_.openRow(), 42u);
+    EXPECT_EQ(open, params_.tRCD);
+    EXPECT_EQ(bank_.colReadyAt(), params_.tRCD);
+    EXPECT_EQ(bank_.preReadyAt(), params_.tRAS);
+}
+
+TEST_F(BankTest, ReadBurstTiming)
+{
+    bank_.activate(0, 1);
+    const auto t = bank_.readBurst(params_.tRCD, 4);
+    EXPECT_EQ(t.cmdTime, params_.tRCD);
+    EXPECT_EQ(t.dataStart, params_.tRCD + params_.tCL);
+    EXPECT_EQ(t.dataEnd, t.dataStart + 4 * params_.tBURST);
+    // Next column command honours tCCD for all 4 beats.
+    EXPECT_EQ(bank_.colReadyAt(), params_.tRCD + 4 * params_.tCCD);
+}
+
+TEST_F(BankTest, WriteBurstUsesWlAndWr)
+{
+    bank_.activate(0, 1);
+    const auto t = bank_.writeBurst(params_.tRCD, 2);
+    EXPECT_EQ(t.dataStart, params_.tRCD + params_.tWL);
+    EXPECT_EQ(bank_.preReadyAt(), t.dataEnd + params_.tWR);
+}
+
+TEST_F(BankTest, PrechargeClosesAndSetsTrp)
+{
+    bank_.activate(0, 1);
+    const Tick pre_at = bank_.preReadyAt();
+    const Tick idle = bank_.precharge(pre_at);
+    EXPECT_FALSE(bank_.rowOpen());
+    EXPECT_EQ(idle, pre_at + params_.tRP);
+    EXPECT_EQ(bank_.actReadyAt(), pre_at + params_.tRP);
+}
+
+TEST_F(BankTest, FullClosedPageCycle)
+{
+    // ACT -> RD -> PRE -> ACT: the precharge waits for whichever of
+    // tRAS (from ACT) and tRTP (from the read) ends later, and the
+    // next activate adds tRP on top.
+    bank_.activate(0, 1);
+    bank_.readBurst(bank_.colReadyAt(), 1);
+    bank_.precharge(bank_.preReadyAt());
+    const Tick pre_at =
+        std::max(params_.tRAS, params_.tRCD + params_.tRTP);
+    EXPECT_EQ(bank_.actReadyAt(), pre_at + params_.tRP);
+    EXPECT_GE(bank_.actReadyAt(), params_.tRC());
+    bank_.activate(bank_.actReadyAt(), 2);
+    EXPECT_EQ(bank_.openRow(), 2u);
+}
+
+TEST_F(BankTest, ReadDelaysPrechargeViaRtp)
+{
+    bank_.activate(0, 1);
+    // Issue the read late so tRTP, not tRAS, dominates.
+    const Tick rd = params_.tRAS + 1000;
+    bank_.readBurst(rd, 1);
+    EXPECT_EQ(bank_.preReadyAt(), rd + params_.tRTP);
+}
+
+TEST_F(BankTest, DoubleActivatePanics)
+{
+    bank_.activate(0, 1);
+    EXPECT_THROW(bank_.activate(params_.tRCD, 2), PanicError);
+}
+
+TEST_F(BankTest, EarlyActivatePanics)
+{
+    bank_.activate(0, 1);
+    bank_.precharge(bank_.preReadyAt());
+    EXPECT_THROW(bank_.activate(bank_.actReadyAt() - 1, 2), PanicError);
+}
+
+TEST_F(BankTest, ReadOnClosedRowPanics)
+{
+    EXPECT_THROW(bank_.readBurst(0, 1), PanicError);
+}
+
+TEST_F(BankTest, EarlyColumnPanics)
+{
+    bank_.activate(0, 1);
+    EXPECT_THROW(bank_.readBurst(params_.tRCD - 1, 1), PanicError);
+}
+
+TEST_F(BankTest, EarlyPrechargePanics)
+{
+    bank_.activate(0, 1);
+    EXPECT_THROW(bank_.precharge(params_.tRAS - 1), PanicError);
+}
+
+TEST_F(BankTest, ZeroBeatsPanics)
+{
+    bank_.activate(0, 1);
+    EXPECT_THROW(bank_.readBurst(params_.tRCD, 0), PanicError);
+}
+
+TEST_F(BankTest, RefreshBlocksActivate)
+{
+    const Tick done = bank_.refresh(0);
+    EXPECT_EQ(done, params_.tRFC);
+    EXPECT_EQ(bank_.actReadyAt(), params_.tRFC);
+    EXPECT_THROW(bank_.activate(params_.tRFC - 1, 1), PanicError);
+}
+
+TEST_F(BankTest, RefreshOnOpenRowPanics)
+{
+    bank_.activate(0, 1);
+    EXPECT_THROW(bank_.refresh(params_.tRAS), PanicError);
+}
+
+TEST_F(BankTest, StatCounters)
+{
+    bank_.activate(0, 1);
+    bank_.readBurst(bank_.colReadyAt(), 4);
+    bank_.precharge(bank_.preReadyAt());
+    EXPECT_EQ(bank_.activates(), 1u);
+    EXPECT_EQ(bank_.reads(), 4u);  // counted in beats
+    EXPECT_EQ(bank_.precharges(), 1u);
+    bank_.resetStats();
+    EXPECT_EQ(bank_.activates(), 0u);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/units.h"
+#include "dram/refresh.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(Refresh, DisabledNeverDue)
+{
+    RefreshPolicy r(0, 16);
+    EXPECT_FALSE(r.enabled());
+    EXPECT_FALSE(r.due(0, kTickNever - 1));
+    EXPECT_EQ(r.nextDue(0), kTickNever);
+}
+
+TEST(Refresh, StaggeredInitialDueTimes)
+{
+    const Tick trefi = nsToTicks(7800.0);
+    RefreshPolicy r(trefi, 16);
+    EXPECT_TRUE(r.enabled());
+    Tick prev = 0;
+    for (BankId b = 0; b < 16; ++b) {
+        const Tick due = r.nextDue(b);
+        EXPECT_GT(due, prev);
+        EXPECT_LE(due, trefi);
+        prev = due;
+    }
+}
+
+TEST(Refresh, DueAfterInterval)
+{
+    const Tick trefi = 1000;
+    RefreshPolicy r(trefi, 4);
+    const Tick first = r.nextDue(0);
+    EXPECT_FALSE(r.due(0, first - 1));
+    EXPECT_TRUE(r.due(0, first));
+}
+
+TEST(Refresh, CompletedReschedules)
+{
+    RefreshPolicy r(1000, 4);
+    const Tick first = r.nextDue(2);
+    r.completed(2, first + 50);
+    EXPECT_EQ(r.nextDue(2), first + 50 + 1000);
+    EXPECT_EQ(r.refreshesIssued(), 1u);
+    EXPECT_FALSE(r.due(2, first + 100));
+}
+
+TEST(Refresh, CompletedWhileDisabledIsNoop)
+{
+    RefreshPolicy r(0, 4);
+    r.completed(0, 100);
+    EXPECT_EQ(r.refreshesIssued(), 0u);
+}
+
+TEST(Refresh, OutOfRangePanics)
+{
+    RefreshPolicy r(1000, 4);
+    EXPECT_THROW(r.due(4, 0), PanicError);
+    EXPECT_THROW(r.completed(4, 0), PanicError);
+    EXPECT_THROW(r.nextDue(4), PanicError);
+}
+
+TEST(Refresh, ZeroBanksPanics)
+{
+    EXPECT_THROW(RefreshPolicy(1000, 0), PanicError);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/units.h"
+#include "dram/timing.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(DramTiming, HmcGen2MatchesPaperCoreLatency)
+{
+    const DramTimingParams p = DramTimingParams::hmcGen2();
+    // The paper cites tRCD + tCL + tRP ~= 41 ns ([4], [25]).
+    EXPECT_NEAR(ticksToNs(p.tRCD + p.tCL + p.tRP), 41.25, 0.1);
+}
+
+TEST(DramTiming, HmcGen2BusGivesTenGBs)
+{
+    const DramTimingParams p = DramTimingParams::hmcGen2();
+    // 32 B per tBURST must equal the 10 GB/s vault bandwidth.
+    EXPECT_NEAR(32.0 / ticksToNs(p.tBURST), 10.0, 0.01);
+}
+
+TEST(DramTiming, HmcGen2RowCycle)
+{
+    const DramTimingParams p = DramTimingParams::hmcGen2();
+    EXPECT_EQ(p.tRC(), p.tRAS + p.tRP);
+    // Single-bank 32 B random reads at ~tRC pace -> ~2 GB/s including
+    // packet overhead, the paper's Fig. 6 floor.
+    const double accesses_per_sec = 1e9 / ticksToNs(p.tRC());
+    const double wire_bw = accesses_per_sec * (16 + 48) / 1e9;
+    EXPECT_NEAR(wire_bw, 2.0, 0.2);
+}
+
+TEST(DramTiming, PresetLookup)
+{
+    EXPECT_NO_THROW(DramTimingParams::preset("hmc_gen2"));
+    EXPECT_NO_THROW(DramTimingParams::preset("ddr3_1600"));
+    EXPECT_THROW(DramTimingParams::preset("lpddr9"), FatalError);
+}
+
+TEST(DramTiming, Ddr3HasSlowerBus)
+{
+    const DramTimingParams hmc = DramTimingParams::hmcGen2();
+    const DramTimingParams ddr = DramTimingParams::ddr3_1600();
+    EXPECT_GT(ddr.tBURST, hmc.tBURST);
+    EXPECT_GT(ddr.tRAS, hmc.tRAS);
+}
+
+TEST(DramTiming, ValidateRejectsZeroCore)
+{
+    DramTimingParams p = DramTimingParams::hmcGen2();
+    p.tRCD = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(DramTiming, ValidateRejectsShortRas)
+{
+    DramTimingParams p = DramTimingParams::hmcGen2();
+    p.tRAS = p.tRCD - 1;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(DramTiming, ValidateRejectsRefreshWithoutTrfc)
+{
+    DramTimingParams p = DramTimingParams::hmcGen2();
+    p.tREFI = nsToTicks(7800.0);
+    p.tRFC = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+}  // namespace
+}  // namespace hmcsim

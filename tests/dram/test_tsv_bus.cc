@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/units.h"
+#include "dram/tsv_bus.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(TsvBus, BeatRounding)
+{
+    TsvBus bus("b", 32, 3200);
+    EXPECT_EQ(bus.beatsFor(1), 1u);
+    EXPECT_EQ(bus.beatsFor(16), 1u);
+    EXPECT_EQ(bus.beatsFor(32), 1u);
+    EXPECT_EQ(bus.beatsFor(33), 2u);
+    EXPECT_EQ(bus.beatsFor(128), 4u);
+}
+
+TEST(TsvBus, SixteenByteRequestOccupiesFullBeat)
+{
+    // The paper: the DRAM bus granularity is 32 B, so 16 B requests
+    // waste half the beat.
+    TsvBus bus("b", 32, 3200);
+    const auto t = bus.reserve(16, 0);
+    EXPECT_EQ(t.end - t.start, 3200u);
+}
+
+TEST(TsvBus, SequentialReservations)
+{
+    TsvBus bus("b", 32, 3200);
+    const auto t1 = bus.reserve(128, 0);
+    EXPECT_EQ(t1.end, 4 * 3200u);
+    const auto t2 = bus.reserve(32, 0);
+    EXPECT_EQ(t2.start, t1.end);
+}
+
+TEST(TsvBus, TenGBsAggregate)
+{
+    TsvBus bus("b", 32, 3200);
+    // 100 x 128 B back to back = 12.8 KB in 128 * 3.2 ns.
+    Tick end = 0;
+    for (int i = 0; i < 100; ++i)
+        end = bus.reserve(128, 0).end;
+    const double gbs = 12800.0 / ticksToNs(end);
+    EXPECT_NEAR(gbs, 10.0, 0.01);
+}
+
+TEST(TsvBus, EarliestRespected)
+{
+    TsvBus bus("b", 32, 3200);
+    const auto t = bus.reserve(32, 99999);
+    EXPECT_EQ(t.start, 99999u);
+}
+
+TEST(TsvBus, BusyTimeExcludesIdle)
+{
+    TsvBus bus("b", 32, 3200);
+    bus.reserve(32, 0);
+    bus.reserve(32, 100000);
+    EXPECT_EQ(bus.busyTime(), 2 * 3200u);
+}
+
+TEST(TsvBus, BytesCountWholeBeats)
+{
+    TsvBus bus("b", 32, 3200);
+    bus.reserve(16, 0);
+    EXPECT_EQ(bus.bytesCarried(), 32u);  // a full beat moved
+}
+
+TEST(TsvBus, ResetStats)
+{
+    TsvBus bus("b", 32, 3200);
+    bus.reserve(64, 0);
+    bus.resetStats();
+    EXPECT_EQ(bus.bytesCarried(), 0u);
+    EXPECT_EQ(bus.busyTime(), 0u);
+}
+
+TEST(TsvBus, ZeroByteReservationPanics)
+{
+    TsvBus bus("b", 32, 3200);
+    EXPECT_THROW(bus.reserve(0, 0), PanicError);
+}
+
+TEST(TsvBus, BadConstructionPanics)
+{
+    EXPECT_THROW(TsvBus("b", 0, 3200), PanicError);
+    EXPECT_THROW(TsvBus("b", 32, 0), PanicError);
+}
+
+}  // namespace
+}  // namespace hmcsim

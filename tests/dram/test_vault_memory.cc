@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "dram/vault_memory.h"
+
+namespace hmcsim {
+namespace {
+
+class VaultMemoryTest : public ::testing::Test
+{
+  protected:
+    VaultMemoryTest()
+        : params_(DramTimingParams::hmcGen2()),
+          mem_(kernel_, nullptr, "vmem", params_, 16)
+    {
+    }
+
+    DramAccess
+    access(BankId bank, RowId row, std::uint32_t bytes,
+           bool write = false)
+    {
+        DramAccess a;
+        a.bank = bank;
+        a.row = row;
+        a.bytes = bytes;
+        a.isWrite = write;
+        return a;
+    }
+
+    Kernel kernel_;
+    DramTimingParams params_;
+    VaultMemory mem_;
+};
+
+TEST_F(VaultMemoryTest, ClosedPageReadTiming)
+{
+    const auto r = mem_.service(access(0, 5, 32), 0, PagePolicy::Closed);
+    EXPECT_EQ(r.actTime, 0u);
+    EXPECT_EQ(r.colTime, params_.tRCD);
+    EXPECT_EQ(r.dataStart, params_.tRCD + params_.tCL);
+    EXPECT_EQ(r.dataEnd, r.dataStart + params_.tBURST);
+    EXPECT_FALSE(r.rowHit);
+    // Closed policy precharged: the bank is closed again.
+    EXPECT_FALSE(mem_.bank(0).rowOpen());
+}
+
+TEST_F(VaultMemoryTest, ClosedPageBackToBackSameBankPacedByRowCycle)
+{
+    const auto r1 = mem_.service(access(0, 1, 32), 0, PagePolicy::Closed);
+    const auto r2 = mem_.service(access(0, 2, 32), r1.dataEnd,
+                                 PagePolicy::Closed);
+    // Second activate cannot start before tRAS + tRP.
+    EXPECT_GE(r2.actTime, params_.tRC());
+}
+
+TEST_F(VaultMemoryTest, OpenPageHitSkipsActivate)
+{
+    const auto r1 = mem_.service(access(0, 7, 32), 0, PagePolicy::Open);
+    EXPECT_FALSE(r1.rowHit);
+    EXPECT_TRUE(mem_.bank(0).rowOpen());
+    const auto r2 = mem_.service(access(0, 7, 32), r1.dataEnd,
+                                 PagePolicy::Open);
+    EXPECT_TRUE(r2.rowHit);
+    EXPECT_EQ(r2.actTime, kTickNever);
+    // A hit is much faster: no tRCD.
+    EXPECT_LT(r2.dataEnd - r1.dataEnd,
+              params_.tRCD + params_.tCL + 2 * params_.tBURST);
+    EXPECT_EQ(mem_.rowHits(), 1u);
+    EXPECT_EQ(mem_.rowMisses(), 1u);
+}
+
+TEST_F(VaultMemoryTest, OpenPageConflictPrechargesFirst)
+{
+    const auto r1 = mem_.service(access(0, 1, 32), 0, PagePolicy::Open);
+    const auto r2 = mem_.service(access(0, 2, 32), r1.dataEnd,
+                                 PagePolicy::Open);
+    EXPECT_FALSE(r2.rowHit);
+    // Conflict pays precharge + activate on top.
+    EXPECT_GE(r2.actTime, params_.tRAS + params_.tRP);
+    EXPECT_EQ(mem_.bank(0).openRow(), 2u);
+}
+
+TEST_F(VaultMemoryTest, DifferentBanksOverlap)
+{
+    const auto r1 = mem_.service(access(0, 1, 128), 0, PagePolicy::Closed);
+    const auto r2 = mem_.service(access(1, 1, 128), 0, PagePolicy::Closed);
+    // Bank 1's activate only waits tRRD, not the whole bank-0 access.
+    EXPECT_EQ(r2.actTime, params_.tRRD);
+    EXPECT_GT(r1.dataEnd, r2.actTime);
+}
+
+TEST_F(VaultMemoryTest, SharedBusSerializesData)
+{
+    const auto r1 = mem_.service(access(0, 1, 128), 0, PagePolicy::Closed);
+    const auto r2 = mem_.service(access(1, 1, 128), 0, PagePolicy::Closed);
+    // Data windows must not overlap on the 32 B TSV bus.
+    EXPECT_GE(r2.dataStart, r1.dataEnd);
+}
+
+TEST_F(VaultMemoryTest, FawLimitsActivateBursts)
+{
+    // Five activates in a row: the fifth waits for the tFAW window.
+    Tick act4 = 0;
+    for (BankId b = 0; b < 4; ++b)
+        act4 = mem_.service(access(b, 1, 32), 0, PagePolicy::Closed)
+            .actTime;
+    const auto r5 = mem_.service(access(4, 1, 32), 0, PagePolicy::Closed);
+    EXPECT_GE(r5.actTime, params_.tFAW);
+    (void)act4;
+}
+
+TEST_F(VaultMemoryTest, SixteenByteAccessOccupiesWholeBeat)
+{
+    const auto r = mem_.service(access(0, 1, 16), 0, PagePolicy::Closed);
+    EXPECT_EQ(r.dataEnd - r.dataStart, params_.tBURST);
+}
+
+TEST_F(VaultMemoryTest, WriteUsesWriteLatency)
+{
+    const auto r =
+        mem_.service(access(0, 1, 32, true), 0, PagePolicy::Closed);
+    EXPECT_EQ(r.dataStart, r.colTime + params_.tWL);
+}
+
+TEST_F(VaultMemoryTest, RefreshBankDelaysNextActivate)
+{
+    const Tick done = mem_.refreshBank(3, 0);
+    EXPECT_EQ(done, params_.tRFC);
+    const auto r = mem_.service(access(3, 1, 32), 0, PagePolicy::Closed);
+    EXPECT_GE(r.actTime, params_.tRFC);
+}
+
+TEST_F(VaultMemoryTest, RefreshPrechargesOpenRow)
+{
+    mem_.service(access(2, 9, 32), 0, PagePolicy::Open);
+    ASSERT_TRUE(mem_.bank(2).rowOpen());
+    mem_.refreshBank(2, 0);
+    EXPECT_FALSE(mem_.bank(2).rowOpen());
+}
+
+TEST_F(VaultMemoryTest, EarliestActivateHonoursRrd)
+{
+    mem_.service(access(0, 1, 32), 0, PagePolicy::Closed);
+    EXPECT_GE(mem_.earliestActivate(1, 0), params_.tRRD);
+}
+
+TEST_F(VaultMemoryTest, BankIndexOutOfRangePanics)
+{
+    EXPECT_THROW(mem_.bank(16), PanicError);
+}
+
+TEST_F(VaultMemoryTest, ZeroBanksIsFatal)
+{
+    EXPECT_THROW(VaultMemory(kernel_, nullptr, "bad", params_, 0),
+                 FatalError);
+}
+
+TEST_F(VaultMemoryTest, StatsReport)
+{
+    mem_.service(access(0, 1, 64), 0, PagePolicy::Closed);
+    std::map<std::string, double> stats;
+    mem_.reportStats(stats);
+    EXPECT_DOUBLE_EQ(stats.at("vmem.activates"), 1.0);
+    EXPECT_DOUBLE_EQ(stats.at("vmem.bus_bytes"), 64.0);
+    mem_.resetStats();
+    stats.clear();
+    mem_.reportStats(stats);
+    EXPECT_DOUBLE_EQ(stats.at("vmem.activates"), 0.0);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "hmc/address_map.h"
+
+namespace hmcsim {
+namespace {
+
+class AddressMapTest : public ::testing::Test
+{
+  protected:
+    AddressMapTest() : map_(cfg_) {}
+
+    HmcConfig cfg_;     // defaults: 4 GB, 16 vaults, 16 banks, 128 B
+    AddressMap map_;
+};
+
+TEST_F(AddressMapTest, FieldPositionsMatchSpecFig3)
+{
+    // 128 B blocks: offset [6:0], vault [10:7], bank [14:11].
+    EXPECT_EQ(map_.offsetBits(), 7u);
+    EXPECT_EQ(map_.vaultLow(), 7u);
+    EXPECT_EQ(map_.vaultBits(), 4u);
+    EXPECT_EQ(map_.bankLow(), 11u);
+    EXPECT_EQ(map_.bankBits(), 4u);
+    EXPECT_EQ(map_.addrBits(), 32u);
+}
+
+TEST_F(AddressMapTest, SequentialBlocksStripeAcrossVaults)
+{
+    // Low-order interleave: consecutive 128 B blocks visit all 16
+    // vaults before reusing one (the paper's Fig. 3 behaviour).
+    std::set<VaultId> vaults;
+    for (Addr block = 0; block < 16; ++block)
+        vaults.insert(map_.decode(block * 128).vault);
+    EXPECT_EQ(vaults.size(), 16u);
+}
+
+TEST_F(AddressMapTest, OsPageTouchesTwoBanksPerVault)
+{
+    // A 4 KB page = 32 blocks of 128 B: all 16 vaults, 2 banks each.
+    std::set<std::pair<VaultId, BankId>> spots;
+    for (Addr a = 0; a < 4096; a += 128) {
+        const DecodedAddr d = map_.decode(a);
+        spots.insert({d.vault, d.bank});
+    }
+    EXPECT_EQ(spots.size(), 32u);  // 16 vaults x 2 banks
+    std::set<BankId> banks;
+    for (const auto &[v, b] : spots)
+        banks.insert(b);
+    EXPECT_EQ(banks.size(), 2u);
+}
+
+TEST_F(AddressMapTest, QuadrantDerivation)
+{
+    for (VaultId v = 0; v < 16; ++v) {
+        DecodedAddr d;
+        d.vault = v;
+        const DecodedAddr out = map_.decode(map_.encode(d));
+        EXPECT_EQ(out.quadrant, v / 4);
+        EXPECT_EQ(out.vaultInQuad, v % 4);
+    }
+}
+
+TEST_F(AddressMapTest, EncodeDecodeRoundTrip)
+{
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = rng.next() & (cfg_.capacityBytes - 1);
+        const DecodedAddr d = map_.decode(a);
+        EXPECT_EQ(map_.encode(d), a) << "addr 0x" << std::hex << a;
+    }
+}
+
+TEST_F(AddressMapTest, RowChangesEvery256Bytes)
+{
+    // Within one bank: blocks 0 and 1 of a row share it, block 2 is
+    // the next row (256 B rows, 128 B blocks).
+    DecodedAddr d;
+    d.vault = 3;
+    d.bank = 5;
+    d.row = 10;
+    const Addr base = map_.encode(d);
+    const DecodedAddr same = map_.decode(base);
+    EXPECT_EQ(same.row, 10u);
+}
+
+TEST_F(AddressMapTest, DecodeBeyondCapacityPanics)
+{
+    EXPECT_THROW(map_.decode(cfg_.capacityBytes), PanicError);
+}
+
+TEST_F(AddressMapTest, PatternConfinesVaultsAndBanks)
+{
+    Rng rng(11);
+    const AddressPattern p = map_.pattern(4, 2, 8, 4);
+    std::set<VaultId> vaults;
+    std::set<BankId> banks;
+    for (int i = 0; i < 5000; ++i) {
+        const Addr a = p.apply(rng.next() & (cfg_.capacityBytes - 1));
+        const DecodedAddr d = map_.decode(a);
+        vaults.insert(d.vault);
+        banks.insert(d.bank);
+    }
+    EXPECT_EQ(vaults.size(), 4u);
+    for (VaultId v : vaults) {
+        EXPECT_GE(v, 8u);
+        EXPECT_LT(v, 12u);
+    }
+    EXPECT_EQ(banks.size(), 2u);
+    for (BankId b : banks) {
+        EXPECT_GE(b, 4u);
+        EXPECT_LT(b, 6u);
+    }
+}
+
+TEST_F(AddressMapTest, FullPatternReachesEverything)
+{
+    Rng rng(13);
+    const AddressPattern p = map_.pattern(16, 16);
+    std::set<std::pair<VaultId, BankId>> spots;
+    for (int i = 0; i < 20000; ++i) {
+        const DecodedAddr d =
+            map_.decode(p.apply(rng.next() & (cfg_.capacityBytes - 1)));
+        spots.insert({d.vault, d.bank});
+    }
+    EXPECT_EQ(spots.size(), 256u);
+}
+
+TEST_F(AddressMapTest, SingleBankPattern)
+{
+    Rng rng(17);
+    const AddressPattern p = map_.pattern(1, 1);
+    for (int i = 0; i < 1000; ++i) {
+        const DecodedAddr d =
+            map_.decode(p.apply(rng.next() & (cfg_.capacityBytes - 1)));
+        EXPECT_EQ(d.vault, 0u);
+        EXPECT_EQ(d.bank, 0u);
+    }
+}
+
+TEST_F(AddressMapTest, VaultPattern)
+{
+    Rng rng(19);
+    const AddressPattern p = map_.vaultPattern(13);
+    std::set<BankId> banks;
+    for (int i = 0; i < 5000; ++i) {
+        const DecodedAddr d =
+            map_.decode(p.apply(rng.next() & (cfg_.capacityBytes - 1)));
+        EXPECT_EQ(d.vault, 13u);
+        banks.insert(d.bank);
+    }
+    EXPECT_EQ(banks.size(), 16u);
+}
+
+TEST_F(AddressMapTest, PatternValidation)
+{
+    EXPECT_THROW(map_.pattern(3, 1), FatalError);    // not pow2
+    EXPECT_THROW(map_.pattern(32, 1), FatalError);   // too many
+    EXPECT_THROW(map_.pattern(4, 1, 2), FatalError); // misaligned base
+    EXPECT_THROW(map_.vaultPattern(16), FatalError);
+}
+
+TEST_F(AddressMapTest, BankThenVaultScheme)
+{
+    HmcConfig cfg;
+    cfg.mapScheme = "bank_then_vault";
+    const AddressMap map(cfg);
+    // Consecutive blocks now stripe across banks of vault 0 first.
+    std::set<VaultId> vaults;
+    std::set<BankId> banks;
+    for (Addr block = 0; block < 16; ++block) {
+        const DecodedAddr d = map.decode(block * 128);
+        vaults.insert(d.vault);
+        banks.insert(d.bank);
+    }
+    EXPECT_EQ(vaults.size(), 1u);
+    EXPECT_EQ(banks.size(), 16u);
+}
+
+TEST_F(AddressMapTest, ToAccessFillsFields)
+{
+    const DramAccess a = map_.toAccess(0x12345680, 64, true);
+    EXPECT_TRUE(a.isWrite);
+    EXPECT_EQ(a.bytes, 64u);
+    const DecodedAddr d = map_.decode(0x12345680);
+    EXPECT_EQ(a.bank, d.bank);
+    EXPECT_EQ(a.row, d.row);
+    EXPECT_EQ(a.col, d.col);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "hmc/flow_control.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(TokenBucket, StartsFull)
+{
+    TokenBucket t(64);
+    EXPECT_EQ(t.capacity(), 64u);
+    EXPECT_EQ(t.available(), 64u);
+    EXPECT_EQ(t.inFlight(), 0u);
+}
+
+TEST(TokenBucket, ConsumeRefundCycle)
+{
+    TokenBucket t(10);
+    EXPECT_TRUE(t.canConsume(10));
+    t.consume(6);
+    EXPECT_EQ(t.available(), 4u);
+    EXPECT_EQ(t.inFlight(), 6u);
+    EXPECT_FALSE(t.canConsume(5));
+    t.refund(6);
+    EXPECT_EQ(t.available(), 10u);
+}
+
+TEST(TokenBucket, CallbackFiresOnRefund)
+{
+    TokenBucket t(4);
+    int fires = 0;
+    t.setOnAvailable([&] { ++fires; });
+    t.consume(4);
+    EXPECT_EQ(fires, 0);
+    t.refund(2);
+    t.refund(2);
+    EXPECT_EQ(fires, 2);
+}
+
+TEST(TokenBucket, TotalConsumedAccumulates)
+{
+    TokenBucket t(8);
+    t.consume(3);
+    t.refund(3);
+    t.consume(5);
+    EXPECT_EQ(t.totalConsumed(), 8u);
+}
+
+TEST(TokenBucket, OverConsumePanics)
+{
+    TokenBucket t(4);
+    t.consume(3);
+    EXPECT_THROW(t.consume(2), PanicError);
+}
+
+TEST(TokenBucket, OverRefundPanics)
+{
+    TokenBucket t(4);
+    t.consume(1);
+    EXPECT_THROW(t.refund(2), PanicError);
+}
+
+TEST(TokenBucket, ZeroCapacityPanics)
+{
+    EXPECT_THROW(TokenBucket(0), PanicError);
+}
+
+TEST(TokenBucket, ModelsLinkBuffer)
+{
+    // 64-flit RX buffer: seven 9-flit packets fit, the eighth stalls.
+    TokenBucket t(64);
+    int sent = 0;
+    while (t.canConsume(9)) {
+        t.consume(9);
+        ++sent;
+    }
+    EXPECT_EQ(sent, 7);
+    EXPECT_EQ(t.available(), 1u);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "hmc/packet.h"
+
+namespace hmcsim {
+namespace {
+
+/** Table I of the paper, parameterized over payload sizes. */
+class PacketTableI : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(PacketTableI, ReadRequestIsOneFlit)
+{
+    EXPECT_EQ(HmcPacket::flitsFor(HmcCmd::Read, GetParam()), 1u);
+}
+
+TEST_P(PacketTableI, WriteResponseIsOneFlit)
+{
+    EXPECT_EQ(HmcPacket::flitsFor(HmcCmd::WriteResponse, GetParam()), 1u);
+}
+
+TEST_P(PacketTableI, ReadResponseIsOverheadPlusData)
+{
+    const std::uint32_t bytes = GetParam();
+    EXPECT_EQ(HmcPacket::flitsFor(HmcCmd::ReadResponse, bytes),
+              1 + (bytes + 15) / 16);
+}
+
+TEST_P(PacketTableI, WriteRequestIsOverheadPlusData)
+{
+    const std::uint32_t bytes = GetParam();
+    EXPECT_EQ(HmcPacket::flitsFor(HmcCmd::Write, bytes),
+              1 + (bytes + 15) / 16);
+}
+
+TEST_P(PacketTableI, TotalSizeWithinSpecRange)
+{
+    // Table I: totals are 1 flit (no data) or 2..9 flits (with data).
+    const std::uint32_t bytes = GetParam();
+    const std::uint32_t with_data =
+        HmcPacket::flitsFor(HmcCmd::ReadResponse, bytes);
+    EXPECT_GE(with_data, 2u);
+    EXPECT_LE(with_data, 9u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSizes, PacketTableI,
+                         ::testing::Values(16u, 32u, 48u, 64u, 80u, 96u,
+                                           112u, 128u));
+
+TEST(Packet, BandwidthEfficiencyFromPaper)
+{
+    // Section IV-A: 16 B responses are 16/(16+16) = 50% efficient,
+    // 128 B responses are 128/(128+16) ~= 89%.
+    HmcPacket p;
+    p.cmd = HmcCmd::ReadResponse;
+    p.dataBytes = 16;
+    EXPECT_DOUBLE_EQ(16.0 / p.bytes(), 0.5);
+    p.dataBytes = 128;
+    EXPECT_NEAR(128.0 / p.bytes(), 0.89, 0.005);
+}
+
+TEST(Packet, FlowPacketIsOneFlit)
+{
+    EXPECT_EQ(HmcPacket::flitsFor(HmcCmd::Flow, 0), 1u);
+}
+
+TEST(Packet, RequestResponsePredicates)
+{
+    HmcPacket p;
+    p.cmd = HmcCmd::Read;
+    EXPECT_TRUE(p.isRequest());
+    EXPECT_FALSE(p.isResponse());
+    p.cmd = HmcCmd::ReadResponse;
+    EXPECT_TRUE(p.isResponse());
+    p.cmd = HmcCmd::Flow;
+    EXPECT_FALSE(p.isRequest());
+    EXPECT_FALSE(p.isResponse());
+}
+
+TEST(Packet, MakeReadRequest)
+{
+    const HmcPacketPtr p = makeReadRequest(0x1234, 64, 3);
+    EXPECT_EQ(p->cmd, HmcCmd::Read);
+    EXPECT_EQ(p->addr, 0x1234u);
+    EXPECT_EQ(p->dataBytes, 64u);
+    EXPECT_EQ(p->port, 3u);
+    EXPECT_EQ(p->flits(), 1u);
+    EXPECT_FALSE(p->hasData());
+}
+
+TEST(Packet, MakeWriteRequestCarriesData)
+{
+    const HmcPacketPtr p = makeWriteRequest(0x40, 32, 1);
+    EXPECT_EQ(p->flits(), 3u);
+    EXPECT_TRUE(p->hasData());
+}
+
+TEST(Packet, UniqueIds)
+{
+    const HmcPacketPtr a = makeReadRequest(0, 16, 0);
+    const HmcPacketPtr b = makeReadRequest(0, 16, 0);
+    EXPECT_NE(a->id, b->id);
+}
+
+TEST(Packet, ResponseMirrorsRequestIdentity)
+{
+    HmcPacketPtr req = makeReadRequest(0xABC0, 64, 5);
+    req->tag = 17;
+    req->link = 1;
+    req->vault = 9;
+    req->createdAt = 123;
+    const HmcPacket resp = req->makeResponse();
+    EXPECT_EQ(resp.cmd, HmcCmd::ReadResponse);
+    EXPECT_EQ(resp.tag, 17u);
+    EXPECT_EQ(resp.port, 5u);
+    EXPECT_EQ(resp.link, 1u);
+    EXPECT_EQ(resp.vault, 9u);
+    EXPECT_EQ(resp.dataBytes, 64u);
+    EXPECT_EQ(resp.createdAt, 123u);
+    EXPECT_NE(resp.id, req->id);
+}
+
+TEST(Packet, WriteResponseHasNoData)
+{
+    HmcPacketPtr req = makeWriteRequest(0, 128, 0);
+    const HmcPacket resp = req->makeResponse();
+    EXPECT_EQ(resp.cmd, HmcCmd::WriteResponse);
+    EXPECT_EQ(resp.flits(), 1u);
+}
+
+TEST(Packet, ResponseOfResponsePanics)
+{
+    HmcPacketPtr req = makeReadRequest(0, 16, 0);
+    HmcPacket resp = req->makeResponse();
+    EXPECT_THROW(resp.makeResponse(), PanicError);
+}
+
+TEST(Packet, PayloadSizeValidation)
+{
+    EXPECT_THROW(makeReadRequest(0, 0, 0), FatalError);
+    EXPECT_THROW(makeReadRequest(0, 8, 0), FatalError);
+    EXPECT_THROW(makeReadRequest(0, 256, 0), FatalError);
+    EXPECT_NO_THROW(makeReadRequest(0, 128, 0));
+}
+
+TEST(Packet, CmdNames)
+{
+    EXPECT_EQ(toString(HmcCmd::Read), "READ");
+    EXPECT_EQ(toString(HmcCmd::WriteResponse), "WR_RS");
+    EXPECT_EQ(toString(HmcCmd::Flow), "FLOW");
+}
+
+}  // namespace
+}  // namespace hmcsim

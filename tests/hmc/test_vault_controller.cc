@@ -1,0 +1,257 @@
+/**
+ * @file
+ * VaultController unit tests against a one-link/one-vault single-switch
+ * NoC harness: request delivery, per-bank FIFO order, backpressure,
+ * scheduler pacing, refresh, and the per-vault jitter knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/log.h"
+#include "hmc/vault_controller.h"
+#include "noc/topology.h"
+
+namespace hmcsim {
+namespace {
+
+class RootComponent : public Component
+{
+  public:
+    explicit RootComponent(Kernel &k) : Component(k, nullptr, "root") {}
+};
+
+/** One link endpoint (0) + one vault endpoint (1) on a single switch. */
+class VaultControllerTest : public ::testing::Test
+{
+  protected:
+    void
+    build(VaultController::Params params = VaultController::Params{})
+    {
+        cfg_ = HmcConfig{};
+        map_ = std::make_unique<AddressMap>(cfg_);
+        root_ = std::make_unique<RootComponent>(kernel_);
+        RouterParams rp;
+        net_ = std::make_unique<Network>(
+            kernel_, root_.get(), "noc",
+            makeSingleSwitchTopology(/*vaults=*/1, /*links=*/1), rp);
+        vc_ = std::make_unique<VaultController>(
+            kernel_, root_.get(), "vault0", 0, /*endpoint=*/1, *net_,
+            *map_, DramTimingParams::hmcGen2(), 16, params);
+
+        Network::EndpointOps vault_ops;
+        vault_ops.tryReserve = [this](std::uint32_t flits) {
+            return vc_->tryReserveInput(flits);
+        };
+        vault_ops.deliver = [this](const NocMessage &m) {
+            vc_->deliverRequest(m);
+        };
+        vault_ops.onInjectSpace = [this] { vc_->onInjectSpace(); };
+        net_->setEndpoint(1, std::move(vault_ops));
+
+        Network::EndpointOps link_ops;
+        link_ops.tryReserve = [](std::uint32_t) { return true; };
+        link_ops.deliver = [this](const NocMessage &m) {
+            responses_.push_back(
+                std::static_pointer_cast<HmcPacket>(m.payload));
+        };
+        net_->setEndpoint(0, std::move(link_ops));
+    }
+
+    /** Inject a request for (bank, row) through the NoC. */
+    HmcPacketPtr
+    sendRead(BankId bank, RowId row, std::uint32_t bytes = 32)
+    {
+        DecodedAddr d;
+        d.bank = bank;
+        d.row = row;
+        HmcPacketPtr pkt = makeReadRequest(map_->encode(d), bytes, 0);
+        pkt->link = 0;
+        NocMessage m;
+        m.id = pkt->id;
+        m.src = 0;
+        m.dst = 1;
+        m.flits = pkt->flits();
+        m.payload = pkt;
+        EXPECT_TRUE(net_->canInject(0, m.flits));
+        net_->inject(0, m);
+        return pkt;
+    }
+
+    Kernel kernel_;
+    HmcConfig cfg_;
+    std::unique_ptr<AddressMap> map_;
+    std::unique_ptr<RootComponent> root_;
+    std::unique_ptr<Network> net_;
+    std::unique_ptr<VaultController> vc_;
+    std::vector<HmcPacketPtr> responses_;
+};
+
+TEST_F(VaultControllerTest, ReadProducesMatchingResponse)
+{
+    build();
+    const HmcPacketPtr req = sendRead(3, 17, 64);
+    kernel_.run();
+    ASSERT_EQ(responses_.size(), 1u);
+    EXPECT_EQ(responses_[0]->cmd, HmcCmd::ReadResponse);
+    EXPECT_EQ(responses_[0]->tag, req->tag);
+    EXPECT_EQ(responses_[0]->dataBytes, 64u);
+    EXPECT_EQ(vc_->requestsServed(), 1u);
+    EXPECT_EQ(vc_->readBytes(), 64u);
+}
+
+TEST_F(VaultControllerTest, SameBankStaysFifo)
+{
+    build();
+    std::vector<PacketId> ids;
+    for (RowId r = 0; r < 12; ++r)
+        ids.push_back(sendRead(2, r)->id);
+    kernel_.run();
+    ASSERT_EQ(responses_.size(), 12u);
+    // Under per-bank FIFO the responses complete in issue order; the
+    // row field of each response's address recovers that order.
+    for (std::size_t i = 0; i < 12; ++i)
+        EXPECT_EQ(map_->decode(responses_[i]->addr).row, i);
+    (void)ids;
+}
+
+TEST_F(VaultControllerTest, BanksProceedInParallel)
+{
+    build();
+    // One request per bank: total time must be far below 16 serial
+    // row cycles thanks to bank-level parallelism (bus-paced instead).
+    for (BankId b = 0; b < 16; ++b)
+        sendRead(b, 1);
+    kernel_.run();
+    EXPECT_EQ(responses_.size(), 16u);
+    const DramTimingParams t = DramTimingParams::hmcGen2();
+    EXPECT_LT(kernel_.now(), 16 * t.tRC());
+}
+
+TEST_F(VaultControllerTest, SchedulerPacingBoundsThroughput)
+{
+    VaultController::Params p;
+    p.requestCycle = 6400;
+    build(p);
+    for (int i = 0; i < 64; ++i)
+        sendRead(i % 16, 100 + i / 16);
+    kernel_.run();
+    EXPECT_EQ(responses_.size(), 64u);
+    // 64 plans at >= 6.4 ns apart.
+    EXPECT_GE(kernel_.now(), 63u * 6400u);
+}
+
+TEST_F(VaultControllerTest, InputReservationIsBounded)
+{
+    VaultController::Params p;
+    p.inputQueueFlits = 4;
+    build(p);
+    EXPECT_TRUE(vc_->tryReserveInput(3));
+    EXPECT_FALSE(vc_->tryReserveInput(2));
+    EXPECT_TRUE(vc_->tryReserveInput(1));
+    EXPECT_FALSE(vc_->tryReserveInput(1));
+}
+
+TEST_F(VaultControllerTest, TinyResponseQueueStillDrainsEverything)
+{
+    VaultController::Params p;
+    p.responseQueueFlits = 9;  // one max-size response at a time
+    build(p);
+    for (int i = 0; i < 40; ++i)
+        sendRead(i % 16, i, 128);
+    kernel_.run();
+    EXPECT_EQ(responses_.size(), 40u);
+    EXPECT_EQ(vc_->requestsServed(), 40u);
+}
+
+TEST_F(VaultControllerTest, WriteCountsWriteBytes)
+{
+    build();
+    DecodedAddr d;
+    d.bank = 1;
+    HmcPacketPtr pkt = makeWriteRequest(map_->encode(d), 128, 0);
+    pkt->link = 0;
+    NocMessage m;
+    m.id = pkt->id;
+    m.src = 0;
+    m.dst = 1;
+    m.flits = pkt->flits();
+    m.payload = pkt;
+    net_->inject(0, m);
+    kernel_.run();
+    ASSERT_EQ(responses_.size(), 1u);
+    EXPECT_EQ(responses_[0]->cmd, HmcCmd::WriteResponse);
+    EXPECT_EQ(vc_->writeBytes(), 128u);
+}
+
+TEST_F(VaultControllerTest, RefreshFiresWhenEnabled)
+{
+    VaultController::Params p;
+    p.trefi = 2 * kMicrosecond;
+    build(p);
+    // Keep traffic flowing for a while so refreshes interleave.
+    for (int burst = 0; burst < 8; ++burst) {
+        for (BankId b = 0; b < 16; ++b)
+            sendRead(b, 1000 + burst);
+        kernel_.run(kernel_.now() + 3 * kMicrosecond);
+    }
+    kernel_.run();
+    EXPECT_GT(vc_->refreshesIssued(), 0u);
+    EXPECT_EQ(responses_.size(), 8u * 16u);
+}
+
+TEST_F(VaultControllerTest, JitterDelaysCompletion)
+{
+    const auto completion_time = [this](Tick jitter) {
+        // The kernel is shared across build() calls; measure duration.
+        VaultController::Params p;
+        p.jitterPerFlit = jitter;
+        build(p);
+        responses_.clear();
+        const Tick start = kernel_.now();
+        sendRead(0, 1, 128);  // 8 data flits
+        kernel_.run();
+        EXPECT_EQ(responses_.size(), 1u);
+        return kernel_.now() - start;
+    };
+    const Tick plain = completion_time(0);
+    const Tick jittered = completion_time(1000);  // 1 ns per flit
+    EXPECT_EQ(jittered, plain + 8 * 1000);
+}
+
+TEST_F(VaultControllerTest, ServiceLatencyStatTracksVaultTime)
+{
+    build();
+    sendRead(0, 1);
+    kernel_.run();
+    const double ns = vc_->serviceLatencyNs().mean();
+    // Frontend (4 ns) + DRAM (~31 ns) + backend (2 ns), no queueing.
+    EXPECT_GT(ns, 30.0);
+    EXPECT_LT(ns, 90.0);
+}
+
+TEST_F(VaultControllerTest, NonRequestDeliveryPanics)
+{
+    build();
+    HmcPacketPtr req = makeReadRequest(0, 32, 0);
+    auto resp = std::make_shared<HmcPacket>(req->makeResponse());
+    NocMessage m;
+    m.src = 0;
+    m.dst = 1;
+    m.flits = resp->flits();
+    m.payload = resp;
+    EXPECT_THROW(vc_->deliverRequest(m), PanicError);
+}
+
+TEST_F(VaultControllerTest, PeakBankQueueTracked)
+{
+    build();
+    for (RowId r = 0; r < 10; ++r)
+        sendRead(0, r);  // all to one bank
+    kernel_.run();
+    EXPECT_GE(vc_->peakBankQueueOccupancy(), 5u);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/log.h"
+#include "host/tag_pool.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(TagPool, StartsFull)
+{
+    TagPool p(40);
+    EXPECT_EQ(p.capacity(), 40u);
+    EXPECT_EQ(p.freeCount(), 40u);
+    EXPECT_TRUE(p.hasFree());
+}
+
+TEST(TagPool, AcquireAllUnique)
+{
+    TagPool p(16);
+    std::set<TagId> tags;
+    while (p.hasFree())
+        tags.insert(p.acquire());
+    EXPECT_EQ(tags.size(), 16u);
+    EXPECT_EQ(p.inUse(), 16u);
+    for (TagId t : tags)
+        EXPECT_LT(t, 16u);
+}
+
+TEST(TagPool, ReleaseRecycles)
+{
+    TagPool p(2);
+    const TagId a = p.acquire();
+    const TagId b = p.acquire();
+    EXPECT_FALSE(p.hasFree());
+    p.release(a);
+    EXPECT_TRUE(p.hasFree());
+    const TagId c = p.acquire();
+    EXPECT_EQ(c, a);  // LIFO free list
+    (void)b;
+}
+
+TEST(TagPool, IsAcquired)
+{
+    TagPool p(4);
+    const TagId t = p.acquire();
+    EXPECT_TRUE(p.isAcquired(t));
+    p.release(t);
+    EXPECT_FALSE(p.isAcquired(t));
+    EXPECT_FALSE(p.isAcquired(99));
+}
+
+TEST(TagPool, PeakTracksHighWater)
+{
+    TagPool p(8);
+    const TagId a = p.acquire();
+    const TagId b = p.acquire();
+    p.release(a);
+    p.release(b);
+    EXPECT_EQ(p.peakInUse(), 2u);
+    p.resetStats();
+    EXPECT_EQ(p.peakInUse(), 0u);
+}
+
+TEST(TagPool, ExhaustionPanics)
+{
+    TagPool p(1);
+    p.acquire();
+    EXPECT_THROW(p.acquire(), PanicError);
+}
+
+TEST(TagPool, DoubleReleasePanics)
+{
+    TagPool p(2);
+    const TagId t = p.acquire();
+    p.release(t);
+    EXPECT_THROW(p.release(t), PanicError);
+}
+
+TEST(TagPool, InvalidReleasePanics)
+{
+    TagPool p(2);
+    EXPECT_THROW(p.release(5), PanicError);
+}
+
+TEST(TagPool, ZeroCapacityPanics)
+{
+    EXPECT_THROW(TagPool(0), PanicError);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Integration tests of the cube-internal path: link RX -> NoC ->
+ * vault controller -> DRAM -> response, driven directly through the
+ * device's links without the FPGA model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hmc/hmc_device.h"
+#include "sim/component.h"
+
+namespace hmcsim {
+namespace {
+
+class RootComponent : public Component
+{
+  public:
+    explicit RootComponent(Kernel &k) : Component(k, nullptr, "root") {}
+};
+
+class VaultPathTest : public ::testing::Test
+{
+  protected:
+    void
+    build(HmcConfig cfg = HmcConfig{})
+    {
+        root_ = std::make_unique<RootComponent>(kernel_);
+        dev_ = std::make_unique<HmcDevice>(kernel_, root_.get(), "hmc",
+                                           cfg);
+    }
+
+    /** Send a read over a link; returns the request packet. */
+    HmcPacketPtr
+    sendRead(LinkId link, Addr addr, std::uint32_t bytes)
+    {
+        HmcPacketPtr pkt = makeReadRequest(addr, bytes, 0);
+        SerdesLink &lk = dev_->link(link);
+        EXPECT_TRUE(lk.canSend(LinkDir::HostToCube, pkt->flits()));
+        lk.reserveTokens(LinkDir::HostToCube, pkt->flits());
+        lk.send(LinkDir::HostToCube, pkt);
+        return pkt;
+    }
+
+    /** Collect every response available on a link. */
+    std::vector<HmcPacketPtr>
+    drainResponses(LinkId link)
+    {
+        std::vector<HmcPacketPtr> out;
+        SerdesLink &lk = dev_->link(link);
+        while (lk.rxAvailable(LinkDir::CubeToHost)) {
+            out.push_back(lk.rxPop(LinkDir::CubeToHost));
+            kernel_.run();  // let tokens flow back
+        }
+        return out;
+    }
+
+    Kernel kernel_;
+    std::unique_ptr<RootComponent> root_;
+    std::unique_ptr<HmcDevice> dev_;
+};
+
+TEST_F(VaultPathTest, ReadRoundTrip)
+{
+    build();
+    const HmcPacketPtr req = sendRead(0, 0x1000, 64);
+    kernel_.run();
+    const auto resps = drainResponses(0);
+    ASSERT_EQ(resps.size(), 1u);
+    EXPECT_EQ(resps[0]->cmd, HmcCmd::ReadResponse);
+    EXPECT_EQ(resps[0]->tag, req->tag);
+    EXPECT_EQ(resps[0]->dataBytes, 64u);
+    EXPECT_EQ(dev_->totalRequestsServed(), 1u);
+}
+
+TEST_F(VaultPathTest, ResponseReturnsOnRequestLink)
+{
+    build();
+    sendRead(1, 0x2000, 32);
+    kernel_.run();
+    EXPECT_TRUE(drainResponses(0).empty());
+    EXPECT_EQ(drainResponses(1).size(), 1u);
+}
+
+TEST_F(VaultPathTest, RequestReachesDecodedVault)
+{
+    build();
+    // Vault field of 0x1000: bits [10:7] -> 0b0000 -> vault 0? Use the
+    // map to be exact.
+    const Addr addr = 0x12345680;
+    const VaultId vault = dev_->addressMap().decode(addr).vault;
+    sendRead(0, addr, 32);
+    kernel_.run();
+    drainResponses(0);
+    EXPECT_EQ(dev_->vaultController(vault).requestsServed(), 1u);
+}
+
+TEST_F(VaultPathTest, NoLoadLatencyWithinPaperRange)
+{
+    build();
+    const HmcPacketPtr req = sendRead(0, 0x40, 16);
+    kernel_.run();
+    const auto resps = drainResponses(0);
+    ASSERT_EQ(resps.size(), 1u);
+    // In-cube contribution (paper: 100-180 ns) plus both link
+    // traversals (~2x 18 ns here).
+    const double ns =
+        static_cast<double>(kernel_.now()) / kNanosecond;
+    EXPECT_GT(ns, 60.0);
+    EXPECT_LT(ns, 260.0);
+}
+
+TEST_F(VaultPathTest, WriteRoundTrip)
+{
+    build();
+    HmcPacketPtr pkt = makeWriteRequest(0x3000, 128, 0);
+    dev_->link(0).reserveTokens(LinkDir::HostToCube, pkt->flits());
+    dev_->link(0).send(LinkDir::HostToCube, pkt);
+    kernel_.run();
+    const auto resps = drainResponses(0);
+    ASSERT_EQ(resps.size(), 1u);
+    EXPECT_EQ(resps[0]->cmd, HmcCmd::WriteResponse);
+    EXPECT_EQ(resps[0]->flits(), 1u);
+    const VaultId vault = dev_->addressMap().decode(0x3000).vault;
+    EXPECT_EQ(dev_->vaultController(vault).writeBytes(), 128u);
+}
+
+TEST_F(VaultPathTest, ManyRequestsAllServed)
+{
+    build();
+    int sent = 0;
+    for (Addr a = 0; a < 64 * 128; a += 128) {
+        // Respect token flow control while pumping.
+        while (!dev_->link(0).canSend(LinkDir::HostToCube, 1)) {
+            kernel_.run();
+            drainResponses(0);
+        }
+        sendRead(0, a, 128);
+        ++sent;
+    }
+    kernel_.run();
+    int got = static_cast<int>(drainResponses(0).size());
+    // A few responses may still be in flight; drain to quiescence.
+    while (got < sent) {
+        kernel_.run();
+        const int more = static_cast<int>(drainResponses(0).size());
+        if (more == 0)
+            break;
+        got += more;
+    }
+    EXPECT_EQ(got, sent);
+    EXPECT_EQ(dev_->totalRequestsServed(),
+              static_cast<std::uint64_t>(sent));
+}
+
+TEST_F(VaultPathTest, SequentialBlocksSpreadOverVaults)
+{
+    build();
+    for (Addr a = 0; a < 16 * 128; a += 128) {
+        while (!dev_->link(0).canSend(LinkDir::HostToCube, 1)) {
+            kernel_.run();
+            drainResponses(0);
+        }
+        sendRead(0, a, 128);
+    }
+    kernel_.run();
+    drainResponses(0);
+    for (VaultId v = 0; v < 16; ++v)
+        EXPECT_EQ(dev_->vaultController(v).requestsServed(), 1u)
+            << "vault " << v;
+}
+
+TEST_F(VaultPathTest, TimestampsMonotone)
+{
+    build();
+    const HmcPacketPtr req = sendRead(0, 0x5000, 64);
+    kernel_.run();
+    const auto resps = drainResponses(0);
+    ASSERT_EQ(resps.size(), 1u);
+    const HmcPacketPtr &r = resps[0];
+    EXPECT_LE(req->linkTxAt, req->cubeArriveAt);
+    EXPECT_LE(req->cubeArriveAt, r->vaultArriveAt);
+    EXPECT_LE(r->vaultArriveAt, r->dataReadyAt);
+    EXPECT_LE(r->dataReadyAt, r->respInjectAt);
+}
+
+TEST_F(VaultPathTest, RingTopologyStillWorks)
+{
+    HmcConfig cfg;
+    cfg.topology = "quadrant_ring";
+    build(cfg);
+    sendRead(0, 0x7F80, 64);  // some far vault
+    kernel_.run();
+    EXPECT_EQ(drainResponses(0).size(), 1u);
+}
+
+TEST_F(VaultPathTest, SingleSwitchTopologyStillWorks)
+{
+    HmcConfig cfg;
+    cfg.topology = "single_switch";
+    build(cfg);
+    sendRead(0, 0x7F80, 64);
+    kernel_.run();
+    EXPECT_EQ(drainResponses(0).size(), 1u);
+}
+
+TEST_F(VaultPathTest, FrFcfsOpenPageServesRowHitsNoSlower)
+{
+    // Two same-row reads back to back under each policy; the open-page
+    // FR-FCFS configuration must finish no later than closed page.
+    const auto run_two = [](const HmcConfig &cfg) {
+        Kernel k;
+        RootComponent root(k);
+        HmcDevice dev(k, &root, "hmc", cfg);
+        for (Addr a : {Addr{0x0}, Addr{0x20}}) {
+            HmcPacketPtr pkt = makeReadRequest(a, 32, 0);
+            dev.link(0).reserveTokens(LinkDir::HostToCube, 1);
+            dev.link(0).send(LinkDir::HostToCube, pkt);
+        }
+        k.run();
+        int got = 0;
+        while (dev.link(0).rxAvailable(LinkDir::CubeToHost)) {
+            dev.link(0).rxPop(LinkDir::CubeToHost);
+            ++got;
+            k.run();
+        }
+        EXPECT_EQ(got, 2);
+        return k.now();
+    };
+    HmcConfig closed;
+    HmcConfig open;
+    open.pagePolicy = "open";
+    open.scheduler = "frfcfs";
+    EXPECT_LE(run_two(open), run_two(closed));
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "noc/arbiter.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(RoundRobin, NoRequestsNoGrant)
+{
+    RoundRobinArbiter a(4);
+    EXPECT_EQ(a.grant({false, false, false, false}),
+              RoundRobinArbiter::npos);
+}
+
+TEST(RoundRobin, SingleRequestorWins)
+{
+    RoundRobinArbiter a(4);
+    EXPECT_EQ(a.grant({false, false, true, false}), 2u);
+}
+
+TEST(RoundRobin, RotatesFairly)
+{
+    RoundRobinArbiter a(3);
+    const std::vector<bool> all{true, true, true};
+    EXPECT_EQ(a.grant(all), 0u);
+    EXPECT_EQ(a.grant(all), 1u);
+    EXPECT_EQ(a.grant(all), 2u);
+    EXPECT_EQ(a.grant(all), 0u);
+}
+
+TEST(RoundRobin, SkipsIdleRequestors)
+{
+    RoundRobinArbiter a(4);
+    EXPECT_EQ(a.grant({true, false, true, false}), 0u);
+    EXPECT_EQ(a.grant({true, false, true, false}), 2u);
+    EXPECT_EQ(a.grant({true, false, true, false}), 0u);
+}
+
+TEST(RoundRobin, FairShareUnderSaturation)
+{
+    RoundRobinArbiter a(9);
+    std::vector<int> grants(9, 0);
+    const std::vector<bool> all(9, true);
+    for (int i = 0; i < 900; ++i)
+        ++grants[a.grant(all)];
+    for (int g : grants)
+        EXPECT_EQ(g, 100);
+}
+
+TEST(RoundRobin, Reset)
+{
+    RoundRobinArbiter a(3);
+    const std::vector<bool> all{true, true, true};
+    a.grant(all);
+    a.grant(all);
+    a.reset();
+    EXPECT_EQ(a.grant(all), 0u);
+}
+
+TEST(RoundRobin, SizeMismatchPanics)
+{
+    RoundRobinArbiter a(3);
+    EXPECT_THROW(a.grant({true, true}), PanicError);
+}
+
+TEST(RoundRobin, ZeroRequestorsPanics)
+{
+    EXPECT_THROW(RoundRobinArbiter(0), PanicError);
+}
+
+TEST(Priority, HighestPriorityWins)
+{
+    PriorityArbiter a(3, {2, 0, 1});  // lower value = more important
+    EXPECT_EQ(a.grant({true, true, true}), 1u);
+    EXPECT_EQ(a.grant({true, false, true}), 2u);
+    EXPECT_EQ(a.grant({true, false, false}), 0u);
+}
+
+TEST(Priority, RoundRobinWithinClass)
+{
+    PriorityArbiter a(4, {0, 0, 1, 0});
+    const std::vector<bool> all{true, true, true, true};
+    EXPECT_EQ(a.grant(all), 0u);
+    EXPECT_EQ(a.grant(all), 1u);
+    EXPECT_EQ(a.grant(all), 3u);
+    EXPECT_EQ(a.grant(all), 0u);
+}
+
+TEST(Priority, SetPriorityTakesEffect)
+{
+    PriorityArbiter a(2, {0, 1});
+    EXPECT_EQ(a.grant({true, true}), 0u);
+    a.setPriority(1, -5);
+    EXPECT_EQ(a.grant({true, true}), 1u);
+}
+
+TEST(Priority, NoRequestsNoGrant)
+{
+    PriorityArbiter a(2, {0, 1});
+    EXPECT_EQ(a.grant({false, false}), PriorityArbiter::npos);
+}
+
+TEST(Priority, BadConstructionPanics)
+{
+    EXPECT_THROW(PriorityArbiter(3, {0, 1}), PanicError);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "noc/buffer.h"
+
+namespace hmcsim {
+namespace {
+
+NocMessage
+msg(std::uint32_t flits, PacketId id = 0)
+{
+    NocMessage m;
+    m.id = id;
+    m.flits = flits;
+    return m;
+}
+
+TEST(FlitBuffer, CapacityAccounting)
+{
+    FlitBuffer b(10);
+    EXPECT_TRUE(b.canAccept(10));
+    b.push(msg(4));
+    EXPECT_EQ(b.usedFlits(), 4u);
+    EXPECT_EQ(b.freeFlits(), 6u);
+    EXPECT_TRUE(b.canAccept(6));
+    EXPECT_FALSE(b.canAccept(7));
+}
+
+TEST(FlitBuffer, FifoOrder)
+{
+    FlitBuffer b(100);
+    b.push(msg(1, 10));
+    b.push(msg(2, 20));
+    b.push(msg(3, 30));
+    EXPECT_EQ(b.pop().id, 10u);
+    EXPECT_EQ(b.front().id, 20u);
+    EXPECT_EQ(b.pop().id, 20u);
+    EXPECT_EQ(b.pop().id, 30u);
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(FlitBuffer, PopReleasesSpace)
+{
+    FlitBuffer b(9);
+    b.push(msg(9));
+    EXPECT_FALSE(b.canAccept(1));
+    b.pop();
+    EXPECT_TRUE(b.canAccept(9));
+}
+
+TEST(FlitBuffer, LargePacketsConsumeMore)
+{
+    // The paper's point: a 9-flit response displaces four 2-flit ones.
+    FlitBuffer b(9);
+    b.push(msg(9));
+    EXPECT_EQ(b.size(), 1u);
+    b.pop();
+    for (int i = 0; i < 4; ++i)
+        b.push(msg(2));
+    EXPECT_EQ(b.size(), 4u);
+    EXPECT_FALSE(b.canAccept(2));
+    EXPECT_TRUE(b.canAccept(1));
+}
+
+TEST(FlitBuffer, UnboundedWhenZeroCapacity)
+{
+    FlitBuffer b(0);
+    for (int i = 0; i < 1000; ++i)
+        b.push(msg(9));
+    EXPECT_TRUE(b.canAccept(1000000));
+    EXPECT_EQ(b.usedFlits(), 9000u);
+}
+
+TEST(FlitBuffer, PeakTracksHighWater)
+{
+    FlitBuffer b(16);
+    b.push(msg(8));
+    b.push(msg(8));
+    b.pop();
+    b.pop();
+    EXPECT_EQ(b.peakFlits(), 16u);
+}
+
+TEST(FlitBuffer, OverflowPanics)
+{
+    FlitBuffer b(3);
+    b.push(msg(2));
+    EXPECT_THROW(b.push(msg(2)), PanicError);
+}
+
+TEST(FlitBuffer, PopEmptyPanics)
+{
+    FlitBuffer b(3);
+    EXPECT_THROW(b.pop(), PanicError);
+    EXPECT_THROW(b.front(), PanicError);
+}
+
+TEST(FlitBuffer, Clear)
+{
+    FlitBuffer b(10);
+    b.push(msg(5));
+    b.clear();
+    EXPECT_TRUE(b.empty());
+    EXPECT_EQ(b.usedFlits(), 0u);
+    EXPECT_TRUE(b.canAccept(10));
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "noc/channel.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(Channel, SerializationTiming)
+{
+    Kernel k;
+    Channel c(k, "c", 800, 1600);
+    const Channel::Times t = c.reserve(4, 0);
+    EXPECT_EQ(t.start, 0u);
+    EXPECT_EQ(t.serDone, 3200u);   // 4 flits * 800 ps
+    EXPECT_EQ(t.arrival, 4800u);   // + wire latency
+    EXPECT_EQ(c.nextFree(), 3200u);
+}
+
+TEST(Channel, BackToBackQueues)
+{
+    Kernel k;
+    Channel c(k, "c", 100, 0);
+    const auto t1 = c.reserve(2, 0);
+    const auto t2 = c.reserve(3, 0);
+    EXPECT_EQ(t1.serDone, 200u);
+    EXPECT_EQ(t2.start, 200u);  // waits for the channel
+    EXPECT_EQ(t2.serDone, 500u);
+}
+
+TEST(Channel, EarliestRespected)
+{
+    Kernel k;
+    Channel c(k, "c", 100, 0);
+    const auto t = c.reserve(1, 5000);
+    EXPECT_EQ(t.start, 5000u);
+}
+
+TEST(Channel, NowIsFloor)
+{
+    Kernel k;
+    k.scheduleIn(700, [] {});
+    k.run();
+    Channel c(k, "c", 100, 0);
+    const auto t = c.reserve(1, 0);
+    EXPECT_EQ(t.start, 700u);  // cannot start in the past
+}
+
+TEST(Channel, GapLeavesIdleTime)
+{
+    Kernel k;
+    Channel c(k, "c", 100, 0);
+    c.reserve(1, 0);
+    const auto t = c.reserve(1, 1000);
+    EXPECT_EQ(t.start, 1000u);
+    // Busy only 200 of 1100.
+    EXPECT_EQ(c.busyTime(), 200u);
+}
+
+TEST(Channel, FlitAccounting)
+{
+    Kernel k;
+    Channel c(k, "c", 100, 0);
+    c.reserve(3, 0);
+    c.reserve(5, 0);
+    EXPECT_EQ(c.flitsCarried(), 8u);
+}
+
+TEST(Channel, ZeroFlitsPanics)
+{
+    Kernel k;
+    Channel c(k, "c", 100, 0);
+    EXPECT_THROW(c.reserve(0, 0), PanicError);
+}
+
+TEST(Channel, ZeroPeriodPanics)
+{
+    Kernel k;
+    EXPECT_THROW(Channel(k, "bad", 0, 0), PanicError);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Direct Router unit tests: manual two-router wiring with explicit
+ * credit plumbing, exercising the paths the Network facade hides.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/log.h"
+#include "noc/router.h"
+
+namespace hmcsim {
+namespace {
+
+class RootComponent : public Component
+{
+  public:
+    explicit RootComponent(Kernel &k) : Component(k, nullptr, "root") {}
+};
+
+constexpr NodeId kEndpoint = 5;
+
+class RouterTest : public ::testing::Test
+{
+  protected:
+    void
+    build(std::uint32_t eject_queue_flits = 64)
+    {
+        params_.ejectQueueFlits = eject_queue_flits;
+        root_ = std::make_unique<RootComponent>(kernel_);
+        r0_ = std::make_unique<Router>(kernel_, root_.get(), "r0", 0,
+                                       params_);
+        r1_ = std::make_unique<Router>(kernel_, root_.get(), "r1", 1,
+                                       params_);
+
+        // r0 -> r1 channel with credit return wired back to r0.
+        in1_ = r1_->addInput([this](std::uint32_t flits) {
+            r0_->returnCredits(out0_, flits);
+        });
+        out0_ = r0_->addOutputToRouter(r1_.get(), in1_);
+
+        // External injection input on r0 (no upstream credits).
+        in0_ = r0_->addInput(nullptr);
+
+        // Ejection on r1 toward the endpoint harness.
+        Router::Eject ej;
+        ej.tryReserve = [this](std::uint32_t flits) {
+            if (reserved_ + flits > endpointSpace_)
+                return false;
+            reserved_ += flits;
+            return true;
+        };
+        ej.deliver = [this](const NocMessage &m) {
+            reserved_ -= m.flits;
+            delivered_.push_back(m);
+        };
+        const int eject_out = r1_->addOutputToEndpoint(kEndpoint, ej);
+
+        // Routes: 6 endpoint slots, endpoint 5 is the interesting one.
+        r0_->setRoutes(std::vector<int>(kEndpoint + 1, out0_));
+        r1_->setRoutes(std::vector<int>(kEndpoint + 1, eject_out));
+    }
+
+    NocMessage
+    msg(std::uint32_t flits, PacketId id = 1)
+    {
+        NocMessage m;
+        m.id = id;
+        m.src = 0;
+        m.dst = kEndpoint;
+        m.flits = flits;
+        return m;
+    }
+
+    Kernel kernel_;
+    RouterParams params_;
+    std::unique_ptr<RootComponent> root_;
+    std::unique_ptr<Router> r0_;
+    std::unique_ptr<Router> r1_;
+    int in0_ = -1;
+    int in1_ = -1;
+    int out0_ = -1;
+    std::uint32_t endpointSpace_ = 1u << 30;
+    std::uint32_t reserved_ = 0;
+    std::vector<NocMessage> delivered_;
+};
+
+TEST_F(RouterTest, ForwardsAcrossHop)
+{
+    build();
+    r0_->acceptMessage(in0_, msg(4));
+    kernel_.run();
+    ASSERT_EQ(delivered_.size(), 1u);
+    EXPECT_EQ(delivered_[0].flits, 4u);
+    EXPECT_EQ(r0_->messagesRouted(), 1u);
+    EXPECT_EQ(r1_->messagesRouted(), 1u);
+    EXPECT_EQ(r0_->flitsRouted(), 4u);
+}
+
+TEST_F(RouterTest, LatencyCoversPipelineAndSerialization)
+{
+    build();
+    r0_->acceptMessage(in0_, msg(1));
+    kernel_.run();
+    // Two router latencies, two channel traversals (serialization +
+    // wire) -- inject channel is external here so only r0->r1 and the
+    // eject channel count.
+    const Tick expected = 2 * params_.routerLatency +
+        2 * (params_.flitPeriod + params_.wireLatency);
+    EXPECT_EQ(kernel_.now(), expected);
+}
+
+TEST_F(RouterTest, FifoOrderAcrossHop)
+{
+    build();
+    for (PacketId i = 0; i < 20; ++i)
+        r0_->acceptMessage(in0_, msg(1 + i % 3, i));
+    kernel_.run();
+    ASSERT_EQ(delivered_.size(), 20u);
+    for (PacketId i = 0; i < 20; ++i)
+        EXPECT_EQ(delivered_[i].id, i);
+}
+
+TEST_F(RouterTest, BlockedEndpointStallsThenDrains)
+{
+    build();
+    endpointSpace_ = 0;
+    for (PacketId i = 0; i < 5; ++i)
+        r0_->acceptMessage(in0_, msg(8, i));
+    kernel_.run();
+    EXPECT_TRUE(delivered_.empty());
+    endpointSpace_ = 1u << 30;
+    r1_->kickEject(kEndpoint);
+    kernel_.run();
+    EXPECT_EQ(delivered_.size(), 5u);
+}
+
+TEST_F(RouterTest, CreditsBoundInFlightFlits)
+{
+    // Endpoint blocked: traffic accumulates in r1's input (bounded by
+    // credits = inputBufferFlits), r1's eject queue, and r0's output
+    // queue; everything else must stay in r0's input queue unsent.
+    build(/*eject_queue_flits=*/16);
+    endpointSpace_ = 0;
+    for (PacketId i = 0; i < 50; ++i)
+        r0_->acceptMessage(in0_, msg(8, i));
+    kernel_.run();
+    EXPECT_TRUE(delivered_.empty());
+    // r1 received at most its input buffer + eject queue worth.
+    const std::uint64_t max_into_r1 =
+        (params_.inputBufferFlits + 16) / 8 + 1;
+    EXPECT_LE(r1_->messagesRouted(), max_into_r1);
+    endpointSpace_ = 1u << 30;
+    r1_->kickEject(kEndpoint);
+    kernel_.run();
+    EXPECT_EQ(delivered_.size(), 50u);
+}
+
+TEST_F(RouterTest, MixedSizesConserveFlits)
+{
+    build();
+    std::uint64_t flits = 0;
+    for (PacketId i = 0; i < 30; ++i) {
+        const std::uint32_t f = 1 + (i * 7) % 16;
+        flits += f;
+        r0_->acceptMessage(in0_, msg(f, i));
+    }
+    kernel_.run();
+    EXPECT_EQ(delivered_.size(), 30u);
+    std::uint64_t got = 0;
+    for (const NocMessage &m : delivered_)
+        got += m.flits;
+    EXPECT_EQ(got, flits);
+}
+
+TEST_F(RouterTest, StatsResetClearsCounters)
+{
+    build();
+    r0_->acceptMessage(in0_, msg(2));
+    kernel_.run();
+    EXPECT_GT(r0_->messagesRouted(), 0u);
+    r0_->resetStats();
+    EXPECT_EQ(r0_->messagesRouted(), 0u);
+    EXPECT_EQ(r0_->flitsRouted(), 0u);
+}
+
+TEST_F(RouterTest, InvalidWiringPanics)
+{
+    build();
+    EXPECT_THROW(r0_->acceptMessage(99, msg(1)), PanicError);
+    EXPECT_THROW(r0_->returnCredits(99, 1), PanicError);
+    EXPECT_THROW(r0_->addOutputToRouter(nullptr, 0), PanicError);
+    Router::Eject bad;  // missing callbacks
+    EXPECT_THROW(r0_->addOutputToEndpoint(7, bad), PanicError);
+    EXPECT_THROW(r0_->setRoutes({-1}), PanicError);
+    EXPECT_THROW(r0_->setRoutes({12345}), PanicError);
+}
+
+TEST_F(RouterTest, UnroutedDestinationPanics)
+{
+    build();
+    NocMessage m = msg(1);
+    m.dst = 77;  // beyond the route table
+    r0_->acceptMessage(in0_, m);
+    EXPECT_THROW(kernel_.run(), PanicError);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "noc/topology.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(Topology, QuadrantXbarShape)
+{
+    const TopologySpec t = makeQuadrantTopology(16, 4, 2, true);
+    EXPECT_EQ(t.numRouters, 4u);
+    EXPECT_EQ(t.routerLinks.size(), 6u);  // K4 complete graph
+    EXPECT_EQ(t.numEndpoints(), 18u);     // 2 links + 16 vaults
+    // Links land on quadrants 0 and 2 (the spec's layout).
+    EXPECT_EQ(t.endpointRouter[0], 0u);
+    EXPECT_EQ(t.endpointRouter[1], 2u);
+    // Vault v sits in quadrant v/4.
+    for (std::uint32_t v = 0; v < 16; ++v)
+        EXPECT_EQ(t.endpointRouter[2 + v], v / 4);
+}
+
+TEST(Topology, QuadrantRingShape)
+{
+    const TopologySpec t = makeQuadrantTopology(16, 4, 2, false);
+    EXPECT_EQ(t.routerLinks.size(), 4u);  // ring of 4
+}
+
+TEST(Topology, TwoQuadrantRingHasOneLink)
+{
+    const TopologySpec t = makeQuadrantTopology(8, 2, 2, false);
+    EXPECT_EQ(t.routerLinks.size(), 1u);  // no duplicate (0,1)
+}
+
+TEST(Topology, SingleSwitch)
+{
+    const TopologySpec t = makeSingleSwitchTopology(16, 2);
+    EXPECT_EQ(t.numRouters, 1u);
+    EXPECT_TRUE(t.routerLinks.empty());
+    EXPECT_EQ(t.numEndpoints(), 18u);
+}
+
+TEST(Topology, MakeTopologyByName)
+{
+    EXPECT_EQ(makeTopology("quadrant_xbar", 16, 4, 2).routerLinks.size(),
+              6u);
+    EXPECT_EQ(makeTopology("quadrant_ring", 16, 4, 2).routerLinks.size(),
+              4u);
+    EXPECT_EQ(makeTopology("single_switch", 16, 4, 2).numRouters, 1u);
+    EXPECT_THROW(makeTopology("torus", 16, 4, 2), FatalError);
+}
+
+TEST(Topology, BadGeometryIsFatal)
+{
+    EXPECT_THROW(makeQuadrantTopology(15, 4, 2, true), FatalError);
+    EXPECT_THROW(makeQuadrantTopology(16, 0, 2, true), FatalError);
+    EXPECT_THROW(makeQuadrantTopology(16, 4, 5, true), FatalError);
+    EXPECT_THROW(makeQuadrantTopology(16, 4, 0, true), FatalError);
+}
+
+TEST(Routing, XbarRoutesAreOneHopOrLocal)
+{
+    const TopologySpec t = makeQuadrantTopology(16, 4, 2, true);
+    const RoutingTables r = computeRoutes(t);
+    for (std::uint32_t router = 0; router < 4; ++router) {
+        for (std::uint32_t e = 0; e < t.numEndpoints(); ++e) {
+            const std::uint32_t home = t.endpointRouter[e];
+            if (home == router) {
+                EXPECT_EQ(r.nextRouter[router][e], router);
+                EXPECT_EQ(r.hops[router][e], 0u);
+            } else {
+                EXPECT_EQ(r.nextRouter[router][e], home);
+                EXPECT_EQ(r.hops[router][e], 1u);
+            }
+        }
+    }
+}
+
+TEST(Routing, RingUsesShortestPath)
+{
+    const TopologySpec t = makeQuadrantTopology(16, 4, 1, false);
+    const RoutingTables r = computeRoutes(t);
+    // Endpoint for vault 8 (endpoint id 1 + 8 = 9) lives on router 2;
+    // from router 0 the distance around the 4-ring is 2.
+    EXPECT_EQ(r.hops[0][9], 2u);
+    // Adjacent quadrant is one hop.
+    EXPECT_EQ(r.hops[0][1 + 4], 1u);  // vault 4 -> router 1
+}
+
+TEST(Routing, NextHopIsAdjacent)
+{
+    const TopologySpec t = makeQuadrantTopology(16, 4, 2, false);
+    const RoutingTables r = computeRoutes(t);
+    for (std::uint32_t router = 0; router < t.numRouters; ++router) {
+        for (std::uint32_t e = 0; e < t.numEndpoints(); ++e) {
+            const std::uint32_t next = r.nextRouter[router][e];
+            if (next == router)
+                continue;
+            bool adjacent = false;
+            for (const auto &[a, b] : t.routerLinks) {
+                adjacent |= (a == router && b == next) ||
+                    (b == router && a == next);
+            }
+            EXPECT_TRUE(adjacent)
+                << "router " << router << " -> " << next;
+        }
+    }
+}
+
+TEST(Routing, HopsDecreaseAlongRoute)
+{
+    const TopologySpec t = makeQuadrantTopology(16, 4, 2, false);
+    const RoutingTables r = computeRoutes(t);
+    for (std::uint32_t router = 0; router < t.numRouters; ++router) {
+        for (std::uint32_t e = 0; e < t.numEndpoints(); ++e) {
+            const std::uint32_t next = r.nextRouter[router][e];
+            if (next != router) {
+                EXPECT_EQ(r.hops[next][e] + 1, r.hops[router][e]);
+            }
+        }
+    }
+}
+
+TEST(Topology, ValidateCatchesBadEndpoint)
+{
+    TopologySpec t;
+    t.numRouters = 2;
+    t.endpointRouter = {0, 5};
+    EXPECT_THROW(t.validate(), FatalError);
+}
+
+TEST(Topology, ValidateCatchesSelfLink)
+{
+    TopologySpec t;
+    t.numRouters = 2;
+    t.endpointRouter = {0};
+    t.routerLinks = {{1, 1}};
+    EXPECT_THROW(t.validate(), FatalError);
+}
+
+TEST(Routing, DisconnectedIsFatal)
+{
+    TopologySpec t;
+    t.numRouters = 2;  // no links between them
+    t.endpointRouter = {0, 1};
+    EXPECT_THROW(computeRoutes(t), FatalError);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/units.h"
+#include "sim/clock.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(Clock, FpgaPeriod)
+{
+    const ClockDomain c = ClockDomain::fromMhz("fpga", 187.5);
+    EXPECT_EQ(c.period(), 5333u);  // ps, rounded
+    EXPECT_NEAR(c.frequencyMhz(), 187.5, 0.1);
+}
+
+TEST(Clock, CycleAt)
+{
+    ClockDomain c("c", 100);
+    EXPECT_EQ(c.cycleAt(0), 0u);
+    EXPECT_EQ(c.cycleAt(99), 0u);
+    EXPECT_EQ(c.cycleAt(100), 1u);
+    EXPECT_EQ(c.cycleAt(1050), 10u);
+}
+
+TEST(Clock, CycleStartInvertsCycleAt)
+{
+    ClockDomain c("c", 73);
+    for (std::uint64_t cyc = 0; cyc < 50; ++cyc)
+        EXPECT_EQ(c.cycleAt(c.cycleStart(cyc)), cyc);
+}
+
+TEST(Clock, NextEdgeAtOrAfter)
+{
+    ClockDomain c("c", 100);
+    EXPECT_EQ(c.nextEdgeAtOrAfter(0), 0u);
+    EXPECT_EQ(c.nextEdgeAtOrAfter(1), 100u);
+    EXPECT_EQ(c.nextEdgeAtOrAfter(100), 100u);
+    EXPECT_EQ(c.nextEdgeAtOrAfter(101), 200u);
+}
+
+TEST(Clock, NextEdgeAfterIsStrict)
+{
+    ClockDomain c("c", 100);
+    EXPECT_EQ(c.nextEdgeAfter(100), 200u);
+    EXPECT_EQ(c.nextEdgeAfter(150), 200u);
+    EXPECT_EQ(c.nextEdgeAfter(0), 100u);
+}
+
+TEST(Clock, PhaseOffset)
+{
+    ClockDomain c("c", 100, 30);
+    EXPECT_EQ(c.cycleStart(0), 30u);
+    EXPECT_EQ(c.nextEdgeAtOrAfter(0), 30u);
+    EXPECT_EQ(c.nextEdgeAtOrAfter(31), 130u);
+    EXPECT_EQ(c.cycleAt(130), 1u);
+}
+
+TEST(Clock, ZeroPeriodPanics)
+{
+    EXPECT_THROW(ClockDomain("bad", 0), PanicError);
+}
+
+TEST(Clock, NegativeFrequencyPanics)
+{
+    EXPECT_THROW(ClockDomain::fromMhz("bad", -5.0), PanicError);
+}
+
+TEST(Clock, UnitsHelpers)
+{
+    EXPECT_EQ(nsToTicks(1.0), 1000u);
+    EXPECT_EQ(nsToTicks(3.2), 3200u);
+    EXPECT_DOUBLE_EQ(ticksToNs(1500), 1.5);
+    EXPECT_DOUBLE_EQ(ticksToUs(2 * kMicrosecond), 2.0);
+    // 16 B over 8 lanes at 15 Gbps = 128 bits / 120 Gb/s = 1066.7 ps.
+    EXPECT_NEAR(serializationTicks(16, 15.0, 8), 1067, 1);
+    // 32 B at 10 GB/s = 3.2 ns.
+    EXPECT_EQ(transferTicks(32, 10.0), 3200u);
+    EXPECT_DOUBLE_EQ(bytesPerTickToGBs(30.0, 1000), 30.0);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "sim/component.h"
+
+namespace hmcsim {
+namespace {
+
+class Root : public Component
+{
+  public:
+    explicit Root(Kernel &k) : Component(k, nullptr, "root") {}
+};
+
+class Leaf : public Component
+{
+  public:
+    Leaf(Kernel &k, Component *parent, std::string name)
+        : Component(k, parent, std::move(name))
+    {
+    }
+
+    int value = 0;
+    mutable int reports = 0;
+
+  protected:
+    void
+    reportOwnStats(std::map<std::string, double> &out) const override
+    {
+        out[statName("value")] = value;
+        ++reports;
+    }
+
+    void resetOwnStats() override { value = 0; }
+};
+
+TEST(Component, PathConstruction)
+{
+    Kernel k;
+    Root root(k);
+    Leaf a(k, &root, "a");
+    Leaf b(k, &a, "b");
+    EXPECT_EQ(root.path(), "root");
+    EXPECT_EQ(a.path(), "root.a");
+    EXPECT_EQ(b.path(), "root.a.b");
+}
+
+TEST(Component, ChildrenTracking)
+{
+    Kernel k;
+    Root root(k);
+    {
+        Leaf a(k, &root, "a");
+        EXPECT_EQ(root.children().size(), 1u);
+    }
+    EXPECT_TRUE(root.children().empty());  // destructor deregisters
+}
+
+TEST(Component, StatsRecurse)
+{
+    Kernel k;
+    Root root(k);
+    Leaf a(k, &root, "a");
+    Leaf b(k, &root, "b");
+    a.value = 3;
+    b.value = 4;
+    std::map<std::string, double> stats;
+    root.reportStats(stats);
+    EXPECT_DOUBLE_EQ(stats.at("root.a.value"), 3.0);
+    EXPECT_DOUBLE_EQ(stats.at("root.b.value"), 4.0);
+}
+
+TEST(Component, ResetRecurses)
+{
+    Kernel k;
+    Root root(k);
+    Leaf a(k, &root, "a");
+    a.value = 9;
+    root.resetStats();
+    EXPECT_EQ(a.value, 0);
+}
+
+TEST(Component, NowDelegatesToKernel)
+{
+    Kernel k;
+    Root root(k);
+    k.scheduleIn(123, [] {});
+    k.run();
+    EXPECT_EQ(root.now(), 123u);
+}
+
+TEST(Component, EmptyNamePanics)
+{
+    Kernel k;
+    EXPECT_THROW(Leaf(k, nullptr, ""), PanicError);
+}
+
+TEST(Component, DottedNamePanics)
+{
+    Kernel k;
+    Root root(k);
+    EXPECT_THROW(Leaf(k, &root, "a.b"), PanicError);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/log.h"
+#include "sim/event_queue.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(EventQueue, EmptyInitially)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.nextTime(), kTickNever);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.executeNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFifoOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.executeNext();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, PriorityBreaksTies)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(2); }, EventPriority::kStats);
+    q.schedule(5, [&] { order.push_back(1); }, EventPriority::kDefault);
+    q.schedule(5, [&] { order.push_back(3); }, EventPriority::kStop);
+    while (!q.empty())
+        q.executeNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ExecuteReturnsEventTime)
+{
+    EventQueue q;
+    q.schedule(42, [] {});
+    EXPECT_EQ(q.executeNext(), 42u);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.schedule(2, [&] { ++fired; });
+    });
+    while (!q.empty())
+        q.executeNext();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ExecutedCount)
+{
+    EventQueue q;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(i, [] {});
+    while (!q.empty())
+        q.executeNext();
+    EXPECT_EQ(q.executedCount(), 5u);
+}
+
+TEST(EventQueue, Clear)
+{
+    EventQueue q;
+    q.schedule(1, [] { FAIL() << "cleared event must not run"; });
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NullEventPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(q.schedule(1, EventFn{}), PanicError);
+}
+
+TEST(EventQueue, ExecuteEmptyPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(q.executeNext(), PanicError);
+}
+
+TEST(EventQueue, LargeHeapStaysSorted)
+{
+    EventQueue q;
+    // Insert pseudo-random times, verify monotone execution.
+    std::uint64_t s = 99;
+    for (int i = 0; i < 2000; ++i) {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        q.schedule(s % 100000, [] {});
+    }
+    Tick last = 0;
+    while (!q.empty()) {
+        const Tick t = q.executeNext();
+        EXPECT_GE(t, last);
+        last = t;
+    }
+}
+
+}  // namespace
+}  // namespace hmcsim

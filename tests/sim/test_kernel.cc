@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "sim/kernel.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(Kernel, TimeAdvancesWithEvents)
+{
+    Kernel k;
+    Tick seen = 0;
+    k.scheduleIn(100, [&] { seen = k.now(); });
+    k.run();
+    EXPECT_EQ(seen, 100u);
+    EXPECT_EQ(k.now(), 100u);
+}
+
+TEST(Kernel, RunUntilHorizonLeavesLaterEvents)
+{
+    Kernel k;
+    int fired = 0;
+    k.scheduleIn(10, [&] { ++fired; });
+    k.scheduleIn(1000, [&] { ++fired; });
+    k.run(500);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(k.now(), 500u);  // advanced to the horizon
+    k.run(2000);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Kernel, EventExactlyAtHorizonRuns)
+{
+    Kernel k;
+    bool fired = false;
+    k.scheduleIn(100, [&] { fired = true; });
+    k.run(100);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Kernel, ScheduleAtPastPanics)
+{
+    Kernel k;
+    k.scheduleIn(50, [] {});
+    k.run();
+    EXPECT_THROW(k.scheduleAt(10, [] {}), PanicError);
+}
+
+TEST(Kernel, StopEndsRun)
+{
+    Kernel k;
+    int fired = 0;
+    k.scheduleIn(1, [&] {
+        ++fired;
+        k.stop();
+    });
+    k.scheduleIn(2, [&] { ++fired; });
+    k.run();
+    EXPECT_EQ(fired, 1);
+    // A fresh run resumes with the remaining event.
+    k.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Kernel, RunReturnsExecutedCount)
+{
+    Kernel k;
+    for (int i = 0; i < 7; ++i)
+        k.scheduleIn(i + 1, [] {});
+    EXPECT_EQ(k.run(), 7u);
+}
+
+TEST(Kernel, RunUntilPredicate)
+{
+    Kernel k;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i)
+        k.scheduleIn(i, [&] { ++count; });
+    k.runUntil([&] { return count >= 4; });
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(k.now(), 4u);
+}
+
+TEST(Kernel, RunUntilPredicateAlreadyTrue)
+{
+    Kernel k;
+    bool fired = false;
+    k.scheduleIn(1, [&] { fired = true; });
+    k.runUntil([] { return true; });
+    EXPECT_FALSE(fired);
+}
+
+TEST(Kernel, SelfReschedulingLoopStopsAtHorizon)
+{
+    Kernel k;
+    int ticks = 0;
+    std::function<void()> loop = [&] {
+        ++ticks;
+        k.scheduleIn(10, loop);
+    };
+    k.scheduleIn(10, loop);
+    k.run(100);
+    EXPECT_EQ(ticks, 10);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Shared gtest environment: silence the logger so the many
+ * negative-path tests (EXPECT_THROW on fatal/panic) do not spam
+ * stderr.  Linked into every test binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace hmcsim {
+namespace {
+
+class SilentLogEnvironment : public ::testing::Environment
+{
+  public:
+    void SetUp() override { Logger::setLevel(LogLevel::Silent); }
+};
+
+const ::testing::Environment *const g_env =
+    ::testing::AddGlobalTestEnvironment(new SilentLogEnvironment);
+
+}  // namespace
+}  // namespace hmcsim
