@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Configure + build (warnings as errors) + ctest in one command.
+# Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-check}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . -DHMCSIM_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

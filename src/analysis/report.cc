@@ -40,4 +40,13 @@ Report::measured(const std::string &name, double value,
          << formatDouble(value, 2) << ' ' << unit << '\n';
 }
 
+void
+Report::power(double energy_pj, double temp_c, double throttle_pct)
+{
+    out_ << "  " << std::left << std::setw(36) << "power/thermal"
+         << " energy_pj=" << formatDouble(energy_pj, 0)
+         << "  temp_c=" << formatDouble(temp_c, 1)
+         << "  throttle_pct=" << formatDouble(throttle_pct, 1) << '\n';
+}
+
 }  // namespace hmcsim

@@ -35,6 +35,12 @@ class Report
     void measured(const std::string &name, double value,
                   const std::string &unit);
 
+    /**
+     * One power/thermal summary row: window energy, hottest layer,
+     * and the share of the window spent thermally throttled.
+     */
+    void power(double energy_pj, double temp_c, double throttle_pct);
+
   private:
     std::ostream &out_;
 };

@@ -25,6 +25,8 @@ Bank::activate(Tick when, RowId row)
     colAllowedAt_ = std::max(colAllowedAt_, when + params_.tRCD);
     preAllowedAt_ = std::max(preAllowedAt_, when + params_.tRAS);
     acts_.inc();
+    if (probe_)
+        probe_->record(PowerEvent::DramActivate, 1);
     return when + params_.tRCD;
 }
 
@@ -47,6 +49,8 @@ Bank::readBurst(Tick when, std::uint32_t beats)
     const Tick last_cmd = when + (beats - 1) * params_.tCCD;
     preAllowedAt_ = std::max(preAllowedAt_, last_cmd + params_.tRTP);
     reads_.inc(beats);
+    if (probe_)
+        probe_->record(PowerEvent::DramReadBeat, beats);
     return t;
 }
 
@@ -68,6 +72,8 @@ Bank::writeBurst(Tick when, std::uint32_t beats)
     colAllowedAt_ = when + beats * params_.tCCD;
     preAllowedAt_ = std::max(preAllowedAt_, t.dataEnd + params_.tWR);
     writes_.inc(beats);
+    if (probe_)
+        probe_->record(PowerEvent::DramWriteBeat, beats);
     return t;
 }
 
@@ -84,6 +90,8 @@ Bank::precharge(Tick when)
     openRow_ = kRowNone;
     actAllowedAt_ = std::max(actAllowedAt_, when + params_.tRP);
     pres_.inc();
+    if (probe_)
+        probe_->record(PowerEvent::DramPrecharge, 1);
     return when + params_.tRP;
 }
 
@@ -98,6 +106,8 @@ Bank::refresh(Tick when)
               ")");
     actAllowedAt_ = when + params_.tRFC;
     refs_.inc();
+    if (probe_)
+        probe_->record(PowerEvent::DramRefresh, 1);
     return when + params_.tRFC;
 }
 

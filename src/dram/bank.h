@@ -17,6 +17,7 @@
 #include "common/types.h"
 #include "dram/dram_types.h"
 #include "dram/timing.h"
+#include "power/power_probe.h"
 
 namespace hmcsim {
 
@@ -76,6 +77,9 @@ class Bank
      */
     Tick refresh(Tick when);
 
+    /** Attach the power subsystem's probe (null = no accounting). */
+    void setPowerProbe(PowerProbe *probe) { probe_ = probe; }
+
     // Statistics.
     std::uint64_t activates() const { return acts_.value(); }
     std::uint64_t reads() const { return reads_.value(); }
@@ -97,6 +101,7 @@ class Bank
     Counter writes_;
     Counter pres_;
     Counter refs_;
+    PowerProbe *probe_ = nullptr;
 };
 
 }  // namespace hmcsim

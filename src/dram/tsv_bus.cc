@@ -31,6 +31,8 @@ TsvBus::reserve(std::uint64_t bytes, Tick earliest)
     nextFree_ = t.end;
     bytes_.inc(static_cast<std::uint64_t>(beats) * beatBytes_);
     busy_ += t.end - t.start;
+    if (probe_)
+        probe_->record(PowerEvent::TsvBeat, beats);
     return t;
 }
 

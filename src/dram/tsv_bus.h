@@ -14,6 +14,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "power/power_probe.h"
 
 namespace hmcsim {
 
@@ -47,6 +48,9 @@ class TsvBus
     std::uint64_t bytesCarried() const { return bytes_.value(); }
     Tick busyTime() const { return busy_; }
 
+    /** Attach the power subsystem's probe (null = no accounting). */
+    void setPowerProbe(PowerProbe *probe) { probe_ = probe; }
+
     void resetStats();
 
   private:
@@ -56,6 +60,7 @@ class TsvBus
     Tick nextFree_ = 0;
     Counter bytes_;
     Tick busy_ = 0;
+    PowerProbe *probe_ = nullptr;
 };
 
 }  // namespace hmcsim

@@ -36,6 +36,14 @@ VaultMemory::bank(BankId b) const
     return banks_[b];
 }
 
+void
+VaultMemory::setPowerProbe(PowerProbe *probe)
+{
+    for (Bank &b : banks_)
+        b.setPowerProbe(probe);
+    bus_.setPowerProbe(probe);
+}
+
 Tick
 VaultMemory::earliestActivate(BankId b, Tick t) const
 {

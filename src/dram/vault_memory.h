@@ -46,6 +46,9 @@ class VaultMemory : public Component
     const TsvBus &bus() const { return bus_; }
     const DramTimingParams &timing() const { return params_; }
 
+    /** Attach the power probe to every bank and the TSV bus. */
+    void setPowerProbe(PowerProbe *probe);
+
     /** Timestamps of one fully planned access. */
     struct ServiceResult {
         /** ACTIVATE issue time; kTickNever when the row was already

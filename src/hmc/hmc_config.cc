@@ -96,6 +96,7 @@ HmcConfig::validate() const
     schedulerFromString(scheduler);
     pagePolicyFromString(pagePolicy);
     (void)dramTiming();  // validates the preset name
+    power.validate();
 }
 
 HmcConfig
@@ -169,6 +170,7 @@ HmcConfig::fromConfig(const Config &cfg)
                                    c.vaultJitterSeed);
 
     c.dramPreset = cfg.getString("hmc.dram_preset", c.dramPreset);
+    c.power = PowerConfig::fromConfig(cfg);
     c.validate();
     return c;
 }
@@ -213,6 +215,7 @@ HmcConfig::toConfig(Config &cfg) const
     cfg.setDouble("hmc.vault_jitter_ns_per_flit", vaultJitterNsPerFlit);
     cfg.setU64("hmc.vault_jitter_seed", vaultJitterSeed);
     cfg.set("hmc.dram_preset", dramPreset);
+    power.toConfig(cfg);
 }
 
 }  // namespace hmcsim

@@ -17,6 +17,7 @@
 #include "dram/timing.h"
 #include "dram/vault_memory.h"
 #include "noc/router.h"
+#include "power/power_config.h"
 
 namespace hmcsim {
 
@@ -104,6 +105,9 @@ struct HmcConfig {
 
     // ----- DRAM -----
     std::string dramPreset = "hmc_gen2";
+
+    // ----- power & thermal (observation-only by default) -----
+    PowerConfig power;
 
     /** Derived: peak bandwidth per Eq. 1, decimal GB/s, bidirectional. */
     double peakBandwidthGBs() const;

@@ -101,6 +101,31 @@ HmcDevice::HmcDevice(Kernel &kernel, Component *parent, std::string name,
             net_->kickEject(ep);
         });
     }
+
+    // Power/thermal model: every instrumented component reports into
+    // it, and its governor feeds timing stretch back into the vaults
+    // and links.  Periodic stepping is started by System so that
+    // device-only tests keep a drainable event queue.
+    if (cfg_.power.enabled) {
+        power_ = std::make_unique<PowerModel>(kernel, this, "power",
+                                              cfg_.power);
+        net_->setPowerProbe(power_.get());
+        for (auto &lk : links_)
+            lk->setPowerProbe(power_.get());
+        for (auto &vc : vaults_)
+            vc->setPowerProbe(power_.get());
+        power_->setThrottleApplier(
+            [this](double s) { applyThrottle(s); });
+    }
+}
+
+void
+HmcDevice::applyThrottle(double slowdown)
+{
+    for (auto &vc : vaults_)
+        vc->setThrottle(slowdown);
+    for (auto &lk : links_)
+        lk->setThrottle(slowdown);
 }
 
 SerdesLink &

@@ -18,6 +18,7 @@
 #include "hmc/serdes_link.h"
 #include "hmc/vault_controller.h"
 #include "noc/network.h"
+#include "power/power_model.h"
 
 namespace hmcsim {
 
@@ -33,6 +34,13 @@ class HmcDevice : public Component
     SerdesLink &link(LinkId l);
     VaultController &vaultController(VaultId v);
     Network &network() { return *net_; }
+
+    /** The power/thermal model; null when hmc.power_enabled is off. */
+    PowerModel *powerModel() { return power_.get(); }
+    const PowerModel *powerModel() const { return power_.get(); }
+
+    /** Apply @p slowdown to every vault scheduler and link. */
+    void applyThrottle(double slowdown);
 
     NodeId linkEndpoint(LinkId l) const { return l; }
 
@@ -54,6 +62,7 @@ class HmcDevice : public Component
     std::unique_ptr<Network> net_;
     std::vector<std::unique_ptr<SerdesLink>> links_;
     std::vector<std::unique_ptr<VaultController>> vaults_;
+    std::unique_ptr<PowerModel> power_;
 
     /** Move request packets from a link's RX buffer into the NoC. */
     void drainLinkRx(LinkId l);

@@ -62,12 +62,31 @@ SerdesLink::send(LinkDir d, const HmcPacketPtr &pkt)
 }
 
 void
+SerdesLink::setThrottle(double slowdown)
+{
+    if (slowdown < 1.0)
+        panic("SerdesLink::setThrottle: slowdown below 1.0");
+    slowdown_ = slowdown;
+}
+
+void
 SerdesLink::transmit(LinkDir d, const HmcPacketPtr &pkt, Tick earliest)
 {
     Direction &dd = dir(d);
+    // Thermal duty-cycling: respect the idle gap the previous packet
+    // imposed.  Unthrottled operation never touches throttleFreeAt, so
+    // default timing is bit-identical to a probe-free build.
+    if (slowdown_ > 1.0)
+        earliest = std::max(earliest, dd.throttleFreeAt);
     const Channel::Times t = dd.chan.reserve(pkt->flits(), earliest);
+    if (slowdown_ > 1.0)
+        dd.throttleFreeAt = t.serDone +
+            static_cast<Tick>((slowdown_ - 1.0) *
+                              static_cast<double>(t.serDone - t.start));
     dd.packets.inc();
     dd.flits.inc(pkt->flits());
+    if (probe_)
+        probe_->record(PowerEvent::SerdesFlit, pkt->flits());
     const Tick deliverAt = t.arrival + params_.serdesLatency;
 
     // CRC failure: the packet is re-transmitted after the retry delay,

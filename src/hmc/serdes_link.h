@@ -18,6 +18,7 @@
 #include "hmc/flow_control.h"
 #include "hmc/packet.h"
 #include "noc/channel.h"
+#include "power/power_probe.h"
 #include "sim/component.h"
 
 namespace hmcsim {
@@ -97,6 +98,21 @@ class SerdesLink : public Component
     /** Serializer busy fraction over @p window ticks. */
     double utilization(LinkDir dir, Tick window) const;
 
+    // ----- power & thermal -----
+
+    /** Attach the power subsystem's probe (null = no accounting). */
+    void setPowerProbe(PowerProbe *probe) { probe_ = probe; }
+
+    /**
+     * Thermal throttle: duty-cycle the serializer so the effective
+     * bandwidth is the line rate divided by @p slowdown (1.0 = none).
+     * After each packet the transmitter idles for (slowdown - 1) times
+     * the packet's serialization occupancy.
+     */
+    void setThrottle(double slowdown);
+
+    double throttleSlowdown() const { return slowdown_; }
+
   protected:
     void reportOwnStats(std::map<std::string, double> &out) const override;
     void resetOwnStats() override;
@@ -116,6 +132,7 @@ class SerdesLink : public Component
         Counter packets;
         Counter flits;
         Tick busyBase = 0;  // channel busy at last stats reset
+        Tick throttleFreeAt = 0;  // duty-cycle gap end (throttling only)
     };
 
     LinkId id_;
@@ -124,6 +141,8 @@ class SerdesLink : public Component
     Direction dirs_[2];
     Rng rng_;
     Counter retries_;
+    PowerProbe *probe_ = nullptr;
+    double slowdown_ = 1.0;
 
     Direction &dir(LinkDir d) { return dirs_[static_cast<unsigned>(d)]; }
     const Direction &

@@ -21,6 +21,23 @@ VaultController::VaultController(Kernel &kernel, Component *parent,
 {
 }
 
+void
+VaultController::setThrottle(double slowdown)
+{
+    if (slowdown < 1.0)
+        panic("VaultController::setThrottle: slowdown below 1.0");
+    slowdown_ = slowdown;
+}
+
+Tick
+VaultController::effectiveRequestCycle() const
+{
+    if (slowdown_ <= 1.0)
+        return params_.requestCycle;
+    return static_cast<Tick>(
+        static_cast<double>(params_.requestCycle) * slowdown_ + 0.5);
+}
+
 bool
 VaultController::tryReserveInput(std::uint32_t flits)
 {
@@ -137,7 +154,7 @@ VaultController::trySchedule(BankId b)
     bank.q.erase(bank.q.begin() + static_cast<std::ptrdiff_t>(idx));
     --bankQOccupancy_;
     bank.busy = true;
-    nextPlanAllowed_ = now() + params_.requestCycle;
+    nextPlanAllowed_ = now() + effectiveRequestCycle();
     lastPlannedBank_ = b;
 
     // Refresh-before-access if this bank owes one.

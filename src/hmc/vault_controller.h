@@ -74,6 +74,19 @@ class VaultController : public Component
     /** NoC injection credits freed; retry pending responses. */
     void onInjectSpace();
 
+    // ----- power & thermal -----
+
+    /** Attach the power probe to this vault's banks and TSV bus. */
+    void setPowerProbe(PowerProbe *probe) { mem_.setPowerProbe(probe); }
+
+    /**
+     * Thermal throttle: stretch the scheduler's request cycle by
+     * @p slowdown (1.0 = none), capping this vault's request rate.
+     */
+    void setThrottle(double slowdown);
+
+    double throttleSlowdown() const { return slowdown_; }
+
     // ----- statistics -----
     std::uint64_t requestsServed() const { return served_.value(); }
     std::uint64_t readBytes() const { return readBytes_.value(); }
@@ -128,7 +141,9 @@ class VaultController : public Component
     Tick nextPlanAllowed_ = 0;
     bool planRetryPending_ = false;
     std::uint32_t lastPlannedBank_ = 0;
+    double slowdown_ = 1.0;
 
+    Tick effectiveRequestCycle() const;
     void processInput();
     void tryScheduleAll();
     void trySchedule(BankId b);

@@ -43,6 +43,12 @@ collectResult(System &sys, Tick window_ticks)
     }
     r.bandwidthGBs = bytesPerTickToGBs(
         static_cast<double>(r.totalWireBytes), window_ticks);
+    if (const PowerModel *pm = sys.device().powerModel()) {
+        r.energyPj = pm->windowEnergyPj();
+        r.avgPowerW = pm->avgPowerW();
+        r.maxTempC = pm->thermal().maxTemperatureC();
+        r.throttlePct = 100.0 * pm->throttledFraction();
+    }
     r.avgReadLatencyNs = r.mergedRead.mean();
     r.minReadLatencyNs = r.mergedRead.min();
     r.maxReadLatencyNs = r.mergedRead.max();

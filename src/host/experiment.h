@@ -54,6 +54,20 @@ struct ExperimentResult {
     /** Merged read-latency accumulator for further analysis. */
     SampleStats mergedRead;
 
+    // ----- power & thermal (zero when the power model is disabled) -----
+
+    /** Total cube energy over the window (dynamic + static), pJ. */
+    double energyPj = 0.0;
+
+    /** Average cube power over the window, W. */
+    double avgPowerW = 0.0;
+
+    /** Hottest stack layer at the end of the window, Celsius. */
+    double maxTempC = 0.0;
+
+    /** Percentage of the window spent thermally throttled. */
+    double throttlePct = 0.0;
+
     /** Accesses per second across all ports. */
     double accessesPerSec() const;
 };

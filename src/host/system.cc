@@ -47,6 +47,8 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
     fpga_ = std::make_unique<Fpga>(kernel_, root_.get(), "fpga", cfg_.host,
                                    *cube_);
     fpga_->start();
+    if (PowerModel *pm = cube_->powerModel())
+        pm->start();
 }
 
 void

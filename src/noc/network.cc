@@ -177,6 +177,13 @@ Network::hopCount(NodeId from, NodeId to) const
 }
 
 void
+Network::setPowerProbe(PowerProbe *probe)
+{
+    for (auto &r : routers_)
+        r->setPowerProbe(probe);
+}
+
+void
 Network::onDelivered(NodeId ep, const NocMessage &msg)
 {
     delivered_.inc();

@@ -66,6 +66,9 @@ class Network : public Component
     /** Router-hop distance between two endpoints (static). */
     std::uint32_t hopCount(NodeId from, NodeId to) const;
 
+    /** Attach the power probe to every router. */
+    void setPowerProbe(PowerProbe *probe);
+
     /** End-to-end message latency distribution (ns). */
     const SampleStats &latencyNs() const { return latencyNs_; }
 

@@ -98,6 +98,8 @@ Router::processInput(std::size_t i)
         out.q.push(msg);
         messages_.inc();
         flits_.inc(msg.flits);
+        if (probe_)
+            probe_->record(PowerEvent::NocFlitHop, msg.flits);
         if (in.creditReturn) {
             const std::uint32_t freed = msg.flits;
             CreditFn fn = in.creditReturn;

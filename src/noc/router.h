@@ -24,6 +24,7 @@
 #include "noc/buffer.h"
 #include "noc/channel.h"
 #include "noc/flit.h"
+#include "power/power_probe.h"
 #include "sim/component.h"
 
 namespace hmcsim {
@@ -124,6 +125,9 @@ class Router : public Component
     std::uint64_t messagesRouted() const { return messages_.value(); }
     std::uint64_t flitsRouted() const { return flits_.value(); }
 
+    /** Attach the power subsystem's probe (null = no accounting). */
+    void setPowerProbe(PowerProbe *probe) { probe_ = probe; }
+
   protected:
     void reportOwnStats(std::map<std::string, double> &out) const override;
     void resetOwnStats() override;
@@ -157,6 +161,7 @@ class Router : public Component
     std::size_t inputRR_ = 0;
     Counter messages_;
     Counter flits_;
+    PowerProbe *probe_ = nullptr;
 
     void processInput(std::size_t i);
     void tryDrain(std::size_t o);

@@ -1,0 +1,122 @@
+#include "power/energy_model.h"
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+double
+staticEnergyPj(double watts, Tick ticks)
+{
+    // 1 W = 1 J/s = 1 pJ/ps, and a tick is one picosecond.
+    return watts * static_cast<double>(ticks);
+}
+
+EnergyModel::EnergyModel(const EnergyParams &params) : params_(params)
+{
+}
+
+void
+EnergyModel::record(PowerEvent ev, std::uint64_t count)
+{
+    const auto i = static_cast<std::size_t>(ev);
+    if (i >= kNumPowerEvents)
+        panic("EnergyModel::record: invalid power event");
+    double per_event = 0.0;
+    switch (ev) {
+      case PowerEvent::DramActivate:
+        per_event = params_.dramActivatePj;
+        break;
+      case PowerEvent::DramPrecharge:
+        per_event = params_.dramPrechargePj;
+        break;
+      case PowerEvent::DramReadBeat:
+        per_event = params_.dramReadBeatPj;
+        break;
+      case PowerEvent::DramWriteBeat:
+        per_event = params_.dramWriteBeatPj;
+        break;
+      case PowerEvent::DramRefresh:
+        per_event = params_.dramRefreshPj;
+        break;
+      case PowerEvent::TsvBeat:
+        per_event = params_.tsvBeatPj;
+        break;
+      case PowerEvent::NocFlitHop:
+        per_event = params_.nocFlitHopPj;
+        break;
+      case PowerEvent::SerdesFlit:
+        per_event = params_.serdesFlitPj;
+        break;
+      case PowerEvent::kCount:
+        panic("EnergyModel::record: kCount is not an event");
+    }
+    counts_[i] += count;
+    energyPj_[i] += per_event * static_cast<double>(count);
+}
+
+std::uint64_t
+EnergyModel::eventCount(PowerEvent ev) const
+{
+    return counts_[static_cast<std::size_t>(ev)];
+}
+
+double
+EnergyModel::dynamicPj(PowerEvent ev) const
+{
+    return energyPj_[static_cast<std::size_t>(ev)];
+}
+
+double
+EnergyModel::totalDynamicPj() const
+{
+    double total = 0.0;
+    for (double e : energyPj_)
+        total += e;
+    return total;
+}
+
+double
+EnergyModel::dramDynamicPj() const
+{
+    return dynamicPj(PowerEvent::DramActivate) +
+        dynamicPj(PowerEvent::DramPrecharge) +
+        dynamicPj(PowerEvent::DramReadBeat) +
+        dynamicPj(PowerEvent::DramWriteBeat) +
+        dynamicPj(PowerEvent::DramRefresh) +
+        dynamicPj(PowerEvent::TsvBeat);
+}
+
+double
+EnergyModel::logicDynamicPj() const
+{
+    return dynamicPj(PowerEvent::NocFlitHop) +
+        dynamicPj(PowerEvent::SerdesFlit);
+}
+
+double
+EnergyModel::logicStaticW() const
+{
+    return params_.serdesIdleW + params_.logicIdleW;
+}
+
+double
+EnergyModel::dramStaticWPerLayer() const
+{
+    return params_.dramIdleWPerLayer;
+}
+
+double
+EnergyModel::totalStaticW(std::uint32_t num_dram_layers) const
+{
+    return logicStaticW() + dramStaticWPerLayer() * num_dram_layers;
+}
+
+double
+EnergyModel::windowEnergyPj(double dynamic_base_pj, Tick elapsed,
+                            std::uint32_t num_dram_layers) const
+{
+    return totalDynamicPj() - dynamic_base_pj +
+        staticEnergyPj(totalStaticW(num_dram_layers), elapsed);
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,123 @@
+#include "power/power_config.h"
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+void
+PowerConfig::validate() const
+{
+    if (stepInterval == 0)
+        fatal("power: step interval must be positive");
+    if (thermal.numDramLayers == 0)
+        fatal("power: need at least one DRAM layer");
+    if (thermal.layerResistanceKperW <= 0.0 ||
+        thermal.sinkResistanceKperW <= 0.0)
+        fatal("power: thermal resistances must be positive");
+    if (thermal.layerCapacitanceJperK <= 0.0)
+        fatal("power: thermal capacitance must be positive");
+    if (throttle.numLevels == 0)
+        fatal("power: throttle needs at least one level");
+    if (throttle.maxSlowdown < 1.0)
+        fatal("power: throttle max slowdown must be >= 1");
+    if (throttle.offThresholdC > throttle.onThresholdC)
+        fatal("power: throttle off threshold above on threshold "
+              "(hysteresis band would be inverted)");
+}
+
+PowerConfig
+PowerConfig::fromConfig(const Config &cfg)
+{
+    PowerConfig c;
+    c.enabled = cfg.getBool("hmc.power_enabled", c.enabled);
+    c.stepInterval = cfg.getU64("hmc.power_step_ps", c.stepInterval);
+
+    c.energy.dramActivatePj =
+        cfg.getDouble("hmc.power_dram_act_pj", c.energy.dramActivatePj);
+    c.energy.dramPrechargePj =
+        cfg.getDouble("hmc.power_dram_pre_pj", c.energy.dramPrechargePj);
+    c.energy.dramReadBeatPj =
+        cfg.getDouble("hmc.power_dram_read_beat_pj",
+                      c.energy.dramReadBeatPj);
+    c.energy.dramWriteBeatPj =
+        cfg.getDouble("hmc.power_dram_write_beat_pj",
+                      c.energy.dramWriteBeatPj);
+    c.energy.dramRefreshPj =
+        cfg.getDouble("hmc.power_dram_refresh_pj", c.energy.dramRefreshPj);
+    c.energy.tsvBeatPj =
+        cfg.getDouble("hmc.power_tsv_beat_pj", c.energy.tsvBeatPj);
+    c.energy.nocFlitHopPj =
+        cfg.getDouble("hmc.power_noc_flit_pj", c.energy.nocFlitHopPj);
+    c.energy.serdesFlitPj =
+        cfg.getDouble("hmc.power_serdes_flit_pj", c.energy.serdesFlitPj);
+    c.energy.serdesIdleW =
+        cfg.getDouble("hmc.power_serdes_idle_w", c.energy.serdesIdleW);
+    c.energy.logicIdleW =
+        cfg.getDouble("hmc.power_logic_idle_w", c.energy.logicIdleW);
+    c.energy.dramIdleWPerLayer =
+        cfg.getDouble("hmc.power_dram_idle_w_per_layer",
+                      c.energy.dramIdleWPerLayer);
+
+    c.thermal.numDramLayers = static_cast<std::uint32_t>(
+        cfg.getU64("hmc.power_dram_layers", c.thermal.numDramLayers));
+    c.thermal.ambientC =
+        cfg.getDouble("hmc.power_ambient_c", c.thermal.ambientC);
+    c.thermal.layerResistanceKperW =
+        cfg.getDouble("hmc.power_layer_resistance_k_per_w",
+                      c.thermal.layerResistanceKperW);
+    c.thermal.sinkResistanceKperW =
+        cfg.getDouble("hmc.power_sink_resistance_k_per_w",
+                      c.thermal.sinkResistanceKperW);
+    c.thermal.layerCapacitanceJperK =
+        cfg.getDouble("hmc.power_layer_capacitance_j_per_k",
+                      c.thermal.layerCapacitanceJperK);
+
+    c.throttle.enabled =
+        cfg.getBool("hmc.power_throttle_enabled", c.throttle.enabled);
+    c.throttle.onThresholdC =
+        cfg.getDouble("hmc.power_throttle_on_c", c.throttle.onThresholdC);
+    c.throttle.offThresholdC =
+        cfg.getDouble("hmc.power_throttle_off_c", c.throttle.offThresholdC);
+    c.throttle.numLevels = static_cast<std::uint32_t>(
+        cfg.getU64("hmc.power_throttle_levels", c.throttle.numLevels));
+    c.throttle.maxSlowdown =
+        cfg.getDouble("hmc.power_throttle_max_slowdown",
+                      c.throttle.maxSlowdown);
+    c.validate();
+    return c;
+}
+
+void
+PowerConfig::toConfig(Config &cfg) const
+{
+    cfg.setBool("hmc.power_enabled", enabled);
+    cfg.setU64("hmc.power_step_ps", stepInterval);
+    cfg.setDouble("hmc.power_dram_act_pj", energy.dramActivatePj);
+    cfg.setDouble("hmc.power_dram_pre_pj", energy.dramPrechargePj);
+    cfg.setDouble("hmc.power_dram_read_beat_pj", energy.dramReadBeatPj);
+    cfg.setDouble("hmc.power_dram_write_beat_pj", energy.dramWriteBeatPj);
+    cfg.setDouble("hmc.power_dram_refresh_pj", energy.dramRefreshPj);
+    cfg.setDouble("hmc.power_tsv_beat_pj", energy.tsvBeatPj);
+    cfg.setDouble("hmc.power_noc_flit_pj", energy.nocFlitHopPj);
+    cfg.setDouble("hmc.power_serdes_flit_pj", energy.serdesFlitPj);
+    cfg.setDouble("hmc.power_serdes_idle_w", energy.serdesIdleW);
+    cfg.setDouble("hmc.power_logic_idle_w", energy.logicIdleW);
+    cfg.setDouble("hmc.power_dram_idle_w_per_layer",
+                  energy.dramIdleWPerLayer);
+    cfg.setU64("hmc.power_dram_layers", thermal.numDramLayers);
+    cfg.setDouble("hmc.power_ambient_c", thermal.ambientC);
+    cfg.setDouble("hmc.power_layer_resistance_k_per_w",
+                  thermal.layerResistanceKperW);
+    cfg.setDouble("hmc.power_sink_resistance_k_per_w",
+                  thermal.sinkResistanceKperW);
+    cfg.setDouble("hmc.power_layer_capacitance_j_per_k",
+                  thermal.layerCapacitanceJperK);
+    cfg.setBool("hmc.power_throttle_enabled", throttle.enabled);
+    cfg.setDouble("hmc.power_throttle_on_c", throttle.onThresholdC);
+    cfg.setDouble("hmc.power_throttle_off_c", throttle.offThresholdC);
+    cfg.setU64("hmc.power_throttle_levels", throttle.numLevels);
+    cfg.setDouble("hmc.power_throttle_max_slowdown",
+                  throttle.maxSlowdown);
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Configuration of the power/thermal subsystem: per-event energies,
+ * static power, the lumped-RC thermal stack, and the throttle governor.
+ *
+ * Defaults are representative of HMC 1.1 figures (DRAM access energy
+ * ~3.7 pJ/bit, SerDes-dominated static power) and land at roughly 7 W
+ * idle / 13 W saturated for the paper's AC-510 cube.  The model is
+ * observation-only by default: energy and temperature are tracked and
+ * reported but `throttle.enabled` is off, so timing is bit-identical
+ * to a build without the power subsystem.
+ */
+
+#ifndef HMCSIM_POWER_POWER_CONFIG_H_
+#define HMCSIM_POWER_POWER_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace hmcsim {
+
+/** Dynamic energy per event (picojoules) and static power (watts). */
+struct EnergyParams {
+    // ----- dynamic, pJ per event -----
+    double dramActivatePj = 909.0;
+    double dramPrechargePj = 600.0;
+    double dramReadBeatPj = 947.0;   ///< per 32 B beat (~3.7 pJ/bit)
+    double dramWriteBeatPj = 947.0;
+    double dramRefreshPj = 3900.0;   ///< per per-bank refresh
+    double tsvBeatPj = 166.0;        ///< 32 B crossing the TSV stack
+    double nocFlitHopPj = 26.0;      ///< 16 B flit through one router
+    double serdesFlitPj = 640.0;     ///< 16 B flit onto a link (~5 pJ/bit)
+
+    // ----- static, watts -----
+    /** All SerDes lanes combined; lanes burn power data or not. */
+    double serdesIdleW = 2.4;
+    /** Logic layer background (NoC, vault controllers, PHY digital). */
+    double logicIdleW = 3.0;
+    /** Per-DRAM-layer background (peripheral + self-refresh floor). */
+    double dramIdleWPerLayer = 0.4;
+};
+
+/** Lumped-RC thermal stack parameters. */
+struct ThermalParams {
+    /** DRAM dies stacked above the logic layer. */
+    std::uint32_t numDramLayers = 4;
+
+    /** Ambient / heat-sink reference temperature. */
+    double ambientC = 45.0;
+
+    /** Vertical resistance between adjacent layers, K/W. */
+    double layerResistanceKperW = 0.35;
+
+    /** Top DRAM layer to heat sink/ambient, K/W. */
+    double sinkResistanceKperW = 0.9;
+
+    /**
+     * Per-layer thermal capacitance, J/K.  The physical value for a
+     * thinned HMC die is ~5 mJ/K; the default is deliberately smaller
+     * so thermal transients settle within microsecond-scale simulation
+     * windows (time constants scale linearly with this knob).
+     */
+    double layerCapacitanceJperK = 2e-3;
+};
+
+/** Temperature-feedback throttling policy (hysteretic level stepping). */
+struct ThrottleParams {
+    /** Master switch; off = observation-only power model. */
+    bool enabled = false;
+
+    /** Engage/step-up when the hottest layer exceeds this. */
+    double onThresholdC = 95.0;
+
+    /** Step-down only when the hottest layer falls below this. */
+    double offThresholdC = 85.0;
+
+    /** Discrete throttle depth steps. */
+    std::uint32_t numLevels = 8;
+
+    /** Timing stretch factor at the deepest level (1.0 = none). */
+    double maxSlowdown = 4.0;
+};
+
+struct PowerConfig {
+    /** Build and run the power/thermal model at all. */
+    bool enabled = true;
+
+    /** Thermal/governor evaluation period. */
+    Tick stepInterval = 5 * kMicrosecond;
+
+    EnergyParams energy;
+    ThermalParams thermal;
+    ThrottleParams throttle;
+
+    /** Raise fatal() on inconsistent settings. */
+    void validate() const;
+
+    /** Read every "hmc.power_*" key from @p cfg over the defaults. */
+    static PowerConfig fromConfig(const Config &cfg);
+
+    /** Write all values into @p cfg under "hmc.power_*". */
+    void toConfig(Config &cfg) const;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_POWER_POWER_CONFIG_H_

@@ -1,0 +1,146 @@
+#include "power/power_model.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+PowerModel::PowerModel(Kernel &kernel, Component *parent, std::string name,
+                       const PowerConfig &cfg)
+    : Component(kernel, parent, std::move(name)), cfg_(cfg),
+      energy_(cfg.energy), thermal_(cfg.thermal), governor_(cfg.throttle)
+{
+    cfg_.validate();
+    lastStepAt_ = now();
+    windowStartAt_ = now();
+}
+
+void
+PowerModel::record(PowerEvent ev, std::uint64_t count)
+{
+    energy_.record(ev, count);
+}
+
+void
+PowerModel::setThrottleApplier(std::function<void(double)> fn)
+{
+    applyThrottle_ = std::move(fn);
+}
+
+void
+PowerModel::start()
+{
+    if (started_ || !cfg_.enabled)
+        return;
+    started_ = true;
+    lastStepAt_ = now();
+    scheduleNext();
+}
+
+void
+PowerModel::scheduleNext()
+{
+    kernel().scheduleIn(cfg_.stepInterval, [this] {
+        step();
+        scheduleNext();
+    });
+}
+
+void
+PowerModel::step()
+{
+    const Tick dt = now() - lastStepAt_;
+    if (dt == 0)
+        return;
+
+    // Interval dynamic energy -> average power.  pJ per ps is exactly
+    // watts, so the division needs no unit constant.
+    const double dram_pj = energy_.dramDynamicPj();
+    const double logic_pj = energy_.logicDynamicPj();
+    const double dt_d = static_cast<double>(dt);
+    const std::uint32_t layers = cfg_.thermal.numDramLayers;
+
+    std::vector<double> power_w(1 + layers);
+    power_w[0] =
+        (logic_pj - lastLogicPj_) / dt_d + energy_.logicStaticW();
+    const double per_layer_w =
+        (dram_pj - lastDramPj_) / (dt_d * layers) +
+        energy_.dramStaticWPerLayer();
+    for (std::uint32_t l = 0; l < layers; ++l)
+        power_w[1 + l] = per_layer_w;
+
+    thermal_.step(power_w, dt_d * 1e-12);
+
+    // Attribute the elapsed interval to the level that was in effect
+    // while it ran, then evaluate the governor for the next one.  The
+    // attribution is clipped to the stats window: a reset can land
+    // mid-interval, and time before it belongs to the previous window.
+    if (governor_.throttling())
+        throttledTicks_ += now() - std::max(lastStepAt_, windowStartAt_);
+    if (governor_.update(thermal_.maxTemperatureC()) && applyThrottle_)
+        applyThrottle_(governor_.slowdown());
+
+    lastStepAt_ = now();
+    lastDramPj_ = dram_pj;
+    lastLogicPj_ = logic_pj;
+}
+
+double
+PowerModel::windowEnergyPj() const
+{
+    return energy_.windowEnergyPj(windowBaseDynamicPj_,
+                                  now() - windowStartAt_,
+                                  cfg_.thermal.numDramLayers);
+}
+
+double
+PowerModel::throttledFraction() const
+{
+    const Tick window = now() - windowStartAt_;
+    if (window == 0)
+        return 0.0;
+    Tick throttled = throttledTicks_;
+    if (governor_.throttling())
+        throttled += now() - std::max(lastStepAt_, windowStartAt_);
+    return static_cast<double>(throttled) / static_cast<double>(window);
+}
+
+double
+PowerModel::avgPowerW() const
+{
+    const Tick window = now() - windowStartAt_;
+    if (window == 0)
+        return 0.0;
+    return windowEnergyPj() / static_cast<double>(window);
+}
+
+void
+PowerModel::reportOwnStats(std::map<std::string, double> &out) const
+{
+    out[statName("energy_pj")] = windowEnergyPj();
+    out[statName("energy_dynamic_pj")] =
+        energy_.totalDynamicPj() - windowBaseDynamicPj_;
+    out[statName("avg_power_w")] = avgPowerW();
+    out[statName("temp_c")] = thermal_.maxTemperatureC();
+    for (std::size_t l = 0; l < thermal_.numLayers(); ++l) {
+        const std::string label = l == 0
+            ? std::string("temp_logic_c")
+            : "temp_dram" + std::to_string(l - 1) + "_c";
+        out[statName(label)] = thermal_.temperatureC(l);
+    }
+    out[statName("throttle_pct")] = 100.0 * throttledFraction();
+    out[statName("throttle_level")] =
+        static_cast<double>(governor_.level());
+    out[statName("slowdown")] = governor_.slowdown();
+}
+
+void
+PowerModel::resetOwnStats()
+{
+    windowStartAt_ = now();
+    windowBaseDynamicPj_ = energy_.totalDynamicPj();
+    throttledTicks_ = 0;
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Instrumentation contract between timing components and the power
+ * subsystem.  Components report *events* (an ACTIVATE happened, a flit
+ * crossed a router); converting events into picojoules is entirely the
+ * energy model's business, so the hot paths never touch floating-point
+ * energy parameters and a null probe costs one pointer test.
+ */
+
+#ifndef HMCSIM_POWER_POWER_PROBE_H_
+#define HMCSIM_POWER_POWER_PROBE_H_
+
+#include <cstdint>
+
+namespace hmcsim {
+
+/** Energy-bearing event classes reported by instrumented components. */
+enum class PowerEvent : unsigned {
+    /** DRAM row activation (one per ACT command). */
+    DramActivate = 0,
+    /** DRAM precharge. */
+    DramPrecharge,
+    /** One 32 B read data beat out of a bank. */
+    DramReadBeat,
+    /** One 32 B write data beat into a bank. */
+    DramWriteBeat,
+    /** One per-bank refresh. */
+    DramRefresh,
+    /** One 32 B beat crossing a vault's TSV data bus. */
+    TsvBeat,
+    /** One 16 B flit traversing one NoC router. */
+    NocFlitHop,
+    /** One 16 B flit serialized onto an external SerDes link. */
+    SerdesFlit,
+
+    kCount,
+};
+
+constexpr std::size_t kNumPowerEvents =
+    static_cast<std::size_t>(PowerEvent::kCount);
+
+/**
+ * Sink for power events.  Instrumented components hold a nullable
+ * pointer to one of these; the device wires every probe to the single
+ * PowerModel when the power subsystem is enabled.
+ */
+class PowerProbe
+{
+  public:
+    virtual ~PowerProbe() = default;
+
+    /** Report @p count occurrences of @p ev at the current time. */
+    virtual void record(PowerEvent ev, std::uint64_t count) = 0;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_POWER_POWER_PROBE_H_

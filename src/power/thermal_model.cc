@@ -1,0 +1,100 @@
+#include "power/thermal_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+ThermalModel::ThermalModel(const ThermalParams &params)
+    : params_(params),
+      temps_(1 + params.numDramLayers, params.ambientC)
+{
+}
+
+double
+ThermalModel::temperatureC(std::size_t layer) const
+{
+    if (layer >= temps_.size())
+        panic("ThermalModel::temperatureC: layer out of range");
+    return temps_[layer];
+}
+
+double
+ThermalModel::maxTemperatureC() const
+{
+    return *std::max_element(temps_.begin(), temps_.end());
+}
+
+void
+ThermalModel::eulerStep(const std::vector<double> &layer_power_w,
+                        double dt_sec)
+{
+    const std::size_t n = temps_.size();
+    const double r = params_.layerResistanceKperW;
+    const double c = params_.layerCapacitanceJperK;
+    std::vector<double> next(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double flow_w = layer_power_w[i];
+        if (i > 0)
+            flow_w += (temps_[i - 1] - temps_[i]) / r;
+        if (i + 1 < n)
+            flow_w += (temps_[i + 1] - temps_[i]) / r;
+        else  // top layer couples to the heat sink
+            flow_w += (params_.ambientC - temps_[i]) /
+                params_.sinkResistanceKperW;
+        next[i] = temps_[i] + flow_w * dt_sec / c;
+    }
+    temps_ = std::move(next);
+}
+
+void
+ThermalModel::step(const std::vector<double> &layer_power_w, double dt_sec)
+{
+    if (layer_power_w.size() != temps_.size())
+        panic("ThermalModel::step: power vector size mismatch");
+    if (dt_sec <= 0.0)
+        return;
+    // Explicit Euler is stable for dt < R*C/2 on this chain; substep
+    // so one coarse simulation-driven step cannot diverge.
+    const double r_min = std::min(params_.layerResistanceKperW,
+                                  params_.sinkResistanceKperW);
+    const double dt_max = 0.25 * r_min * params_.layerCapacitanceJperK;
+    const auto substeps = static_cast<std::uint64_t>(
+        std::ceil(dt_sec / dt_max));
+    const double dt = dt_sec / static_cast<double>(substeps);
+    for (std::uint64_t s = 0; s < substeps; ++s)
+        eulerStep(layer_power_w, dt);
+}
+
+std::vector<double>
+ThermalModel::steadyStateC(const std::vector<double> &layer_power_w) const
+{
+    if (layer_power_w.size() != temps_.size())
+        panic("ThermalModel::steadyStateC: power vector size mismatch");
+    const std::size_t n = temps_.size();
+    double total_w = 0.0;
+    for (double p : layer_power_w)
+        total_w += p;
+
+    std::vector<double> t(n);
+    // Top layer sits across the sink resistance from ambient.
+    t[n - 1] = params_.ambientC + total_w * params_.sinkResistanceKperW;
+    // Walking down, the flow through the resistor between i and i+1 is
+    // the power injected at or below layer i.
+    double below_w = total_w;
+    for (std::size_t i = n - 1; i-- > 0;) {
+        below_w -= layer_power_w[i + 1];
+        t[i] = t[i + 1] + below_w * params_.layerResistanceKperW;
+    }
+    return t;
+}
+
+void
+ThermalModel::reset()
+{
+    std::fill(temps_.begin(), temps_.end(), params_.ambientC);
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Lumped-RC thermal model of the 3D stack.
+ *
+ * Layer 0 is the logic layer at the bottom of the cube; layers
+ * 1..numDramLayers are DRAM dies above it; the heat sink sits on top
+ * of the stack and is held at ambient.  Heat therefore flows upward
+ * through every DRAM die, which makes the logic layer the hottest node
+ * under load -- the well-known HMC thermal profile the paper's
+ * sustained-bandwidth observations reflect.
+ *
+ * Each layer is one thermal node with capacitance C to its own
+ * temperature state and resistance R to its vertical neighbours:
+ *
+ *   C * dT_i/dt = P_i + (T_{i-1} - T_i)/R + (T_{i+1} - T_i)/R
+ *
+ * stepped with explicit Euler, substepped to stay well inside the
+ * stability bound dt < R*C/2.
+ */
+
+#ifndef HMCSIM_POWER_THERMAL_MODEL_H_
+#define HMCSIM_POWER_THERMAL_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "power/power_config.h"
+
+namespace hmcsim {
+
+class ThermalModel
+{
+  public:
+    explicit ThermalModel(const ThermalParams &params);
+
+    /** Total nodes: one logic layer + numDramLayers DRAM layers. */
+    std::size_t numLayers() const { return temps_.size(); }
+
+    /** Current temperature of @p layer (0 = logic), Celsius. */
+    double temperatureC(std::size_t layer) const;
+
+    /** Hottest layer right now, Celsius. */
+    double maxTemperatureC() const;
+
+    /**
+     * Advance the stack by @p dt_sec seconds with @p layer_power_w
+     * watts dissipated per layer (index 0 = logic layer).
+     */
+    void step(const std::vector<double> &layer_power_w, double dt_sec);
+
+    /**
+     * Analytic steady-state temperatures for constant per-layer power:
+     * all heat exits through the sink above the top layer, so the flow
+     * through the resistor above layer i is the sum of the powers of
+     * layers 0..i.  Used by tests to check step() convergence.
+     */
+    std::vector<double>
+    steadyStateC(const std::vector<double> &layer_power_w) const;
+
+    /** Reset every layer to ambient. */
+    void reset();
+
+    const ThermalParams &params() const { return params_; }
+
+  private:
+    ThermalParams params_;
+    std::vector<double> temps_;
+
+    void eulerStep(const std::vector<double> &layer_power_w,
+                   double dt_sec);
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_POWER_THERMAL_MODEL_H_

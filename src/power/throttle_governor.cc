@@ -1,0 +1,40 @@
+#include "power/throttle_governor.h"
+
+namespace hmcsim {
+
+ThrottleGovernor::ThrottleGovernor(const ThrottleParams &params)
+    : params_(params)
+{
+}
+
+bool
+ThrottleGovernor::update(double max_temp_c)
+{
+    if (!params_.enabled)
+        return false;
+    const std::uint32_t before = level_;
+    if (max_temp_c > params_.onThresholdC) {
+        if (level_ < params_.numLevels)
+            ++level_;
+    } else if (max_temp_c < params_.offThresholdC) {
+        if (level_ > 0)
+            --level_;
+    }
+    // Inside [off, on] the level holds: hysteresis.
+    return level_ != before;
+}
+
+double
+ThrottleGovernor::slowdown() const
+{
+    return 1.0 + (params_.maxSlowdown - 1.0) * depthFraction();
+}
+
+double
+ThrottleGovernor::depthFraction() const
+{
+    return static_cast<double>(level_) /
+        static_cast<double>(params_.numLevels);
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Hysteretic temperature-feedback throttle governor.
+ *
+ * The governor holds a discrete throttle level in [0, numLevels].
+ * Each evaluation steps the level up by one when the hottest layer is
+ * above the on-threshold and down by one when it is below the
+ * off-threshold; inside the hysteresis band the level holds, which is
+ * what prevents limit-cycle oscillation right at a threshold.  The
+ * level maps linearly onto a timing-stretch factor in
+ * [1.0, maxSlowdown] that the device applies to vault schedulers and
+ * SerDes links (duty-cycling), reproducing the bandwidth degradation a
+ * real cube shows under sustained load.
+ */
+
+#ifndef HMCSIM_POWER_THROTTLE_GOVERNOR_H_
+#define HMCSIM_POWER_THROTTLE_GOVERNOR_H_
+
+#include <cstdint>
+
+#include "power/power_config.h"
+
+namespace hmcsim {
+
+class ThrottleGovernor
+{
+  public:
+    explicit ThrottleGovernor(const ThrottleParams &params);
+
+    /**
+     * Evaluate with the current hottest-layer temperature.
+     * @return true if the throttle level changed
+     */
+    bool update(double max_temp_c);
+
+    /** Current discrete level, 0 (off) .. numLevels (deepest). */
+    std::uint32_t level() const { return level_; }
+
+    /** True while any throttling is in effect. */
+    bool throttling() const { return level_ > 0; }
+
+    /** Timing stretch factor: 1.0 at level 0, maxSlowdown at full. */
+    double slowdown() const;
+
+    /** Level as a fraction of full depth, in [0, 1]. */
+    double depthFraction() const;
+
+    const ThrottleParams &params() const { return params_; }
+
+  private:
+    ThrottleParams params_;
+    std::uint32_t level_ = 0;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_POWER_THROTTLE_GOVERNOR_H_

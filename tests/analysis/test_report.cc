@@ -60,5 +60,25 @@ TEST(Report, Note)
     EXPECT_NE(oss.str().find("substitution"), std::string::npos);
 }
 
+TEST(Report, PowerRowShowsAllColumns)
+{
+    std::ostringstream oss;
+    Report r(oss);
+    r.power(123456.0, 87.5, 42.0);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("power/thermal"), std::string::npos);
+    EXPECT_NE(out.find("energy_pj=123456"), std::string::npos);
+    EXPECT_NE(out.find("temp_c=87.5"), std::string::npos);
+    EXPECT_NE(out.find("throttle_pct=42.0"), std::string::npos);
+}
+
+TEST(Report, PowerRowZeroWhenUnthrottled)
+{
+    std::ostringstream oss;
+    Report r(oss);
+    r.power(0.0, 45.0, 0.0);
+    EXPECT_NE(oss.str().find("throttle_pct=0.0"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hmcsim

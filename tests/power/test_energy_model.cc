@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "power/energy_model.h"
+
+namespace hmcsim {
+namespace {
+
+EnergyParams
+simpleParams()
+{
+    EnergyParams p;
+    p.dramActivatePj = 100.0;
+    p.dramPrechargePj = 50.0;
+    p.dramReadBeatPj = 10.0;
+    p.dramWriteBeatPj = 20.0;
+    p.dramRefreshPj = 500.0;
+    p.tsvBeatPj = 5.0;
+    p.nocFlitHopPj = 2.0;
+    p.serdesFlitPj = 8.0;
+    p.serdesIdleW = 1.0;
+    p.logicIdleW = 2.0;
+    p.dramIdleWPerLayer = 0.5;
+    return p;
+}
+
+TEST(EnergyModel, StartsAtZero)
+{
+    EnergyModel m(simpleParams());
+    EXPECT_EQ(m.totalDynamicPj(), 0.0);
+    for (std::size_t i = 0; i < kNumPowerEvents; ++i)
+        EXPECT_EQ(m.eventCount(static_cast<PowerEvent>(i)), 0u);
+}
+
+TEST(EnergyModel, PerEventAccounting)
+{
+    EnergyModel m(simpleParams());
+    m.record(PowerEvent::DramActivate, 3);
+    m.record(PowerEvent::DramPrecharge, 3);
+    m.record(PowerEvent::DramReadBeat, 8);
+    m.record(PowerEvent::DramWriteBeat, 4);
+    m.record(PowerEvent::DramRefresh, 1);
+
+    EXPECT_EQ(m.eventCount(PowerEvent::DramActivate), 3u);
+    EXPECT_DOUBLE_EQ(m.dynamicPj(PowerEvent::DramActivate), 300.0);
+    EXPECT_DOUBLE_EQ(m.dynamicPj(PowerEvent::DramPrecharge), 150.0);
+    EXPECT_DOUBLE_EQ(m.dynamicPj(PowerEvent::DramReadBeat), 80.0);
+    EXPECT_DOUBLE_EQ(m.dynamicPj(PowerEvent::DramWriteBeat), 80.0);
+    EXPECT_DOUBLE_EQ(m.dynamicPj(PowerEvent::DramRefresh), 500.0);
+    EXPECT_DOUBLE_EQ(m.totalDynamicPj(), 1110.0);
+}
+
+TEST(EnergyModel, AccountingPerDramCommandSequence)
+{
+    // One closed-page 64 B read: ACT + 2 read beats + 2 TSV beats + PRE.
+    EnergyModel m(simpleParams());
+    m.record(PowerEvent::DramActivate, 1);
+    m.record(PowerEvent::DramReadBeat, 2);
+    m.record(PowerEvent::TsvBeat, 2);
+    m.record(PowerEvent::DramPrecharge, 1);
+    EXPECT_DOUBLE_EQ(m.dramDynamicPj(), 100.0 + 20.0 + 10.0 + 50.0);
+    EXPECT_DOUBLE_EQ(m.logicDynamicPj(), 0.0);
+}
+
+TEST(EnergyModel, LayerGroupSplit)
+{
+    EnergyModel m(simpleParams());
+    m.record(PowerEvent::NocFlitHop, 10);
+    m.record(PowerEvent::SerdesFlit, 5);
+    m.record(PowerEvent::TsvBeat, 4);
+    EXPECT_DOUBLE_EQ(m.logicDynamicPj(), 20.0 + 40.0);
+    EXPECT_DOUBLE_EQ(m.dramDynamicPj(), 20.0);
+    EXPECT_DOUBLE_EQ(m.totalDynamicPj(),
+                     m.logicDynamicPj() + m.dramDynamicPj());
+}
+
+TEST(EnergyModel, StaticPower)
+{
+    EnergyModel m(simpleParams());
+    EXPECT_DOUBLE_EQ(m.logicStaticW(), 3.0);
+    EXPECT_DOUBLE_EQ(m.dramStaticWPerLayer(), 0.5);
+    EXPECT_DOUBLE_EQ(m.totalStaticW(4), 5.0);
+    // 1 W is 1 pJ/ps; a tick is 1 ps.
+    EXPECT_DOUBLE_EQ(staticEnergyPj(1.0, 1000), 1000.0);
+}
+
+TEST(EnergyModel, WindowEnergyCombinesDynamicAndStatic)
+{
+    EnergyModel m(simpleParams());
+    m.record(PowerEvent::SerdesFlit, 10);  // 80 pJ
+    const double base = m.totalDynamicPj();
+    m.record(PowerEvent::SerdesFlit, 5);  // +40 pJ in the window
+    // 4 layers -> 5 W static; 200 ticks -> 1000 pJ static.
+    EXPECT_DOUBLE_EQ(m.windowEnergyPj(base, 200, 4), 40.0 + 1000.0);
+}
+
+}  // namespace
+}  // namespace hmcsim

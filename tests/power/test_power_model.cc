@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "power/power_model.h"
+
+namespace hmcsim {
+namespace {
+
+/**
+ * A governor that always throttles: the on-threshold sits below
+ * ambient, so the very first step engages level 1.
+ */
+PowerConfig
+alwaysHotConfig()
+{
+    PowerConfig cfg;
+    cfg.stepInterval = 5 * kMicrosecond;
+    cfg.throttle.enabled = true;
+    cfg.throttle.onThresholdC = 10.0;
+    cfg.throttle.offThresholdC = 5.0;
+    return cfg;
+}
+
+TEST(PowerModel, ThrottledFractionNeverExceedsWindow)
+{
+    // Regression: a stats reset landing mid step-interval must not
+    // attribute pre-window throttled time to the new window (which
+    // previously produced throttle_pct readings above 100%).
+    Kernel k;
+    PowerModel pm(k, nullptr, "power", alwaysHotConfig());
+    pm.start();
+
+    k.run(7 * kMicrosecond);  // one step at 5 us engaged the governor
+    ASSERT_TRUE(pm.governor().throttling());
+    pm.resetStats();          // window opens mid-interval, at 7 us
+
+    k.run(8 * kMicrosecond);  // no step in between (next is at 10 us)
+    EXPECT_NEAR(pm.throttledFraction(), 1.0, 1e-12);
+
+    k.run(12 * kMicrosecond);  // crosses the step at 10 us
+    EXPECT_NEAR(pm.throttledFraction(), 1.0, 1e-12);
+}
+
+TEST(PowerModel, UnthrottledWindowReportsZero)
+{
+    PowerConfig cfg;
+    cfg.stepInterval = 5 * kMicrosecond;  // throttle disabled (default)
+    Kernel k;
+    PowerModel pm(k, nullptr, "power", cfg);
+    pm.start();
+    k.run(12 * kMicrosecond);
+    EXPECT_DOUBLE_EQ(pm.throttledFraction(), 0.0);
+    // Static power alone accrues window energy.
+    EXPECT_GT(pm.windowEnergyPj(), 0.0);
+}
+
+TEST(PowerModel, RecordFeedsEnergyAndHeatsStack)
+{
+    PowerConfig cfg;
+    cfg.stepInterval = 1 * kMicrosecond;
+    cfg.thermal.layerCapacitanceJperK = 1e-6;  // settle fast
+    Kernel k;
+    PowerModel pm(k, nullptr, "power", cfg);
+    pm.start();
+    const double ambient = cfg.thermal.ambientC;
+
+    // A burst of SerDes traffic every microsecond for ten steps.
+    for (int i = 0; i < 10; ++i) {
+        k.scheduleAt(i * kMicrosecond, [&pm] {
+            pm.record(PowerEvent::SerdesFlit, 100000);
+        });
+    }
+    k.run(10 * kMicrosecond);
+    EXPECT_EQ(pm.energy().eventCount(PowerEvent::SerdesFlit), 1000000u);
+    EXPECT_GT(pm.thermal().maxTemperatureC(), ambient);
+    // Logic layer is the hot spot for SerDes-only load.
+    EXPECT_DOUBLE_EQ(pm.thermal().maxTemperatureC(),
+                     pm.thermal().temperatureC(0));
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * System-level tests of the power subsystem: the observation-only
+ * default must not perturb timing at all, energy/temperature must show
+ * up in results and stats, and an aggressive thermal limit must
+ * actually cut delivered bandwidth through the throttle feedback loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/experiment.h"
+#include "host/system.h"
+
+namespace hmcsim {
+namespace {
+
+GupsSpec
+quickSpec()
+{
+    GupsSpec spec;
+    spec.warmup = 2 * kMicrosecond;
+    spec.window = 6 * kMicrosecond;
+    spec.requestBytes = 64;
+    return spec;
+}
+
+TEST(PowerSystem, ObservationOnlyIsTimingInvariant)
+{
+    SystemConfig with_power;
+    ASSERT_TRUE(with_power.hmc.power.enabled);
+    ASSERT_FALSE(with_power.hmc.power.throttle.enabled);
+
+    SystemConfig without_power;
+    without_power.hmc.power.enabled = false;
+
+    const ExperimentResult a = runGups(with_power, quickSpec());
+    const ExperimentResult b = runGups(without_power, quickSpec());
+
+    // Bit-identical traffic: the power model only observes.
+    EXPECT_EQ(a.totalReads, b.totalReads);
+    EXPECT_EQ(a.totalWireBytes, b.totalWireBytes);
+    EXPECT_DOUBLE_EQ(a.avgReadLatencyNs, b.avgReadLatencyNs);
+    EXPECT_DOUBLE_EQ(a.maxReadLatencyNs, b.maxReadLatencyNs);
+
+    // ...but only the instrumented run reports power.
+    EXPECT_GT(a.energyPj, 0.0);
+    EXPECT_GT(a.maxTempC, 0.0);
+    EXPECT_DOUBLE_EQ(a.throttlePct, 0.0);
+    EXPECT_DOUBLE_EQ(b.energyPj, 0.0);
+    EXPECT_DOUBLE_EQ(b.maxTempC, 0.0);
+}
+
+TEST(PowerSystem, StatsExposePowerTree)
+{
+    SystemConfig cfg;
+    System sys(cfg);
+    GupsPort::Params gp;
+    gp.gen.pattern = sys.addressMap().pattern(16, 16);
+    gp.gen.requestBytes = 64;
+    gp.gen.capacity = cfg.hmc.capacityBytes;
+    sys.configureGupsPort(0, gp);
+    sys.run(2 * kMicrosecond);
+    sys.resetStats();
+    sys.run(5 * kMicrosecond);
+
+    const auto stats = sys.stats();
+    ASSERT_TRUE(stats.count("system.hmc.power.energy_pj"));
+    ASSERT_TRUE(stats.count("system.hmc.power.temp_c"));
+    ASSERT_TRUE(stats.count("system.hmc.power.throttle_pct"));
+    ASSERT_TRUE(stats.count("system.hmc.power.temp_logic_c"));
+    EXPECT_GT(stats.at("system.hmc.power.energy_pj"), 0.0);
+    // Under load the stack is above ambient and the logic layer is
+    // the hottest node.
+    EXPECT_GT(stats.at("system.hmc.power.temp_c"),
+              cfg.hmc.power.thermal.ambientC);
+    EXPECT_DOUBLE_EQ(stats.at("system.hmc.power.temp_c"),
+                     stats.at("system.hmc.power.temp_logic_c"));
+    EXPECT_DOUBLE_EQ(stats.at("system.hmc.power.throttle_pct"), 0.0);
+}
+
+TEST(PowerSystem, ThermalLimitThrottlesBandwidth)
+{
+    // Accelerated thermal constants: tiny capacitance settles the
+    // stack within microseconds, and a threshold just above ambient
+    // guarantees the governor engages under load.
+    SystemConfig hot;
+    hot.hmc.power.thermal.layerCapacitanceJperK = 1e-6;
+    hot.hmc.power.stepInterval = 500 * kNanosecond;
+    hot.hmc.power.throttle.enabled = true;
+    hot.hmc.power.throttle.onThresholdC = 48.0;
+    hot.hmc.power.throttle.offThresholdC = 47.0;
+    hot.hmc.power.throttle.maxSlowdown = 4.0;
+
+    SystemConfig cool = hot;
+    cool.hmc.power.throttle.enabled = false;
+
+    GupsSpec spec = quickSpec();
+    spec.warmup = 6 * kMicrosecond;  // let the throttle loop settle
+
+    const ExperimentResult throttled = runGups(hot, spec);
+    const ExperimentResult free_run = runGups(cool, spec);
+
+    EXPECT_GT(throttled.throttlePct, 50.0);
+    EXPECT_DOUBLE_EQ(free_run.throttlePct, 0.0);
+    // The feedback loop must visibly cut delivered bandwidth.
+    EXPECT_LT(throttled.bandwidthGBs, 0.8 * free_run.bandwidthGBs);
+}
+
+}  // namespace
+}  // namespace hmcsim

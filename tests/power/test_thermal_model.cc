@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "power/thermal_model.h"
+
+namespace hmcsim {
+namespace {
+
+ThermalParams
+testParams()
+{
+    ThermalParams p;
+    p.numDramLayers = 4;
+    p.ambientC = 40.0;
+    p.layerResistanceKperW = 0.5;
+    p.sinkResistanceKperW = 1.0;
+    p.layerCapacitanceJperK = 1e-3;
+    return p;
+}
+
+TEST(ThermalModel, StartsAtAmbient)
+{
+    ThermalModel t(testParams());
+    ASSERT_EQ(t.numLayers(), 5u);
+    for (std::size_t l = 0; l < t.numLayers(); ++l)
+        EXPECT_DOUBLE_EQ(t.temperatureC(l), 40.0);
+    EXPECT_DOUBLE_EQ(t.maxTemperatureC(), 40.0);
+}
+
+TEST(ThermalModel, ZeroPowerStaysAtAmbient)
+{
+    ThermalModel t(testParams());
+    const std::vector<double> p(t.numLayers(), 0.0);
+    for (int i = 0; i < 100; ++i)
+        t.step(p, 1e-3);
+    for (std::size_t l = 0; l < t.numLayers(); ++l)
+        EXPECT_NEAR(t.temperatureC(l), 40.0, 1e-9);
+}
+
+TEST(ThermalModel, SteadyStateAnalytic)
+{
+    const ThermalParams tp = testParams();
+    ThermalModel t(tp);
+    // 5 W in the logic layer, 1 W per DRAM layer: 9 W total through
+    // the 1 K/W sink resistance puts the top layer at 49 C.
+    const std::vector<double> p = {5.0, 1.0, 1.0, 1.0, 1.0};
+    const std::vector<double> ss = t.steadyStateC(p);
+    ASSERT_EQ(ss.size(), 5u);
+    EXPECT_NEAR(ss[4], 40.0 + 9.0 * 1.0, 1e-9);
+    // Below the top layer each resistor carries the power injected
+    // beneath it: 8, 7, 6, 5 W.
+    EXPECT_NEAR(ss[3], ss[4] + 8.0 * 0.5, 1e-9);
+    EXPECT_NEAR(ss[2], ss[3] + 7.0 * 0.5, 1e-9);
+    EXPECT_NEAR(ss[1], ss[2] + 6.0 * 0.5, 1e-9);
+    EXPECT_NEAR(ss[0], ss[1] + 5.0 * 0.5, 1e-9);
+    // Logic layer is the hottest node.
+    EXPECT_GT(ss[0], ss[4]);
+}
+
+TEST(ThermalModel, StepConvergesToSteadyState)
+{
+    ThermalModel t(testParams());
+    const std::vector<double> p = {5.0, 1.0, 1.0, 1.0, 1.0};
+    const std::vector<double> ss = t.steadyStateC(p);
+    // Time constants are ~R*C ~ 1 ms; 1 s of stepping is deep settled.
+    for (int i = 0; i < 1000; ++i)
+        t.step(p, 1e-3);
+    for (std::size_t l = 0; l < t.numLayers(); ++l)
+        EXPECT_NEAR(t.temperatureC(l), ss[l], 0.01) << "layer " << l;
+    EXPECT_NEAR(t.maxTemperatureC(), ss[0], 0.01);
+}
+
+TEST(ThermalModel, LargeStepIsStable)
+{
+    // One coarse step far beyond the explicit-Euler stability bound
+    // must not diverge (the model substeps internally).
+    ThermalModel t(testParams());
+    const std::vector<double> p = {10.0, 0.0, 0.0, 0.0, 0.0};
+    t.step(p, 1.0);
+    const std::vector<double> ss = t.steadyStateC(p);
+    for (std::size_t l = 0; l < t.numLayers(); ++l)
+        EXPECT_NEAR(t.temperatureC(l), ss[l], 0.1);
+}
+
+TEST(ThermalModel, HeatingAndCooling)
+{
+    ThermalModel t(testParams());
+    const std::vector<double> on = {8.0, 0.0, 0.0, 0.0, 0.0};
+    const std::vector<double> off(5, 0.0);
+    t.step(on, 5e-3);
+    const double hot = t.maxTemperatureC();
+    EXPECT_GT(hot, 41.0);
+    t.step(off, 5e-3);
+    EXPECT_LT(t.maxTemperatureC(), hot);
+    t.step(off, 1.0);
+    EXPECT_NEAR(t.maxTemperatureC(), 40.0, 0.05);
+}
+
+TEST(ThermalModel, ResetReturnsToAmbient)
+{
+    ThermalModel t(testParams());
+    t.step({10.0, 1.0, 1.0, 1.0, 1.0}, 0.1);
+    EXPECT_GT(t.maxTemperatureC(), 40.0);
+    t.reset();
+    EXPECT_DOUBLE_EQ(t.maxTemperatureC(), 40.0);
+}
+
+TEST(ThermalModel, RejectsBadInput)
+{
+    ThermalModel t(testParams());
+    EXPECT_THROW(t.step({1.0, 2.0}, 1e-3), PanicError);
+    EXPECT_THROW(t.temperatureC(99), PanicError);
+    EXPECT_THROW(t.steadyStateC({1.0}), PanicError);
+}
+
+}  // namespace
+}  // namespace hmcsim

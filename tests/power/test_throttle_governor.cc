@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "power/throttle_governor.h"
+
+namespace hmcsim {
+namespace {
+
+ThrottleParams
+testParams()
+{
+    ThrottleParams p;
+    p.enabled = true;
+    p.onThresholdC = 90.0;
+    p.offThresholdC = 80.0;
+    p.numLevels = 4;
+    p.maxSlowdown = 3.0;
+    return p;
+}
+
+TEST(ThrottleGovernor, DisabledNeverThrottles)
+{
+    ThrottleParams p = testParams();
+    p.enabled = false;
+    ThrottleGovernor g(p);
+    EXPECT_FALSE(g.update(200.0));
+    EXPECT_EQ(g.level(), 0u);
+    EXPECT_DOUBLE_EQ(g.slowdown(), 1.0);
+}
+
+TEST(ThrottleGovernor, ColdStaysOff)
+{
+    ThrottleGovernor g(testParams());
+    EXPECT_FALSE(g.update(50.0));
+    EXPECT_FALSE(g.throttling());
+    EXPECT_DOUBLE_EQ(g.slowdown(), 1.0);
+}
+
+TEST(ThrottleGovernor, RampsUpToFullDepth)
+{
+    ThrottleGovernor g(testParams());
+    for (std::uint32_t i = 1; i <= 4; ++i) {
+        EXPECT_TRUE(g.update(95.0));
+        EXPECT_EQ(g.level(), i);
+    }
+    // Saturates at numLevels.
+    EXPECT_FALSE(g.update(95.0));
+    EXPECT_EQ(g.level(), 4u);
+    EXPECT_DOUBLE_EQ(g.slowdown(), 3.0);
+    EXPECT_DOUBLE_EQ(g.depthFraction(), 1.0);
+}
+
+TEST(ThrottleGovernor, SlowdownScalesLinearlyWithLevel)
+{
+    ThrottleGovernor g(testParams());
+    g.update(95.0);  // level 1 of 4
+    EXPECT_DOUBLE_EQ(g.slowdown(), 1.0 + 2.0 * 0.25);
+    g.update(95.0);  // level 2
+    EXPECT_DOUBLE_EQ(g.slowdown(), 1.0 + 2.0 * 0.5);
+}
+
+TEST(ThrottleGovernor, HysteresisHoldsInsideBand)
+{
+    ThrottleGovernor g(testParams());
+    g.update(95.0);
+    ASSERT_EQ(g.level(), 1u);
+    // Temperature drops back into the (off, on) band: the level must
+    // hold -- no release, no further engagement, no oscillation.
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(g.update(85.0));
+        EXPECT_EQ(g.level(), 1u);
+    }
+}
+
+TEST(ThrottleGovernor, NoOscillationAtThreshold)
+{
+    // A temperature hovering exactly between the thresholds after an
+    // engagement never toggles the level: the sequence of levels is
+    // monotone while above `on` and constant inside the band.
+    ThrottleGovernor g(testParams());
+    std::uint32_t last = 0;
+    int changes = 0;
+    const double temps[] = {95.0, 89.0, 89.5, 88.0, 89.9, 89.0, 88.5};
+    for (double t : temps) {
+        g.update(t);
+        if (g.level() != last)
+            ++changes;
+        last = g.level();
+    }
+    EXPECT_EQ(changes, 1);  // only the initial engagement
+}
+
+TEST(ThrottleGovernor, RampsDownBelowOffThreshold)
+{
+    ThrottleGovernor g(testParams());
+    for (int i = 0; i < 4; ++i)
+        g.update(95.0);
+    ASSERT_EQ(g.level(), 4u);
+    for (std::uint32_t i = 4; i-- > 0;) {
+        EXPECT_TRUE(g.update(70.0));
+        EXPECT_EQ(g.level(), i);
+    }
+    EXPECT_FALSE(g.update(70.0));
+    EXPECT_DOUBLE_EQ(g.slowdown(), 1.0);
+}
+
+}  // namespace
+}  // namespace hmcsim
