@@ -35,12 +35,12 @@ run(const SystemConfig &cfg, bool hot_region, Tick warmup, Tick window)
             // under bank-then-vault they collapse into a single vault
             // and hit its 10 GB/s internal ceiling.
             const AddressPattern hot{0x7FF, 0};
-            sp.trace = makeRandomTrace(rng, hot, cfg.hmc.capacityBytes,
+            sp.trace = makeRandomTrace(rng, hot, cfg.hmc.totalCapacityBytes(),
                                        8192, 128);
         } else {
             sp.trace = makeRandomTrace(
                 rng, sys.addressMap().pattern(16, 16),
-                cfg.hmc.capacityBytes, 8192, 128);
+                cfg.hmc.totalCapacityBytes(), 8192, 128);
         }
         sp.loop = true;
         sys.configureStreamPort(p, sp);
@@ -58,7 +58,8 @@ main()
     const Tick window = scaled(fastMode() ? 8 : 25) * kMicrosecond;
 
     std::cout << "Ablation: address interleaving scheme\n";
-    CsvWriter csv(std::cout, {"map_scheme", "workload", "bandwidth_gbs",
+    bench::CsvOutput csv_out("ablation_mapping");
+    CsvWriter csv(csv_out.stream(), {"map_scheme", "workload", "bandwidth_gbs",
                               "avg_latency_ns"});
     double seq_vault_first = 0.0, seq_bank_first = 0.0;
     for (const char *scheme : {"vault_then_bank", "bank_then_vault"}) {

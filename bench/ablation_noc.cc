@@ -24,7 +24,8 @@ main()
     const Tick window = scaled(fastMode() ? 8 : 25) * kMicrosecond;
 
     std::cout << "Ablation: logic-layer NoC topology\n";
-    CsvWriter csv(std::cout,
+    bench::CsvOutput csv_out("ablation_noc");
+    CsvWriter csv(csv_out.stream(),
                   {"topology", "request_bytes", "bandwidth_gbs",
                    "avg_latency_ns", "max_latency_ns",
                    "noc_avg_latency_ns"});
@@ -40,7 +41,7 @@ main()
                 GupsPort::Params gp;
                 gp.gen.pattern = sys.addressMap().pattern(16, 16);
                 gp.gen.requestBytes = bytes;
-                gp.gen.capacity = cfg.hmc.capacityBytes;
+                gp.gen.capacity = cfg.hmc.totalCapacityBytes();
                 gp.gen.seed = 31 + p;
                 sys.configureGupsPort(p, gp);
             }

@@ -25,7 +25,8 @@ main()
 
     std::cout << "Read/write mix vs bi-directional link usage (128 B "
                  "requests, 9 ports)\n";
-    CsvWriter csv(std::cout,
+    bench::CsvOutput csv_out("ablation_rw_mix");
+    CsvWriter csv(csv_out.stream(),
                   {"write_port_fraction", "bandwidth_gbs",
                    "down_link_flits", "up_link_flits",
                    "down_up_balance"});
@@ -41,7 +42,7 @@ main()
                                   : ReqKind::ReadOnly;
             gp.gen.pattern = sys.addressMap().pattern(16, 16);
             gp.gen.requestBytes = 128;
-            gp.gen.capacity = cfg.hmc.capacityBytes;
+            gp.gen.capacity = cfg.hmc.totalCapacityBytes();
             gp.gen.seed = 71 + p;
             sys.configureGupsPort(p, gp);
         }

@@ -45,7 +45,7 @@ run(const SystemConfig &cfg, bool sequential, Tick warmup, Tick window)
         } else {
             sp.trace = makeRandomTrace(
                 rng, sys.addressMap().vaultPattern(p * 4),
-                cfg.hmc.capacityBytes, 4096, 32);
+                cfg.hmc.totalCapacityBytes(), 4096, 32);
         }
         sp.loop = true;
         sys.configureStreamPort(p, sp);
@@ -63,7 +63,8 @@ main()
     const Tick window = scaled(fastMode() ? 8 : 25) * kMicrosecond;
 
     std::cout << "Ablation: vault scheduler and page policy\n";
-    CsvWriter csv(std::cout,
+    bench::CsvOutput csv_out("ablation_sched");
+    CsvWriter csv(csv_out.stream(),
                   {"scheduler", "page_policy", "workload",
                    "bandwidth_gbs", "avg_latency_ns"});
     for (const char *sched : {"fifo", "frfcfs"}) {

@@ -3,14 +3,18 @@
  * Shared helpers for the figure/table benchmark binaries.
  *
  * Environment knobs:
- *   HMCSIM_BENCH_FAST=1   shrink sweeps for smoke runs
- *   HMCSIM_BENCH_SCALE=x  multiply measurement windows by x
+ *   HMCSIM_BENCH_FAST=1      shrink sweeps for smoke runs
+ *   HMCSIM_BENCH_SCALE=x     multiply measurement windows by x
+ *   HMCSIM_BENCH_CSV_DIR=d   write each binary's CSV to d/<name>.csv
+ *                            instead of stdout (CI artifact collection)
  */
 
 #ifndef HMCSIM_BENCH_BENCH_UTIL_H_
 #define HMCSIM_BENCH_BENCH_UTIL_H_
 
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "common/types.h"
@@ -43,6 +47,45 @@ scaled(Tick base)
 
 /** The paper's four request sizes. */
 constexpr std::uint32_t kSizes[] = {16, 32, 64, 128};
+
+/**
+ * CSV destination for one benchmark binary: stdout by default, or
+ * $HMCSIM_BENCH_CSV_DIR/<name>.csv when the env knob is set, so CI can
+ * collect every figure's series into one artifact directory.
+ */
+class CsvOutput
+{
+  public:
+    explicit CsvOutput(const std::string &name)
+    {
+        const char *dir = std::getenv("HMCSIM_BENCH_CSV_DIR");
+        if (!dir || *dir == '\0')
+            return;
+        path_ = std::string(dir) + "/" + name + ".csv";
+        file_.open(path_);
+        if (!file_) {
+            std::cerr << "bench: cannot open " << path_
+                      << ", falling back to stdout\n";
+            path_.clear();
+        }
+    }
+
+    ~CsvOutput()
+    {
+        if (file_.is_open())
+            std::cout << "csv written to " << path_ << "\n";
+    }
+
+    std::ostream &stream()
+    {
+        return file_.is_open() ? static_cast<std::ostream &>(file_)
+                               : std::cout;
+    }
+
+  private:
+    std::ofstream file_;
+    std::string path_;
+};
 
 }  // namespace bench
 }  // namespace hmcsim

@@ -43,7 +43,8 @@ main()
 
     std::cout << "Fig. 6: latency vs bandwidth per access pattern "
                  "(9-port GUPS, read only)\n";
-    CsvWriter csv(std::cout,
+    bench::CsvOutput csv_out("fig06_latency_bandwidth");
+    CsvWriter csv(csv_out.stream(),
                   {"pattern", "request_bytes", "bandwidth_gbs",
                    "avg_latency_ns", "min_latency_ns", "max_latency_ns"});
 

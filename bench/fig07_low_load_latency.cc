@@ -32,7 +32,8 @@ main()
 
     std::cout << "Fig. 7: average low-load latency vs number of "
                  "requests in a stream (1..55)\n";
-    CsvWriter csv(std::cout,
+    bench::CsvOutput csv_out("fig07_low_load_latency");
+    CsvWriter csv(csv_out.stream(),
                   {"num_requests", "request_bytes", "avg_latency_us"});
 
     std::map<std::pair<int, std::uint32_t>, double> series;

@@ -29,7 +29,8 @@ main()
     const int step = fastMode() ? 50 : 15;
 
     std::cout << "Fig. 8: latency vs requests in a stream (1..350)\n";
-    CsvWriter csv(std::cout,
+    bench::CsvOutput csv_out("fig08_saturation");
+    CsvWriter csv(csv_out.stream(),
                   {"num_requests", "request_bytes", "avg_latency_us"});
 
     std::map<std::uint32_t, std::vector<std::pair<int, double>>> series;

@@ -41,7 +41,8 @@ main()
                                                 std::end(kSizes));
 
     std::cout << "Fig. 9: max latency, 3 ports pinned + 1 sweeping\n";
-    CsvWriter csv(std::cout, {"pinned_vault", "fourth_vault",
+    bench::CsvOutput csv_out("fig09_qos");
+    CsvWriter csv(csv_out.stream(), {"pinned_vault", "fourth_vault",
                               "request_bytes", "max_latency_us"});
 
     std::vector<Summary> summaries;

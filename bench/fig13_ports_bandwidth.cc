@@ -50,7 +50,8 @@ main()
 
     std::cout << "Fig. 13: bandwidth vs active ports per pattern and "
                  "size\n";
-    CsvWriter csv(std::cout, {"request_bytes", "pattern", "active_ports",
+    bench::CsvOutput csv_out("fig13_ports_bandwidth");
+    CsvWriter csv(csv_out.stream(), {"request_bytes", "pattern", "active_ports",
                               "bandwidth_gbs", "avg_latency_ns"});
 
     // series[(bytes, pattern)] = bandwidth per port count.

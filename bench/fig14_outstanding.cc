@@ -29,7 +29,8 @@ main()
 
     std::cout << "Fig. 14: outstanding requests (Little's law) at "
                  "saturation, 2- and 4-bank patterns\n";
-    CsvWriter csv(std::cout,
+    bench::CsvOutput csv_out("fig14_outstanding");
+    CsvWriter csv(csv_out.stream(),
                   {"banks", "request_bytes", "saturation_ports",
                    "data_bandwidth_gbs", "avg_latency_ns",
                    "outstanding_estimate"});

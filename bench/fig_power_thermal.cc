@@ -33,7 +33,8 @@ loadSweep()
 {
     std::cout << "fig_power_thermal part 1: load vs energy/temperature "
                  "(observation-only)\n";
-    CsvWriter csv(std::cout,
+    bench::CsvOutput csv_out("fig_power_thermal_load");
+    CsvWriter csv(csv_out.stream(),
                   {"request_bytes", "bandwidth_gbs", "energy_pj",
                    "avg_power_w", "temp_c", "throttle_pct"});
 
@@ -80,12 +81,13 @@ throttleCliff()
         GupsPort::Params gp;
         gp.gen.pattern = sys.addressMap().pattern(16, 16);
         gp.gen.requestBytes = 128;
-        gp.gen.capacity = cfg.hmc.capacityBytes;
+        gp.gen.capacity = cfg.hmc.totalCapacityBytes();
         gp.gen.seed = 7919 + p;
         sys.configureGupsPort(p, gp);
     }
 
-    CsvWriter csv(std::cout,
+    bench::CsvOutput csv_out("fig_power_thermal_throttle");
+    CsvWriter csv(csv_out.stream(),
                   {"window", "time_us", "bandwidth_gbs", "energy_pj",
                    "temp_c", "throttle_pct"});
     const Tick window = scaled(fastMode() ? 3 : 8) * kMicrosecond;

@@ -69,7 +69,7 @@ BM_EndToEndGups(benchmark::State &state)
             GupsPort::Params gp;
             gp.gen.pattern = sys.addressMap().pattern(16, 16);
             gp.gen.requestBytes = bytes;
-            gp.gen.capacity = cfg.hmc.capacityBytes;
+            gp.gen.capacity = cfg.hmc.totalCapacityBytes();
             gp.gen.seed = 5 + p;
             sys.configureGupsPort(p, gp);
         }

@@ -8,6 +8,7 @@
 
 #include "analysis/paper_ref.h"
 #include "analysis/report.h"
+#include "bench_util.h"
 #include "common/csv.h"
 #include "hmc/hmc_config.h"
 #include "hmc/packet.h"
@@ -19,7 +20,8 @@ main()
 {
     std::cout << "Table I: HMC request/response read/write sizes "
                  "(flits)\n";
-    CsvWriter csv(std::cout,
+    bench::CsvOutput csv_out("table1_protocol");
+    CsvWriter csv(csv_out.stream(),
                   {"data_bytes", "read_request", "write_request",
                    "read_response", "write_response", "flow"});
     for (std::uint32_t bytes = 16; bytes <= 128; bytes += 16) {

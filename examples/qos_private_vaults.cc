@@ -51,7 +51,7 @@ run(bool partitioned)
         : sys.addressMap().pattern(4, 16, 12);  // shared hot quadrant
 
     StreamPort::Params hp;
-    hp.trace = makeRandomTrace(rng, hi, cfg.hmc.capacityBytes, 4096, 64);
+    hp.trace = makeRandomTrace(rng, hi, cfg.hmc.totalCapacityBytes(), 4096, 64);
     hp.loop = true;
     hp.window = 8;  // latency-sensitive: shallow queue
     sys.configureStreamPort(0, hp);
@@ -63,7 +63,7 @@ run(bool partitioned)
         GupsPort::Params gp;
         gp.gen.pattern = bg;
         gp.gen.requestBytes = 16;
-        gp.gen.capacity = cfg.hmc.capacityBytes;
+        gp.gen.capacity = cfg.hmc.totalCapacityBytes();
         gp.gen.seed = 100 + p;
         sys.configureGupsPort(p, gp);
     }

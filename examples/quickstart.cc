@@ -39,7 +39,7 @@ try {
     gp.gen.pattern = sys.addressMap().pattern(cfg.hmc.numVaults,
                                               cfg.hmc.numBanksPerVault);
     gp.gen.requestBytes = 64;
-    gp.gen.capacity = cfg.hmc.capacityBytes;
+    gp.gen.capacity = cfg.hmc.totalCapacityBytes();
     sys.configureGupsPort(0, gp);
 
     sys.run(20 * kMicrosecond);                       // warm up

@@ -41,7 +41,7 @@ try {
         gp.gen.pattern = sys.addressMap().pattern(
             cfg.hmc.numVaults, cfg.hmc.numBanksPerVault);
         gp.gen.requestBytes = 128;
-        gp.gen.capacity = cfg.hmc.capacityBytes;
+        gp.gen.capacity = cfg.hmc.totalCapacityBytes();
         gp.gen.seed = 7919 + p;
         sys.configureGupsPort(p, gp);
     }

@@ -72,7 +72,7 @@ try {
     // Random: uniform 64 B over the whole cube.
     StreamPort::Params random;
     random.trace = makeRandomTrace(
-        rng, sys.addressMap().pattern(16, 16), cfg.hmc.capacityBytes,
+        rng, sys.addressMap().pattern(16, 16), cfg.hmc.totalCapacityBytes(),
         8192, 64);
     random.loop = true;
     sys.configureStreamPort(1, random);

@@ -49,4 +49,15 @@ Report::power(double energy_pj, double temp_c, double throttle_pct)
          << "  throttle_pct=" << formatDouble(throttle_pct, 1) << '\n';
 }
 
+void
+Report::perCube(std::uint32_t cube, std::uint64_t served,
+                std::uint32_t request_hops, double share_pct)
+{
+    out_ << "  " << std::left << std::setw(36)
+         << ("cube " + std::to_string(cube))
+         << " served=" << std::right << std::setw(10) << served
+         << "  hops=" << request_hops
+         << "  share_pct=" << formatDouble(share_pct, 1) << '\n';
+}
+
 }  // namespace hmcsim

@@ -7,6 +7,7 @@
 #ifndef HMCSIM_ANALYSIS_REPORT_H_
 #define HMCSIM_ANALYSIS_REPORT_H_
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 
@@ -40,6 +41,14 @@ class Report
      * and the share of the window spent thermally throttled.
      */
     void power(double energy_pj, double temp_c, double throttle_pct);
+
+    /**
+     * One multi-cube chaining row: requests served by @p cube, the
+     * static pass-through hop count to reach it, and its share of the
+     * total traffic.
+     */
+    void perCube(std::uint32_t cube, std::uint64_t served,
+                 std::uint32_t request_hops, double share_pct);
 
   private:
     std::ostream &out_;

@@ -1,0 +1,258 @@
+#include "chain/chain_switch.h"
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+namespace {
+
+std::size_t
+kindIndex(ChainHop kind)
+{
+    switch (kind) {
+      case ChainHop::Up: return 0;
+      case ChainHop::Down: return 1;
+      case ChainHop::Wrap: return 2;
+      case ChainHop::Local:
+        break;
+    }
+    panic("ChainSwitch: Local is not a port kind");
+}
+
+}  // namespace
+
+ChainSwitch::ChainSwitch(Kernel &kernel, HmcDevice &dev, std::string name,
+                         const ChainRouteTable &routes,
+                         const ChainParams &params)
+    : Component(kernel, &dev, std::move(name)), dev_(dev), routes_(routes),
+      params_(params)
+{
+    for (auto &kind : ports_)
+        kind.resize(dev_.numLinks());
+}
+
+ChainSwitch::Port &
+ChainSwitch::port(ChainHop kind, LinkId l)
+{
+    if (l >= dev_.numLinks())
+        panic("ChainSwitch::port: link out of range");
+    Port &p = ports_[kindIndex(kind)][l];
+    if (!p.link)
+        panic("ChainSwitch: cube " + std::to_string(cubeId()) +
+              " routed a packet to an unwired " + toString(kind) +
+              " port");
+    return p;
+}
+
+void
+ChainSwitch::setPort(ChainHop kind, LinkId l, SerdesLink *link,
+                     LinkDir out_dir, bool consume_rx)
+{
+    if (l >= dev_.numLinks())
+        panic("ChainSwitch::setPort: link out of range");
+    Port &p = ports_[kindIndex(kind)][l];
+    p.link = link;
+    p.outDir = out_dir;
+    if (consume_rx) {
+        const LinkDir in_dir = out_dir == LinkDir::HostToCube
+            ? LinkDir::CubeToHost
+            : LinkDir::HostToCube;
+        link->setOnRxAvailable(in_dir,
+                               [this, kind, l] { drainInRx(kind, l); });
+    }
+}
+
+ChainHop
+ChainSwitch::routeOf(const HmcPacketPtr &pkt) const
+{
+    return pkt->isResponse() ? routes_.towardHost(cubeId())
+                             : routes_.next(cubeId(), pkt->cube);
+}
+
+bool
+ChainSwitch::tryForward(LinkId l, const HmcPacketPtr &pkt)
+{
+    const ChainHop kind = routeOf(pkt);
+    if (kind == ChainHop::Local)
+        panic("ChainSwitch::tryForward: packet is local to cube " +
+              std::to_string(cubeId()));
+    return enqueue(kind, l, pkt);
+}
+
+bool
+ChainSwitch::enqueue(ChainHop kind, LinkId l, const HmcPacketPtr &pkt)
+{
+    Port &p = port(kind, l);
+    if (p.q.size() >= params_.forwardQueuePackets) {
+        queueFullStalls_.inc();
+        return false;
+    }
+    // Store-and-forward: the packet was fully received upstream; it
+    // traverses the switch in passThroughLatency and then competes for
+    // the output link's tokens.
+    p.q.push_back(Pending{now() + params_.passThroughLatency, pkt});
+    if (!p.kickScheduled) {
+        p.kickScheduled = true;
+        kernel().scheduleAt(p.q.back().readyAt, [this, &p] {
+            p.kickScheduled = false;
+            pump(p);
+        });
+    }
+    return true;
+}
+
+void
+ChainSwitch::pump(Port &p)
+{
+    bool popped = false;
+    while (!p.q.empty()) {
+        Pending &head = p.q.front();
+        if (head.readyAt > now()) {
+            if (!p.kickScheduled) {
+                p.kickScheduled = true;
+                kernel().scheduleAt(head.readyAt, [this, &p] {
+                    p.kickScheduled = false;
+                    pump(p);
+                });
+            }
+            break;
+        }
+        const std::uint32_t flits = head.pkt->flits();
+        if (!p.link->canSend(p.outDir, flits))
+            break;  // resumed by the link's tokens-free callback
+        p.link->reserveTokens(p.outDir, flits);
+        if (head.pkt->isRequest()) {
+            ++head.pkt->reqHops;
+            fwdRequests_.inc();
+        } else {
+            ++head.pkt->respHops;
+            fwdResponses_.inc();
+        }
+        fwdFlits_.inc(flits);
+        // Transit energy lands on THIS cube: it drives the outgoing
+        // wire and pays the switch buffering, wherever the link object
+        // happens to live.
+        if (probe_)
+            probe_->record(PowerEvent::ChainForwardFlit, flits);
+        p.link->send(p.outDir, head.pkt);
+        p.q.pop_front();
+        popped = true;
+    }
+    if (popped)
+        kickSources();
+}
+
+void
+ChainSwitch::pumpAll()
+{
+    for (auto &kind : ports_) {
+        for (Port &p : kind) {
+            if (p.link)
+                pump(p);
+        }
+    }
+}
+
+void
+ChainSwitch::drainInRx(ChainHop kind, LinkId l)
+{
+    Port &p = port(kind, l);
+    const LinkDir in_dir = p.outDir == LinkDir::HostToCube
+        ? LinkDir::CubeToHost
+        : LinkDir::HostToCube;
+    while (p.link->rxAvailable(in_dir)) {
+        const HmcPacketPtr &head = p.link->rxPeek(in_dir);
+        const ChainHop route = head->isRequest() && head->cube == cubeId()
+            ? ChainHop::Local
+            : routeOf(head);
+        if (route == ChainHop::Local) {
+            // Pop before injecting, mirroring HmcDevice::drainLinkRx:
+            // the RX token-refund event must be scheduled ahead of the
+            // injection's events.
+            if (!dev_.canInjectLocal(l, head->flits()))
+                return;  // onLocalInjectSpace retries
+            HmcPacketPtr pkt = p.link->rxPop(in_dir);
+            if (!dev_.tryInjectLocal(l, pkt))
+                panic("ChainSwitch: NoC credits vanished between "
+                      "check and inject");
+            localInjects_.inc();
+            continue;
+        }
+        if (!enqueue(route, l, head))
+            return;  // pump() kicks us when the queue drains
+        p.link->rxPop(in_dir);
+    }
+}
+
+void
+ChainSwitch::drainAllInRx()
+{
+    static constexpr ChainHop kKinds[] = {ChainHop::Up, ChainHop::Down,
+                                          ChainHop::Wrap};
+    for (const ChainHop kind : kKinds) {
+        for (LinkId l = 0; l < dev_.numLinks(); ++l) {
+            if (ports_[kindIndex(kind)][l].link)
+                drainInRx(kind, l);
+        }
+    }
+}
+
+void
+ChainSwitch::kickSources()
+{
+    // Forward-queue space freed: upstream RX buffers may drain again.
+    for (LinkId l = 0; l < dev_.numLinks(); ++l)
+        dev_.kickLinkRx(l);
+    drainAllInRx();
+}
+
+void
+ChainSwitch::onLocalInjectSpace(LinkId)
+{
+    drainAllInRx();
+}
+
+bool
+ChainSwitch::tryReserveEject(LinkId l, std::uint32_t flits)
+{
+    Port &p = port(routes_.towardHost(cubeId()), l);
+    if (!p.link->canSend(p.outDir, flits))
+        return false;
+    p.link->reserveTokens(p.outDir, flits);
+    return true;
+}
+
+void
+ChainSwitch::ejectFromNoc(LinkId l, const HmcPacketPtr &pkt)
+{
+    // Locally generated response leaving its origin cube: not a
+    // pass-through forward, so no hop count or transit energy here.
+    Port &p = port(routes_.towardHost(cubeId()), l);
+    p.link->send(p.outDir, pkt);
+}
+
+void
+ChainSwitch::reportOwnStats(std::map<std::string, double> &out) const
+{
+    out[statName("fwd_requests")] =
+        static_cast<double>(fwdRequests_.value());
+    out[statName("fwd_responses")] =
+        static_cast<double>(fwdResponses_.value());
+    out[statName("fwd_flits")] = static_cast<double>(fwdFlits_.value());
+    out[statName("local_injects")] =
+        static_cast<double>(localInjects_.value());
+    out[statName("queue_full_stalls")] =
+        static_cast<double>(queueFullStalls_.value());
+}
+
+void
+ChainSwitch::resetOwnStats()
+{
+    fwdRequests_.reset();
+    fwdResponses_.reset();
+    fwdFlits_.reset();
+    localInjects_.reset();
+    queueFullStalls_.reset();
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Per-cube pass-through switch for multi-cube chaining.
+ *
+ * Packets whose CUB field does not match the local cube (and responses
+ * transiting toward the host) are handed here by the cube's link layer.
+ * The switch stores the fully received packet, waits the configured
+ * pass-through latency, and re-transmits it on the route-table-selected
+ * output link under that link's token flow control.  A full forward
+ * queue refuses the hand-off, which leaves the packet in the upstream
+ * RX buffer holding its link tokens -- chaining the per-hop credits
+ * into end-to-end backpressure.
+ *
+ * Port classes (see ChainRouteTable): Up = this cube's own links toward
+ * the host, Down = the next cube's links, Wrap = the ring-closing
+ * links.  On ring cubes whose response route is not Up, the cube's NoC
+ * link-ejection endpoints are rewired through ejectFromNoc() so locally
+ * generated responses leave on the routed port directly.
+ */
+
+#ifndef HMCSIM_CHAIN_CHAIN_SWITCH_H_
+#define HMCSIM_CHAIN_CHAIN_SWITCH_H_
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "chain/route_table.h"
+#include "hmc/hmc_device.h"
+#include "hmc/serdes_link.h"
+
+namespace hmcsim {
+
+class ChainSwitch : public Component
+{
+  public:
+    ChainSwitch(Kernel &kernel, HmcDevice &dev, std::string name,
+                const ChainRouteTable &routes, const ChainParams &params);
+
+    CubeId cubeId() const { return dev_.cubeId(); }
+
+    // ----- wiring (called by CubeNetwork before traffic flows) -----
+
+    /**
+     * Attach the output/input link for one port class and link lane.
+     * @param out_dir direction this switch transmits on
+     * @param consume_rx register this switch as the drainer of the
+     *        reverse direction's RX buffer
+     */
+    void setPort(ChainHop kind, LinkId l, SerdesLink *link,
+                 LinkDir out_dir, bool consume_rx);
+
+    // ----- data path -----
+
+    /**
+     * Take a packet the cube's link layer cannot deliver locally.
+     * @return false when the forward queue is full (retry on pump)
+     */
+    bool tryForward(LinkId l, const HmcPacketPtr &pkt);
+
+    /** Retry pending transmissions on every output port. */
+    void pumpAll();
+
+    /** NoC injection credits freed: retry Local deliveries. */
+    void onLocalInjectSpace(LinkId l);
+
+    /** Reserve tokens for a locally ejected response (rewired NoC). */
+    bool tryReserveEject(LinkId l, std::uint32_t flits);
+
+    /** Transmit a locally ejected response (tokens already reserved). */
+    void ejectFromNoc(LinkId l, const HmcPacketPtr &pkt);
+
+    /** Hook the transit-energy probe (ChainForwardFlit events). */
+    void setPowerProbe(PowerProbe *probe) { probe_ = probe; }
+
+    // ----- statistics -----
+    std::uint64_t forwardedRequests() const { return fwdRequests_.value(); }
+    std::uint64_t forwardedResponses() const
+    {
+        return fwdResponses_.value();
+    }
+    std::uint64_t forwardedFlits() const { return fwdFlits_.value(); }
+    std::uint64_t localInjects() const { return localInjects_.value(); }
+
+  protected:
+    void reportOwnStats(std::map<std::string, double> &out) const override;
+    void resetOwnStats() override;
+
+  private:
+    struct Pending {
+        Tick readyAt = 0;
+        HmcPacketPtr pkt;
+    };
+
+    struct Port {
+        SerdesLink *link = nullptr;
+        LinkDir outDir = LinkDir::HostToCube;
+        std::deque<Pending> q;
+        bool kickScheduled = false;
+    };
+
+    static constexpr std::size_t kPortKinds = 3;  // Up, Down, Wrap
+
+    HmcDevice &dev_;
+    const ChainRouteTable &routes_;
+    ChainParams params_;
+    /** ports_[kind - 1][link]; kind Local has no port. */
+    std::array<std::vector<Port>, kPortKinds> ports_;
+    PowerProbe *probe_ = nullptr;
+
+    Counter fwdRequests_;
+    Counter fwdResponses_;
+    Counter fwdFlits_;
+    Counter localInjects_;
+    Counter queueFullStalls_;
+
+    Port &port(ChainHop kind, LinkId l);
+    ChainHop routeOf(const HmcPacketPtr &pkt) const;
+    bool enqueue(ChainHop kind, LinkId l, const HmcPacketPtr &pkt);
+    void pump(Port &p);
+    void drainInRx(ChainHop kind, LinkId l);
+    void drainAllInRx();
+    void kickSources();
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_CHAIN_CHAIN_SWITCH_H_

@@ -1,0 +1,241 @@
+#include "chain/cube_network.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+CubeNetwork::CubeNetwork(Kernel &kernel, Component *parent, std::string name,
+                         const HmcConfig &cfg)
+    : Component(kernel, parent, std::move(name)), cfg_(cfg),
+      routes_(chainTopologyFromString(cfg_.chain.topology),
+              cfg_.chain.numCubes)
+{
+    cfg_.validate();
+    const std::uint32_t n = cfg_.chain.numCubes;
+
+    for (CubeId c = 0; c < n; ++c) {
+        cubes_.push_back(std::make_unique<HmcDevice>(
+            kernel, this, "hmc" + std::to_string(c), cfg_, c));
+    }
+
+    if (n > 1 && routes_.topology() != ChainTopology::Star)
+        wireChain();
+}
+
+void
+CubeNetwork::wireChain()
+{
+    const std::uint32_t n = numCubes();
+    const bool ring = routes_.topology() == ChainTopology::Ring;
+
+    if (ring) {
+        const SerdesLink::Params lp = linkParamsFrom(cfg_, 0xABCDEFull);
+        for (LinkId l = 0; l < cfg_.numLinks; ++l) {
+            // Orientation: HostToCube runs cube 0 -> cube N-1.
+            wrapLinks_.push_back(std::make_unique<SerdesLink>(
+                kernel(), this, "wrap" + std::to_string(l), l, lp));
+            wrapLinks_.back()->setEndpointMode(LinkEndpointMode::PassThrough);
+            // Attribute wrap SerDes energy like cube-owned cables: to
+            // the cube on the downstream side of the hop (cube N-1).
+            if (PowerModel *pm = cubes_[n - 1]->powerModel())
+                wrapLinks_.back()->setPowerProbe(pm);
+        }
+        // Thermal throttling must not leave the wrap hop at full
+        // speed while every cube-owned hop is stretched: follow the
+        // deeper of the two endpoint cubes' throttle levels.
+        for (CubeId c : {CubeId{0}, static_cast<CubeId>(n - 1)}) {
+            if (PowerModel *pm = cubes_[c]->powerModel()) {
+                HmcDevice *dev = cubes_[c].get();
+                pm->setThrottleApplier([this, dev](double s) {
+                    dev->applyThrottle(s);
+                    applyWrapThrottle();
+                });
+            }
+        }
+    }
+
+    for (CubeId c = 0; c < n; ++c) {
+        switches_.push_back(std::make_unique<ChainSwitch>(
+            kernel(), *cubes_[c], "fwd", routes_, cfg_.chain));
+        ChainSwitch *sw = switches_.back().get();
+        if (PowerModel *pm = cubes_[c]->powerModel())
+            sw->setPowerProbe(pm);
+        HmcDevice *dev = cubes_[c].get();
+        dev->setForwarder([sw](LinkId l, const HmcPacketPtr &pkt) {
+            return sw->tryForward(l, pkt);
+        });
+        dev->setInjectSpaceHook(
+            [sw](LinkId l) { sw->onLocalInjectSpace(l); });
+    }
+
+    for (CubeId c = 0; c < n; ++c) {
+        ChainSwitch *sw = switches_[c].get();
+        for (LinkId l = 0; l < cfg_.numLinks; ++l) {
+            // Up: this cube's own links.  The switch transmits
+            // transiting responses on them; their reverse-direction RX
+            // is drained by the device (cube 0) or the upstream
+            // switch, never by this one.
+            sw->setPort(ChainHop::Up, l, &cubes_[c]->link(l),
+                        LinkDir::CubeToHost, /*consume_rx=*/false);
+            if (c > 0)
+                cubes_[c]->link(l).setEndpointMode(
+                    LinkEndpointMode::PassThrough);
+
+            // Down: the next cube's links; this switch drains their
+            // CubeToHost RX (responses and counter-clockwise requests
+            // coming back up).
+            if (c + 1 < n)
+                sw->setPort(ChainHop::Down, l, &cubes_[c + 1]->link(l),
+                            LinkDir::HostToCube, /*consume_rx=*/true);
+
+            // Wrap: the ring-closing links.
+            if (ring && c == 0)
+                sw->setPort(ChainHop::Wrap, l, wrapLinks_[l].get(),
+                            LinkDir::HostToCube, /*consume_rx=*/true);
+            if (ring && c == n - 1)
+                sw->setPort(ChainHop::Wrap, l, wrapLinks_[l].get(),
+                            LinkDir::CubeToHost, /*consume_rx=*/true);
+        }
+
+        // Ring cubes on the far side eject local responses down/around
+        // instead of retracing the request path.
+        if (routes_.towardHost(c) != ChainHop::Up) {
+            HmcDevice *dev = cubes_[c].get();
+            for (LinkId l = 0; l < cfg_.numLinks; ++l) {
+                Network::EndpointOps ops;
+                ops.tryReserve = [sw, l](std::uint32_t flits) {
+                    return sw->tryReserveEject(l, flits);
+                };
+                ops.deliver = [sw, l](const NocMessage &msg) {
+                    auto pkt =
+                        std::static_pointer_cast<HmcPacket>(msg.payload);
+                    sw->ejectFromNoc(l, pkt);
+                };
+                ops.onInjectSpace = [dev, sw, l] {
+                    dev->kickLinkRx(l);
+                    sw->onLocalInjectSpace(l);
+                };
+                dev->network().rewireEndpoint(dev->linkEndpoint(l),
+                                              std::move(ops));
+            }
+        }
+    }
+
+    combineTokenCallbacks();
+}
+
+void
+CubeNetwork::combineTokenCallbacks()
+{
+    // Several producers can share one link direction (NoC ejection +
+    // pass-through pump); freed tokens must wake all of them.  The
+    // kicks are pure retries, so over-notifying is safe.
+    const std::uint32_t n = numCubes();
+    for (CubeId c = 0; c < n; ++c) {
+        for (LinkId l = 0; l < cfg_.numLinks; ++l) {
+            SerdesLink &lk = cubes_[c]->link(l);
+            HmcDevice *dev = cubes_[c].get();
+            ChainSwitch *sw = switches_[c].get();
+            ChainSwitch *up_sw = c > 0 ? switches_[c - 1].get() : nullptr;
+            HmcDevice *up_dev = c > 0 ? cubes_[c - 1].get() : nullptr;
+            // CubeToHost: this cube's ejection and Up-forwarding.
+            lk.setOnTokensFree(LinkDir::CubeToHost, [dev, sw, l] {
+                dev->kickEject(l);
+                sw->pumpAll();
+            });
+            // HostToCube: the upstream switch's Down-forwarding and,
+            // on rings, the upstream cube's rewired ejection.  Cube
+            // 0's upstream is the polling host controller.
+            if (up_sw) {
+                lk.setOnTokensFree(LinkDir::HostToCube,
+                                   [up_dev, up_sw, l] {
+                    up_dev->kickEject(l);
+                    up_sw->pumpAll();
+                });
+            }
+        }
+    }
+    for (LinkId l = 0; l < static_cast<LinkId>(wrapLinks_.size()); ++l) {
+        SerdesLink &lk = *wrapLinks_[l];
+        HmcDevice *dev0 = cubes_.front().get();
+        ChainSwitch *sw0 = switches_.front().get();
+        HmcDevice *devN = cubes_.back().get();
+        ChainSwitch *swN = switches_.back().get();
+        lk.setOnTokensFree(LinkDir::HostToCube, [dev0, sw0, l] {
+            dev0->kickEject(l);
+            sw0->pumpAll();
+        });
+        lk.setOnTokensFree(LinkDir::CubeToHost, [devN, swN, l] {
+            devN->kickEject(l);
+            swN->pumpAll();
+        });
+    }
+}
+
+void
+CubeNetwork::applyWrapThrottle()
+{
+    double slowdown = 1.0;
+    for (const HmcDevice *dev : {cubes_.front().get(), cubes_.back().get()}) {
+        if (const PowerModel *pm = dev->powerModel())
+            slowdown = std::max(slowdown, pm->slowdown());
+    }
+    for (auto &lk : wrapLinks_)
+        lk->setThrottle(slowdown);
+}
+
+HmcDevice &
+CubeNetwork::cube(CubeId c)
+{
+    if (c >= cubes_.size())
+        panic("CubeNetwork::cube: cube out of range");
+    return *cubes_[c];
+}
+
+ChainSwitch *
+CubeNetwork::switchAt(CubeId c)
+{
+    if (c >= cubes_.size())
+        panic("CubeNetwork::switchAt: cube out of range");
+    return c < switches_.size() ? switches_[c].get() : nullptr;
+}
+
+SerdesLink &
+CubeNetwork::hostLink(LinkId l)
+{
+    if (l >= cfg_.numLinks)
+        panic("CubeNetwork::hostLink: link out of range");
+    if (routes_.topology() == ChainTopology::Star)
+        return cube(l % numCubes()).link(l);
+    return cube(0).link(l);
+}
+
+CubeId
+CubeNetwork::hostLinkCube(LinkId l) const
+{
+    if (l >= cfg_.numLinks)
+        panic("CubeNetwork::hostLinkCube: link out of range");
+    if (routes_.topology() == ChainTopology::Star)
+        return l % numCubes();
+    return kCubeAll;
+}
+
+double
+CubeNetwork::bisectionBandwidthGBs() const
+{
+    return routes_.bisectionLinkCount() *
+        cfg_.linkBandwidthGBsPerDirection();
+}
+
+std::uint64_t
+CubeNetwork::totalRequestsServed() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : cubes_)
+        total += c->totalRequestsServed();
+    return total;
+}
+
+}  // namespace hmcsim

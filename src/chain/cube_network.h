@@ -1,0 +1,79 @@
+/**
+ * @file
+ * CubeNetwork: assembles N HmcDevices into a chained network.
+ *
+ * Link ownership: each cube's own SerDes links connect it to the host
+ * (cube 0) or to the previous cube in the chain -- the cable's
+ * HostToCube RX sits at the owning cube, its CubeToHost RX at the
+ * upstream party.  Ring topologies add dedicated wrap links between
+ * cube N-1 and cube 0.  Star topologies attach every cube's links
+ * directly to the host (link l serves cube l % N) and need no
+ * pass-through at all.
+ *
+ * The network wires each cube's ChainSwitch to the route table,
+ * combines token-free callbacks across the producers sharing a link
+ * direction (NoC ejection + pass-through pump), and rewires ring
+ * cubes whose response route is not Up.
+ */
+
+#ifndef HMCSIM_CHAIN_CUBE_NETWORK_H_
+#define HMCSIM_CHAIN_CUBE_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "chain/chain_switch.h"
+#include "chain/route_table.h"
+#include "hmc/hmc_device.h"
+
+namespace hmcsim {
+
+class CubeNetwork : public Component
+{
+  public:
+    CubeNetwork(Kernel &kernel, Component *parent, std::string name,
+                const HmcConfig &cfg);
+
+    std::uint32_t numCubes() const { return cfg_.chain.numCubes; }
+    HmcDevice &cube(CubeId c);
+    const ChainRouteTable &routes() const { return routes_; }
+    const HmcConfig &config() const { return cfg_; }
+
+    /** Pass-through switch of cube @p c; null for star topologies. */
+    ChainSwitch *switchAt(CubeId c);
+
+    // ----- host attachment -----
+
+    std::uint32_t numHostLinks() const { return cfg_.numLinks; }
+
+    /** Link the host controller drives for lane @p l. */
+    SerdesLink &hostLink(LinkId l);
+
+    /** Cube reachable through host link @p l; kCubeAll when the link
+     *  leads into a chain that reaches every cube. */
+    CubeId hostLinkCube(LinkId l) const;
+
+    /**
+     * Static bisection bandwidth of the cube-to-cube fabric (one
+     * direction), GB/s.
+     */
+    double bisectionBandwidthGBs() const;
+
+    /** Sum of requests served across all cubes. */
+    std::uint64_t totalRequestsServed() const;
+
+  private:
+    HmcConfig cfg_;
+    ChainRouteTable routes_;
+    std::vector<std::unique_ptr<HmcDevice>> cubes_;
+    std::vector<std::unique_ptr<SerdesLink>> wrapLinks_;
+    std::vector<std::unique_ptr<ChainSwitch>> switches_;
+
+    void wireChain();
+    void combineTokenCallbacks();
+    void applyWrapThrottle();
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_CHAIN_CUBE_NETWORK_H_

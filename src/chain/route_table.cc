@@ -1,0 +1,162 @@
+#include "chain/route_table.h"
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+std::string
+toString(ChainHop h)
+{
+    switch (h) {
+      case ChainHop::Local: return "local";
+      case ChainHop::Up: return "up";
+      case ChainHop::Down: return "down";
+      case ChainHop::Wrap: return "wrap";
+    }
+    return "?";
+}
+
+ChainRouteTable::ChainRouteTable(ChainTopology topo, std::uint32_t num_cubes)
+    : topo_(topo), numCubes_(num_cubes)
+{
+    if (num_cubes == 0)
+        fatal("chain route table: need at least one cube");
+    const std::uint32_t n = numCubes_;
+    next_.resize(static_cast<std::size_t>(n) * n, ChainHop::Local);
+    towardHost_.resize(n, ChainHop::Up);
+
+    for (CubeId at = 0; at < n; ++at) {
+        for (CubeId dest = 0; dest < n; ++dest) {
+            if (at == dest) {
+                next_[at * n + dest] = ChainHop::Local;
+                continue;
+            }
+            switch (topo_) {
+              case ChainTopology::Star:
+                // Every cube is host-attached; a packet for another
+                // cube should never be inside this one (next() panics
+                // if queried).
+                break;
+              case ChainTopology::Daisy:
+                next_[at * n + dest] =
+                    dest > at ? ChainHop::Down : ChainHop::Up;
+                break;
+              case ChainTopology::Ring: {
+                // Shortest direction, ties clockwise (increasing ids).
+                const std::uint32_t cw = (dest + n - at) % n;
+                const std::uint32_t ccw = n - cw;
+                if (cw <= ccw)
+                    next_[at * n + dest] =
+                        at == n - 1 ? ChainHop::Wrap : ChainHop::Down;
+                else
+                    next_[at * n + dest] =
+                        at == 0 ? ChainHop::Wrap : ChainHop::Up;
+                break;
+              }
+            }
+        }
+    }
+
+    // Responses head for the host behind cube 0.
+    for (CubeId at = 0; at < n; ++at) {
+        if (at == 0 || topo_ != ChainTopology::Ring) {
+            towardHost_[at] = ChainHop::Up;
+            continue;
+        }
+        const std::uint32_t up_hops = at;          // counter-clockwise
+        const std::uint32_t down_hops = n - at;    // via the wrap link
+        if (up_hops <= down_hops)
+            towardHost_[at] = ChainHop::Up;
+        else
+            towardHost_[at] = at == n - 1 ? ChainHop::Wrap : ChainHop::Down;
+    }
+}
+
+ChainHop
+ChainRouteTable::next(CubeId at, CubeId dest) const
+{
+    if (at >= numCubes_ || dest >= numCubes_)
+        panic("ChainRouteTable::next: cube out of range");
+    if (topo_ == ChainTopology::Star && at != dest)
+        panic("chain route table: star topologies do not forward "
+              "between cubes");
+    return next_[at * numCubes_ + dest];
+}
+
+ChainHop
+ChainRouteTable::towardHost(CubeId at) const
+{
+    if (at >= numCubes_)
+        panic("ChainRouteTable::towardHost: cube out of range");
+    return towardHost_[at];
+}
+
+CubeId
+ChainRouteTable::neighbor(CubeId at, ChainHop h) const
+{
+    switch (h) {
+      case ChainHop::Local:
+        return at;
+      case ChainHop::Up:
+        return at - 1;  // cube 0's Up port is the host itself
+      case ChainHop::Down:
+        return at + 1;
+      case ChainHop::Wrap:
+        return at == 0 ? numCubes_ - 1 : 0;
+    }
+    panic("ChainRouteTable: invalid hop");
+}
+
+std::uint32_t
+ChainRouteTable::walk(CubeId start, CubeId dest, bool to_host) const
+{
+    // Star cubes are all host-attached: zero pass-through forwards in
+    // either direction.
+    if (topo_ == ChainTopology::Star)
+        return 0;
+    // Follow the static tables, counting pass-through forwards.  The
+    // tables are loop-free by construction; the bound is a tripwire.
+    std::uint32_t hops = 0;
+    CubeId at = start;
+    while (hops <= numCubes_) {
+        if (to_host) {
+            if (at == 0)
+                return hops;  // cube 0 delivers straight to the host
+            at = neighbor(at, towardHost_[at]);
+        } else {
+            const ChainHop h = next_[at * numCubes_ + dest];
+            if (h == ChainHop::Local)
+                return hops;
+            at = neighbor(at, h);
+        }
+        ++hops;
+    }
+    panic("ChainRouteTable: routing loop detected");
+}
+
+std::uint32_t
+ChainRouteTable::requestHops(CubeId dest) const
+{
+    if (dest >= numCubes_)
+        panic("ChainRouteTable::requestHops: cube out of range");
+    // Requests enter the network at cube 0.
+    return walk(0, dest, false);
+}
+
+std::uint32_t
+ChainRouteTable::responseHops(CubeId dest) const
+{
+    if (dest >= numCubes_)
+        panic("ChainRouteTable::responseHops: cube out of range");
+    return walk(dest, 0, true);
+}
+
+std::uint32_t
+ChainRouteTable::bisectionLinkCount() const
+{
+    if (numCubes_ == 1 || topo_ == ChainTopology::Star)
+        return 1;  // host attachment is the only cut
+    return topo_ == ChainTopology::Ring ? 2 : 1;
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Static per-cube routing for multi-cube chains (the HMC CUB field).
+ *
+ * Every cube's pass-through switch owns up to three port classes:
+ *
+ *   Up    this cube's own SerDes links, toward the host (or the
+ *         previous cube in the chain)
+ *   Down  the next cube's SerDes links, away from the host
+ *   Wrap  the ring-closing links between cube N-1 and cube 0
+ *
+ * The table answers, for any (current cube, destination cube) pair,
+ * which port class the packet leaves on -- or Local when it has
+ * arrived.  Routing is static and deterministic: daisy chains only
+ * ever route Down (requests) / Up (responses); rings take the
+ * shortest direction with ties broken clockwise (Down); stars never
+ * forward at all (every cube is host-attached).
+ */
+
+#ifndef HMCSIM_CHAIN_ROUTE_TABLE_H_
+#define HMCSIM_CHAIN_ROUTE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "hmc/hmc_config.h"
+
+namespace hmcsim {
+
+/** Output port class of one routing step. */
+enum class ChainHop : unsigned {
+    /** The packet is at its destination cube. */
+    Local = 0,
+    /** Out this cube's own links toward host / previous cube. */
+    Up,
+    /** Out the next cube's links, away from the host. */
+    Down,
+    /** Out the ring-closing link (cube N-1 <-> cube 0). */
+    Wrap,
+};
+
+std::string toString(ChainHop h);
+
+class ChainRouteTable
+{
+  public:
+    ChainRouteTable(ChainTopology topo, std::uint32_t num_cubes);
+
+    ChainTopology topology() const { return topo_; }
+    std::uint32_t numCubes() const { return numCubes_; }
+
+    /** Port a request for @p dest leaves cube @p at on. */
+    ChainHop next(CubeId at, CubeId dest) const;
+
+    /** Port a response leaves cube @p at on (destination: host). */
+    ChainHop towardHost(CubeId at) const;
+
+    /** Pass-through forwards a request pays from host entry to @p dest. */
+    std::uint32_t requestHops(CubeId dest) const;
+
+    /** Pass-through forwards the matching response pays back. */
+    std::uint32_t responseHops(CubeId dest) const;
+
+    /**
+     * Static bisection bandwidth of the cube-to-cube fabric in units
+     * of one link's one-direction bandwidth (multiply by numLinks x
+     * link GB/s).  Star and one-cube networks have no cube-to-cube cut
+     * and report the host attachment width instead.
+     */
+    std::uint32_t bisectionLinkCount() const;
+
+  private:
+    ChainTopology topo_;
+    std::uint32_t numCubes_;
+    /** next_[at * numCubes_ + dest] */
+    std::vector<ChainHop> next_;
+    std::vector<ChainHop> towardHost_;
+
+    CubeId neighbor(CubeId at, ChainHop h) const;
+    std::uint32_t walk(CubeId start, CubeId dest, bool to_host) const;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_CHAIN_ROUTE_TABLE_H_

@@ -23,6 +23,7 @@ using Addr = std::uint64_t;
 /** Identifier types. Plain integers; wrappers would add noise here. */
 using VaultId = std::uint32_t;
 using BankId = std::uint32_t;
+using CubeId = std::uint32_t;
 using QuadrantId = std::uint32_t;
 using LinkId = std::uint32_t;
 using PortId = std::uint32_t;
@@ -32,6 +33,9 @@ using PacketId = std::uint64_t;
 
 /** Sentinel node for "not routed yet". */
 constexpr NodeId kNodeInvalid = std::numeric_limits<NodeId>::max();
+
+/** Sentinel cube id: "reaches every cube" (host link routing). */
+constexpr CubeId kCubeAll = std::numeric_limits<CubeId>::max();
 
 /** Sentinel tag. */
 constexpr TagId kTagInvalid = std::numeric_limits<TagId>::max();

@@ -26,7 +26,7 @@ Bank::activate(Tick when, RowId row)
     preAllowedAt_ = std::max(preAllowedAt_, when + params_.tRAS);
     acts_.inc();
     if (probe_)
-        probe_->record(PowerEvent::DramActivate, 1);
+        probe_->recordAtLayer(PowerEvent::DramActivate, 1, dramLayer_);
     return when + params_.tRCD;
 }
 
@@ -50,7 +50,7 @@ Bank::readBurst(Tick when, std::uint32_t beats)
     preAllowedAt_ = std::max(preAllowedAt_, last_cmd + params_.tRTP);
     reads_.inc(beats);
     if (probe_)
-        probe_->record(PowerEvent::DramReadBeat, beats);
+        probe_->recordAtLayer(PowerEvent::DramReadBeat, beats, dramLayer_);
     return t;
 }
 
@@ -73,7 +73,7 @@ Bank::writeBurst(Tick when, std::uint32_t beats)
     preAllowedAt_ = std::max(preAllowedAt_, t.dataEnd + params_.tWR);
     writes_.inc(beats);
     if (probe_)
-        probe_->record(PowerEvent::DramWriteBeat, beats);
+        probe_->recordAtLayer(PowerEvent::DramWriteBeat, beats, dramLayer_);
     return t;
 }
 
@@ -91,7 +91,7 @@ Bank::precharge(Tick when)
     actAllowedAt_ = std::max(actAllowedAt_, when + params_.tRP);
     pres_.inc();
     if (probe_)
-        probe_->record(PowerEvent::DramPrecharge, 1);
+        probe_->recordAtLayer(PowerEvent::DramPrecharge, 1, dramLayer_);
     return when + params_.tRP;
 }
 
@@ -107,7 +107,7 @@ Bank::refresh(Tick when)
     actAllowedAt_ = when + params_.tRFC;
     refs_.inc();
     if (probe_)
-        probe_->record(PowerEvent::DramRefresh, 1);
+        probe_->recordAtLayer(PowerEvent::DramRefresh, 1, dramLayer_);
     return when + params_.tRFC;
 }
 

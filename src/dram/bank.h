@@ -77,8 +77,21 @@ class Bank
      */
     Tick refresh(Tick when);
 
-    /** Attach the power subsystem's probe (null = no accounting). */
-    void setPowerProbe(PowerProbe *probe) { probe_ = probe; }
+    /**
+     * Attach the power subsystem's probe (null = no accounting).
+     * @param dram_layer the stacked die this bank lives in (0 = lowest
+     *        DRAM layer); energy events are attributed to it so the
+     *        thermal model sees per-layer heat input.
+     */
+    void
+    setPowerProbe(PowerProbe *probe, std::uint32_t dram_layer = 0)
+    {
+        probe_ = probe;
+        dramLayer_ = dram_layer;
+    }
+
+    /** Die this bank is attributed to for power/thermal purposes. */
+    std::uint32_t dramLayer() const { return dramLayer_; }
 
     // Statistics.
     std::uint64_t activates() const { return acts_.value(); }
@@ -102,6 +115,7 @@ class Bank
     Counter pres_;
     Counter refs_;
     PowerProbe *probe_ = nullptr;
+    std::uint32_t dramLayer_ = 0;
 };
 
 }  // namespace hmcsim

@@ -37,10 +37,15 @@ VaultMemory::bank(BankId b) const
 }
 
 void
-VaultMemory::setPowerProbe(PowerProbe *probe)
+VaultMemory::setPowerProbe(PowerProbe *probe, std::uint32_t num_dram_layers)
 {
-    for (Bank &b : banks_)
-        b.setPowerProbe(probe);
+    // Banks are split evenly across the stacked dies: a vault's bank b
+    // physically sits in layer b * layers / banks (HMC partitions each
+    // vault vertically), so bank energy heats that die.
+    const std::uint32_t layers = std::max<std::uint32_t>(num_dram_layers, 1);
+    const auto num_banks = static_cast<std::uint32_t>(banks_.size());
+    for (BankId b = 0; b < num_banks; ++b)
+        banks_[b].setPowerProbe(probe, b * layers / num_banks);
     bus_.setPowerProbe(probe);
 }
 

@@ -46,8 +46,14 @@ class VaultMemory : public Component
     const TsvBus &bus() const { return bus_; }
     const DramTimingParams &timing() const { return params_; }
 
-    /** Attach the power probe to every bank and the TSV bus. */
-    void setPowerProbe(PowerProbe *probe);
+    /**
+     * Attach the power probe to every bank and the TSV bus.  Banks are
+     * mapped onto @p num_dram_layers stacked dies (bank -> layer) so
+     * their energy is attributed per layer; the shared TSV bus stays
+     * aggregate (it spans the whole stack).
+     */
+    void setPowerProbe(PowerProbe *probe,
+                       std::uint32_t num_dram_layers = 1);
 
     /** Timestamps of one fully planned access. */
     struct ServiceResult {

@@ -10,12 +10,16 @@ AddressMap::AddressMap(const HmcConfig &cfg)
       rowBytes_(cfg.rowBytes), numVaults_(cfg.numVaults),
       numBanks_(cfg.numBanksPerVault),
       vaultsPerQuad_(cfg.vaultsPerQuadrant()),
-      vaultFirst_(cfg.mapScheme == "vault_then_bank")
+      vaultFirst_(cfg.mapScheme == "vault_then_bank"),
+      numCubes_(cfg.chain.numCubes),
+      cubeLowInterleave_(cfg.chain.interleave == "cube_low")
 {
     offsetBits_ = log2Exact(blockBytes_);
     vaultBits_ = log2Exact(numVaults_);
     bankBits_ = log2Exact(numBanks_);
     addrBits_ = log2Exact(capacity_);
+    cubeBits_ = log2Exact(numCubes_);
+    cubeLow_ = cubeLowInterleave_ ? offsetBits_ : addrBits_;
     if (vaultFirst_) {
         vaultLow_ = offsetBits_;
         bankLow_ = vaultLow_ + vaultBits_;
@@ -30,13 +34,54 @@ AddressMap::AddressMap(const HmcConfig &cfg)
         fatal("address map: row smaller than block");
 }
 
-DecodedAddr
-AddressMap::decode(Addr addr) const
+void
+AddressMap::splitCube(Addr addr, CubeId &cube, Addr &local) const
 {
-    if (addr >= capacity_)
-        panic("AddressMap::decode: address 0x" + std::to_string(addr) +
+    if (cubeBits_ == 0) {
+        cube = 0;
+        local = addr;
+        return;
+    }
+    cube = static_cast<CubeId>(extractBits(addr, cubeLow_, cubeBits_));
+    if (cubeLowInterleave_) {
+        const Addr low = addr & ((Addr{1} << cubeLow_) - 1);
+        local = ((addr >> (cubeLow_ + cubeBits_)) << cubeLow_) | low;
+    } else {
+        local = addr & (capacity_ - 1);
+    }
+}
+
+Addr
+AddressMap::expandLocal(Addr local, Addr cube_field) const
+{
+    if (cubeBits_ == 0)
+        return local;
+    if (!cubeLowInterleave_)
+        return local | (cube_field << cubeLow_);
+    const Addr low = local & ((Addr{1} << cubeLow_) - 1);
+    return ((local >> cubeLow_) << (cubeLow_ + cubeBits_)) |
+        (cube_field << cubeLow_) | low;
+}
+
+CubeId
+AddressMap::decodeCube(Addr addr) const
+{
+    if (cubeBits_ == 0)
+        return 0;
+    return static_cast<CubeId>(extractBits(addr, cubeLow_, cubeBits_));
+}
+
+DecodedAddr
+AddressMap::decode(Addr global) const
+{
+    if (global >= totalCapacity())
+        panic("AddressMap::decode: address 0x" + std::to_string(global) +
               " beyond capacity");
+    CubeId cube = 0;
+    Addr addr = 0;
+    splitCube(global, cube, addr);
     DecodedAddr d;
+    d.cube = cube;
     d.blockOffset =
         static_cast<std::uint32_t>(extractBits(addr, 0, offsetBits_));
     d.vault =
@@ -58,8 +103,9 @@ AddressMap::decode(Addr addr) const
 Addr
 AddressMap::encode(const DecodedAddr &d) const
 {
-    if (d.vault >= numVaults_ || d.bank >= numBanks_)
-        panic("AddressMap::encode: vault/bank out of range");
+    if (d.vault >= numVaults_ || d.bank >= numBanks_ ||
+        d.cube >= numCubes_)
+        panic("AddressMap::encode: cube/vault/bank out of range");
     const std::uint64_t beat_addr =
         static_cast<std::uint64_t>(d.col) * 32 + d.beatOffset;
     const std::uint64_t block_in_row = beat_addr / blockBytes_;
@@ -71,7 +117,7 @@ AddressMap::encode(const DecodedAddr &d) const
     addr = insertBits(addr, vaultLow_, vaultBits_, d.vault);
     addr = insertBits(addr, bankLow_, bankBits_, d.bank);
     addr = insertBits(addr, 0, offsetBits_, offset);
-    return addr;
+    return expandLocal(addr, d.cube);
 }
 
 DramAccess
@@ -120,7 +166,10 @@ AddressMap::pattern(std::uint32_t num_vaults, std::uint32_t num_banks,
                       bankBits_ - free_bank_bits, 0);
     fixed = insertBits(fixed, bankLow_, bankBits_, base_bank);
 
-    return AddressPattern{mask, fixed};
+    // Widen to the global address space with the cube bits random, so
+    // confined patterns still spread across every cube in the network.
+    return AddressPattern{expandLocal(mask, numCubes_ - 1),
+                          expandLocal(fixed, 0)};
 }
 
 AddressPattern
@@ -131,7 +180,17 @@ AddressMap::vaultPattern(VaultId vault) const
     Addr mask = capacity_ - 1;
     mask = insertBits(mask, vaultLow_, vaultBits_, 0);
     Addr fixed = insertBits(0, vaultLow_, vaultBits_, vault);
-    return AddressPattern{mask, fixed};
+    return AddressPattern{expandLocal(mask, numCubes_ - 1),
+                          expandLocal(fixed, 0)};
+}
+
+AddressPattern
+AddressMap::cubePattern(CubeId cube) const
+{
+    if (cube >= numCubes_)
+        fatal("address pattern: cube out of range");
+    return AddressPattern{expandLocal(capacity_ - 1, 0),
+                          expandLocal(0, cube)};
 }
 
 }  // namespace hmcsim

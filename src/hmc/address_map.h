@@ -14,6 +14,12 @@
  * so sequential blocks stripe across all 16 vaults first, then across
  * banks -- a 4 KB OS page touches two banks in each of the 16 vaults.
  * The "bank_then_vault" ablation swaps the vault and bank fields.
+ *
+ * With multi-cube chaining (hmc.num_cubes > 1) the global address
+ * additionally carries a cube (CUB) field: above the per-cube address
+ * ("cube_high", contiguous cubes) or right above the block offset
+ * ("cube_low", blocks stripe across cubes).  With one cube the layout
+ * is bit-identical to the single-cube map.
  */
 
 #ifndef HMCSIM_HMC_ADDRESS_MAP_H_
@@ -29,6 +35,8 @@ namespace hmcsim {
 
 /** Fields of a decoded cube address. */
 struct DecodedAddr {
+    /** Destination cube (the packet CUB field); 0 without chaining. */
+    CubeId cube = 0;
     VaultId vault = 0;
     QuadrantId quadrant = 0;
     std::uint32_t vaultInQuad = 0;
@@ -65,6 +73,9 @@ class AddressMap
     /** Inverse of decode for trace/test generation. */
     Addr encode(const DecodedAddr &d) const;
 
+    /** Fast path: only the cube (CUB) field of @p addr. */
+    CubeId decodeCube(Addr addr) const;
+
     /** Convenience: build a full DramAccess for a request. */
     DramAccess toAccess(Addr addr, std::uint32_t bytes, bool is_write) const;
 
@@ -81,15 +92,30 @@ class AddressMap
     /** Pattern restricted to an explicit single vault, all banks. */
     AddressPattern vaultPattern(VaultId vault) const;
 
+    /** Pattern restricted to one cube (all vaults/banks/rows). */
+    AddressPattern cubePattern(CubeId cube) const;
+
     // Field geometry (bit positions), exposed for tests and tooling.
+    // Vault/bank/offset positions are in the per-cube (local) address;
+    // under "cube_low" interleave their global positions shift up by
+    // cubeBits().
     unsigned offsetBits() const { return offsetBits_; }
     unsigned vaultLow() const { return vaultLow_; }
     unsigned vaultBits() const { return vaultBits_; }
     unsigned bankLow() const { return bankLow_; }
     unsigned bankBits() const { return bankBits_; }
     unsigned addrBits() const { return addrBits_; }
+    unsigned cubeBits() const { return cubeBits_; }
+    unsigned cubeLow() const { return cubeLow_; }
 
+    std::uint32_t numCubes() const { return numCubes_; }
+
+    /** Per-cube capacity in bytes. */
     std::uint64_t capacity() const { return capacity_; }
+
+    /** Capacity across all cubes in bytes. */
+    std::uint64_t totalCapacity() const { return capacity_ << cubeBits_; }
+
     std::uint32_t blockBytes() const { return blockBytes_; }
     std::uint32_t rowBytes() const { return rowBytes_; }
 
@@ -109,6 +135,16 @@ class AddressMap
     unsigned blockIdxLow_;
     unsigned addrBits_;
     std::uint32_t blocksPerRow_;
+    std::uint32_t numCubes_;
+    bool cubeLowInterleave_;
+    unsigned cubeBits_;
+    unsigned cubeLow_;
+
+    /** Split a global address into (cube, per-cube local address). */
+    void splitCube(Addr addr, CubeId &cube, Addr &local) const;
+
+    /** Widen a per-cube local value with the cube field inserted. */
+    Addr expandLocal(Addr local, Addr cube_field) const;
 };
 
 }  // namespace hmcsim

@@ -21,6 +21,29 @@ toString(SchedulerKind k)
     return k == SchedulerKind::Fifo ? "fifo" : "frfcfs";
 }
 
+ChainTopology
+chainTopologyFromString(const std::string &s)
+{
+    if (s == "daisy")
+        return ChainTopology::Daisy;
+    if (s == "ring")
+        return ChainTopology::Ring;
+    if (s == "star")
+        return ChainTopology::Star;
+    fatal("unknown chain topology '" + s + "' (expected daisy|ring|star)");
+}
+
+std::string
+toString(ChainTopology t)
+{
+    switch (t) {
+      case ChainTopology::Daisy: return "daisy";
+      case ChainTopology::Ring: return "ring";
+      case ChainTopology::Star: return "star";
+    }
+    return "?";
+}
+
 PagePolicy
 pagePolicyFromString(const std::string &s)
 {
@@ -93,6 +116,18 @@ HmcConfig::validate() const
         fatal("hmc: vault jitter must be non-negative");
     if (mapScheme != "vault_then_bank" && mapScheme != "bank_then_vault")
         fatal("hmc: unknown map scheme '" + mapScheme + "'");
+    if (!isPow2(chain.numCubes) || chain.numCubes > 8)
+        fatal("hmc: num_cubes must be a power of two in [1, 8] "
+              "(3-bit CUB field)");
+    const ChainTopology topo = chainTopologyFromString(chain.topology);
+    if (chain.interleave != "cube_high" && chain.interleave != "cube_low")
+        fatal("hmc: unknown chain interleave '" + chain.interleave +
+              "' (expected cube_high|cube_low)");
+    if (topo == ChainTopology::Star && chain.numCubes > numLinks)
+        fatal("hmc: star chaining needs num_cubes <= num_links "
+              "(every cube is host-attached)");
+    if (chain.forwardQueuePackets == 0)
+        fatal("hmc: chain forward queue must hold at least one packet");
     schedulerFromString(scheduler);
     pagePolicyFromString(pagePolicy);
     (void)dramTiming();  // validates the preset name
@@ -170,6 +205,19 @@ HmcConfig::fromConfig(const Config &cfg)
                                    c.vaultJitterSeed);
 
     c.dramPreset = cfg.getString("hmc.dram_preset", c.dramPreset);
+
+    c.chain.numCubes = static_cast<std::uint32_t>(
+        cfg.getU64("hmc.num_cubes", c.chain.numCubes));
+    c.chain.topology = cfg.getString("hmc.chain_topology",
+                                     c.chain.topology);
+    c.chain.interleave = cfg.getString("hmc.chain_interleave",
+                                       c.chain.interleave);
+    c.chain.passThroughLatency = cfg.getU64(
+        "hmc.chain_passthrough_latency_ps", c.chain.passThroughLatency);
+    c.chain.forwardQueuePackets = static_cast<std::uint32_t>(
+        cfg.getU64("hmc.chain_forward_queue_packets",
+                   c.chain.forwardQueuePackets));
+
     c.power = PowerConfig::fromConfig(cfg);
     c.validate();
     return c;
@@ -215,6 +263,12 @@ HmcConfig::toConfig(Config &cfg) const
     cfg.setDouble("hmc.vault_jitter_ns_per_flit", vaultJitterNsPerFlit);
     cfg.setU64("hmc.vault_jitter_seed", vaultJitterSeed);
     cfg.set("hmc.dram_preset", dramPreset);
+    cfg.setU64("hmc.num_cubes", chain.numCubes);
+    cfg.set("hmc.chain_topology", chain.topology);
+    cfg.set("hmc.chain_interleave", chain.interleave);
+    cfg.setU64("hmc.chain_passthrough_latency_ps",
+               chain.passThroughLatency);
+    cfg.setU64("hmc.chain_forward_queue_packets", chain.forwardQueuePackets);
     power.toConfig(cfg);
 }
 

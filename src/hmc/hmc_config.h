@@ -35,6 +35,54 @@ std::string toString(SchedulerKind k);
 PagePolicy pagePolicyFromString(const std::string &s);
 std::string toString(PagePolicy p);
 
+/**
+ * Multi-cube chaining topologies (realised by src/chain/):
+ *
+ *   daisy  host - cube0 - cube1 - ... - cubeN-1
+ *   ring   daisy plus a closing hop cubeN-1 - cube0 (shortest-path
+ *          static routing in both directions)
+ *   star   every cube is directly host-attached (needs
+ *          numCubes <= numLinks); no pass-through hops
+ */
+enum class ChainTopology {
+    Daisy,
+    Ring,
+    Star,
+};
+
+ChainTopology chainTopologyFromString(const std::string &s);
+std::string toString(ChainTopology t);
+
+/**
+ * Multi-cube chaining parameters (the HMC CUB field / pass-through
+ * links).  With numCubes == 1 no chain machinery is built and the
+ * system is bit-identical to a single-cube-only build.
+ */
+struct ChainParams {
+    /** Cubes in the network (CUB field), power of two in [1, 8]. */
+    std::uint32_t numCubes = 1;
+
+    /** "daisy", "ring" or "star". */
+    std::string topology = "daisy";
+
+    /**
+     * Where the cube bits sit in the global address:
+     *   "cube_high"  above the per-cube address (contiguous cubes)
+     *   "cube_low"   right above the block offset (blocks stripe
+     *                across cubes round-robin)
+     */
+    std::string interleave = "cube_high";
+
+    /**
+     * Store-and-forward latency through a cube's pass-through switch
+     * per hop, on top of the downstream link's serialization/SerDes.
+     */
+    Tick passThroughLatency = nsToTicks(12.0);
+
+    /** Per-output forward queue depth in the pass-through switch. */
+    std::uint32_t forwardQueuePackets = 8;
+};
+
 struct HmcConfig {
     // ----- geometry -----
     std::uint32_t numVaults = 16;
@@ -106,6 +154,9 @@ struct HmcConfig {
     // ----- DRAM -----
     std::string dramPreset = "hmc_gen2";
 
+    // ----- multi-cube chaining (single cube by default) -----
+    ChainParams chain;
+
     // ----- power & thermal (observation-only by default) -----
     PowerConfig power;
 
@@ -117,6 +168,13 @@ struct HmcConfig {
 
     /** Derived: vault count per quadrant. */
     std::uint32_t vaultsPerQuadrant() const;
+
+    /** Capacity of the whole cube network in bytes. */
+    std::uint64_t
+    totalCapacityBytes() const
+    {
+        return capacityBytes * chain.numCubes;
+    }
 
     /** Per-vault capacity in bytes. */
     std::uint64_t vaultBytes() const { return capacityBytes / numVaults; }

@@ -7,26 +7,39 @@
 
 namespace hmcsim {
 
+SerdesLink::Params
+linkParamsFrom(const HmcConfig &cfg, std::uint64_t seed_offset)
+{
+    SerdesLink::Params lp;
+    lp.lanes = cfg.lanesPerLink;
+    lp.gbps = cfg.linkGbps;
+    lp.wireLatency = cfg.linkWireLatency;
+    lp.serdesLatency = cfg.serdesLatency;
+    lp.tokens = cfg.linkTokens;
+    lp.tokenReturnLatency = cfg.tokenReturnLatency;
+    lp.crcErrorProb = cfg.crcErrorProb;
+    lp.retryDelay = cfg.retryDelay;
+    lp.seed = cfg.linkSeed + seed_offset;
+    return lp;
+}
+
 HmcDevice::HmcDevice(Kernel &kernel, Component *parent, std::string name,
-                     const HmcConfig &cfg)
-    : Component(kernel, parent, std::move(name)), cfg_(cfg), map_(cfg_)
+                     const HmcConfig &cfg, CubeId cube_id)
+    : Component(kernel, parent, std::move(name)), cfg_(cfg),
+      cubeId_(cube_id), map_(cfg_)
 {
     cfg_.validate();
+    if (cubeId_ >= cfg_.chain.numCubes)
+        panic("HmcDevice: cube id beyond hmc.num_cubes");
 
     const TopologySpec topo = makeTopology(
         cfg_.topology, cfg_.numVaults, cfg_.numQuadrants, cfg_.numLinks);
     net_ = std::make_unique<Network>(kernel, this, "noc", topo, cfg_.noc);
 
-    SerdesLink::Params lp;
-    lp.lanes = cfg_.lanesPerLink;
-    lp.gbps = cfg_.linkGbps;
-    lp.wireLatency = cfg_.linkWireLatency;
-    lp.serdesLatency = cfg_.serdesLatency;
-    lp.tokens = cfg_.linkTokens;
-    lp.tokenReturnLatency = cfg_.tokenReturnLatency;
-    lp.crcErrorProb = cfg_.crcErrorProb;
-    lp.retryDelay = cfg_.retryDelay;
-    lp.seed = cfg_.linkSeed;
+    // Decorrelate CRC error streams across chained cubes (cube 0 keeps
+    // the single-cube seed).
+    const SerdesLink::Params lp = linkParamsFrom(
+        cfg_, static_cast<std::uint64_t>(cubeId_) * 7919);
 
     for (LinkId l = 0; l < cfg_.numLinks; ++l) {
         links_.push_back(std::make_unique<SerdesLink>(
@@ -47,8 +60,10 @@ HmcDevice::HmcDevice(Kernel &kernel, Component *parent, std::string name,
     const DramTimingParams timing = cfg_.dramTiming();
 
     for (VaultId v = 0; v < cfg_.numVaults; ++v) {
-        // Per-vault systematic variation factor f_v in [0, 1).
-        std::uint64_t s = cfg_.vaultJitterSeed + v;
+        // Per-vault systematic variation factor f_v in [0, 1); chained
+        // cubes draw from disjoint seed ranges (cube 0 unchanged).
+        std::uint64_t s = cfg_.vaultJitterSeed + v +
+            static_cast<std::uint64_t>(cubeId_) * 1000003;
         const double f = static_cast<double>(splitmix64(s) >> 11) *
             0x1.0p-53;
         VaultController::Params vpv = vp;
@@ -92,7 +107,11 @@ HmcDevice::HmcDevice(Kernel &kernel, Component *parent, std::string name,
             auto pkt = std::static_pointer_cast<HmcPacket>(msg.payload);
             lk->send(LinkDir::CubeToHost, pkt);
         };
-        ops.onInjectSpace = [this, l] { drainLinkRx(l); };
+        ops.onInjectSpace = [this, l] {
+            drainLinkRx(l);
+            if (injectSpaceHook_)
+                injectSpaceHook_(l);
+        };
         net_->setEndpoint(ep, std::move(ops));
 
         lk->setOnRxAvailable(LinkDir::HostToCube,
@@ -113,10 +132,17 @@ HmcDevice::HmcDevice(Kernel &kernel, Component *parent, std::string name,
         for (auto &lk : links_)
             lk->setPowerProbe(power_.get());
         for (auto &vc : vaults_)
-            vc->setPowerProbe(power_.get());
+            vc->setPowerProbe(power_.get(),
+                              cfg_.power.thermal.numDramLayers);
         power_->setThrottleApplier(
             [this](double s) { applyThrottle(s); });
     }
+}
+
+void
+HmcDevice::setInjectSpaceHook(std::function<void(LinkId)> fn)
+{
+    injectSpaceHook_ = std::move(fn);
 }
 
 void
@@ -145,25 +171,63 @@ HmcDevice::vaultController(VaultId v)
 }
 
 void
+HmcDevice::injectLocal(LinkId arrival_link, const HmcPacketPtr &pkt)
+{
+    const NodeId ep = linkEndpoint(arrival_link);
+    pkt->vault = map_.decode(pkt->addr).vault;
+    pkt->link = arrival_link;
+    NocMessage msg;
+    msg.id = pkt->id;
+    msg.src = ep;
+    msg.dst = vaultEndpoint(pkt->vault);
+    msg.flits = pkt->flits();
+    msg.payload = pkt;
+    net_->inject(ep, std::move(msg));
+}
+
+bool
+HmcDevice::canInjectLocal(LinkId arrival_link, std::uint32_t flits) const
+{
+    return net_->canInject(linkEndpoint(arrival_link), flits);
+}
+
+bool
+HmcDevice::tryInjectLocal(LinkId arrival_link, const HmcPacketPtr &pkt)
+{
+    if (!canInjectLocal(arrival_link, pkt->flits()))
+        return false;  // onInjectSpace re-enters
+    injectLocal(arrival_link, pkt);
+    return true;
+}
+
+void
 HmcDevice::drainLinkRx(LinkId l)
 {
     SerdesLink &lk = *links_[l];
-    const NodeId ep = linkEndpoint(l);
     while (lk.rxAvailable(LinkDir::HostToCube)) {
         const HmcPacketPtr &head = lk.rxPeek(LinkDir::HostToCube);
-        const std::uint32_t flits = head->flits();
-        if (!net_->canInject(ep, flits))
+        // Pass-through: anything not addressed to this cube (another
+        // cube's request, or a response transiting a ring) goes to the
+        // chain switch.  A full switch leaves the packet in the RX
+        // buffer -- head-of-line backpressure holds the link tokens,
+        // which is what makes the hop-by-hop credits end-to-end.
+        if (head->isResponse() || head->cube != cubeId_) {
+            if (!forwarder_)
+                panic("HmcDevice: packet for cube " +
+                      std::to_string(head->cube) +
+                      " arrived at cube " + std::to_string(cubeId_) +
+                      " with no chain forwarder wired");
+            if (!forwarder_(l, head))
+                return;  // switch kicks us when space frees
+            lk.rxPop(LinkDir::HostToCube);
+            continue;
+        }
+        // Pop before injecting: the RX token-refund event must be
+        // scheduled ahead of the injection's events, as it always was.
+        if (!net_->canInject(linkEndpoint(l), head->flits()))
             return;  // onInjectSpace re-enters
         HmcPacketPtr pkt = lk.rxPop(LinkDir::HostToCube);
-        pkt->vault = map_.decode(pkt->addr).vault;
-        pkt->link = l;
-        NocMessage msg;
-        msg.id = pkt->id;
-        msg.src = ep;
-        msg.dst = vaultEndpoint(pkt->vault);
-        msg.flits = flits;
-        msg.payload = pkt;
-        net_->inject(ep, std::move(msg));
+        injectLocal(l, pkt);
     }
 }
 

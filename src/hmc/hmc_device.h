@@ -22,14 +22,28 @@
 
 namespace hmcsim {
 
+/**
+ * SerDes link parameters derived from the device config.  Shared by
+ * the device's own links and the chain's ring wrap links so a new
+ * link knob cannot silently apply to one but not the other.
+ * @param seed_offset decorrelates the CRC error stream per user
+ */
+SerdesLink::Params linkParamsFrom(const HmcConfig &cfg,
+                                  std::uint64_t seed_offset = 0);
+
 class HmcDevice : public Component
 {
   public:
+    /**
+     * @param cube_id this cube's position in a multi-cube chain; 0 for
+     *        the classic single-cube system
+     */
     HmcDevice(Kernel &kernel, Component *parent, std::string name,
-              const HmcConfig &cfg);
+              const HmcConfig &cfg, CubeId cube_id = 0);
 
     const HmcConfig &config() const { return cfg_; }
     const AddressMap &addressMap() const { return map_; }
+    CubeId cubeId() const { return cubeId_; }
 
     SerdesLink &link(LinkId l);
     VaultController &vaultController(VaultId v);
@@ -56,16 +70,55 @@ class HmcDevice : public Component
     /** Sum of requests served by all vault controllers. */
     std::uint64_t totalRequestsServed() const;
 
+    // ----- multi-cube chaining hooks (wired by chain::CubeNetwork) -----
+
+    /**
+     * Handler for packets this cube must pass through (requests for
+     * another cube, or responses transiting toward the host).  Returns
+     * false when the switch cannot take the packet right now; the
+     * caller leaves it in the RX buffer and retries on kickLinkRx().
+     */
+    using ForwardFn = std::function<bool(LinkId, const HmcPacketPtr &)>;
+
+    void setForwarder(ForwardFn fn) { forwarder_ = std::move(fn); }
+
+    /** True when the local NoC can accept @p flits at @p arrival_link's
+     *  endpoint right now. */
+    bool canInjectLocal(LinkId arrival_link, std::uint32_t flits) const;
+
+    /**
+     * Inject a request addressed to this cube into the local NoC as if
+     * it had arrived on link @p arrival_link (ring wrap/up arrivals
+     * enter through the pass-through switch, not the link RX).
+     * @return false when the NoC cannot accept it yet
+     */
+    bool tryInjectLocal(LinkId arrival_link, const HmcPacketPtr &pkt);
+
+    /** Retry draining a link's RX buffer (forward-queue space freed). */
+    void kickLinkRx(LinkId l) { drainLinkRx(l); }
+
+    /** Retry a blocked NoC ejection at a link endpoint. */
+    void kickEject(LinkId l) { net_->kickEject(linkEndpoint(l)); }
+
+    /** Called (additionally) whenever NoC injection credits free up. */
+    void setInjectSpaceHook(std::function<void(LinkId)> fn);
+
   private:
     HmcConfig cfg_;
+    CubeId cubeId_;
     AddressMap map_;
     std::unique_ptr<Network> net_;
     std::vector<std::unique_ptr<SerdesLink>> links_;
     std::vector<std::unique_ptr<VaultController>> vaults_;
     std::unique_ptr<PowerModel> power_;
+    ForwardFn forwarder_;
+    std::function<void(LinkId)> injectSpaceHook_;
 
     /** Move request packets from a link's RX buffer into the NoC. */
     void drainLinkRx(LinkId l);
+
+    /** Decode and inject one local request (credits already checked). */
+    void injectLocal(LinkId arrival_link, const HmcPacketPtr &pkt);
 };
 
 }  // namespace hmcsim

@@ -78,8 +78,11 @@ HmcPacket::makeResponse() const
     r.link = link;
     r.dataBytes = dataBytes;
     r.vault = vault;
+    r.cube = cube;
+    r.reqHops = reqHops;
     r.createdAt = createdAt;
     r.linkTxAt = linkTxAt;
+    r.chainIngressAt = chainIngressAt;
     r.cubeArriveAt = cubeArriveAt;
     r.vaultArriveAt = vaultArriveAt;
     r.dataReadyAt = dataReadyAt;

@@ -47,10 +47,20 @@ struct HmcPacket {
     /** Filled in after address decode. */
     VaultId vault = 0;
 
+    /** Destination cube (the CUB field); 0 without chaining. */
+    CubeId cube = 0;
+
+    /** Inter-cube pass-through forwards taken by the request. */
+    std::uint32_t reqHops = 0;
+
+    /** Inter-cube pass-through forwards taken by the response. */
+    std::uint32_t respHops = 0;
+
     // --- latency decomposition timestamps (ticks) ---
     Tick createdAt = 0;       ///< generated in the FPGA port
     Tick linkTxAt = 0;        ///< first flit onto the external link
-    Tick cubeArriveAt = 0;    ///< fully received by the cube's link layer
+    Tick chainIngressAt = 0;  ///< received by the *first* cube's link layer
+    Tick cubeArriveAt = 0;    ///< received by the destination cube
     Tick vaultArriveAt = 0;   ///< delivered to the vault controller
     Tick dataReadyAt = 0;     ///< DRAM data transferred
     Tick respInjectAt = 0;    ///< response entered the internal NoC

@@ -56,7 +56,8 @@ SerdesLink::send(LinkDir d, const HmcPacketPtr &pkt)
     if (dd.reserved < flits)
         panic("SerdesLink::send without a token reservation");
     dd.reserved -= flits;
-    if (d == LinkDir::HostToCube)
+    // First transmission only: chained hops re-send the same packet.
+    if (d == LinkDir::HostToCube && pkt->linkTxAt == 0)
         pkt->linkTxAt = now();
     transmit(d, pkt, now());
 }
@@ -108,8 +109,16 @@ void
 SerdesLink::arrive(LinkDir d, const HmcPacketPtr &pkt)
 {
     Direction &dd = dir(d);
-    if (d == LinkDir::HostToCube)
+    // Requests stamp the cube-arrival decomposition timestamps in
+    // whichever direction the hop runs (ring counter-clockwise legs
+    // use CubeToHost): every hop overwrites cubeArriveAt, so the last
+    // write is the destination cube, while chainIngressAt keeps the
+    // first.  Responses' timestamps were fixed at their origin cube.
+    if (pkt->isRequest()) {
         pkt->cubeArriveAt = now();
+        if (pkt->chainIngressAt == 0)
+            pkt->chainIngressAt = now();
+    }
     dd.rxQ.push_back(pkt);
     if (dd.onRxAvailable)
         dd.onRxAvailable();

@@ -31,6 +31,17 @@ enum class LinkDir : unsigned {
     CubeToHost = 1,
 };
 
+/**
+ * What sits at the upstream end of this link: the host controller, or
+ * another cube's pass-through switch (multi-cube chaining).  Purely a
+ * wiring annotation; the serialization/flow-control model is the same
+ * in both modes.
+ */
+enum class LinkEndpointMode : unsigned {
+    Host = 0,
+    PassThrough = 1,
+};
+
 class SerdesLink : public Component
 {
   public:
@@ -50,6 +61,10 @@ class SerdesLink : public Component
                LinkId id, const Params &params);
 
     LinkId id() const { return id_; }
+
+    /** Upstream endpoint kind; defaults to Host (single-cube wiring). */
+    LinkEndpointMode endpointMode() const { return mode_; }
+    void setEndpointMode(LinkEndpointMode m) { mode_ = m; }
 
     /** Ticks to serialize one 16 B flit on this link. */
     Tick flitPeriod() const { return flitPeriod_; }
@@ -143,6 +158,7 @@ class SerdesLink : public Component
     Counter retries_;
     PowerProbe *probe_ = nullptr;
     double slowdown_ = 1.0;
+    LinkEndpointMode mode_ = LinkEndpointMode::Host;
 
     Direction &dir(LinkDir d) { return dirs_[static_cast<unsigned>(d)]; }
     const Direction &

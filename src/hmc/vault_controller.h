@@ -76,8 +76,13 @@ class VaultController : public Component
 
     // ----- power & thermal -----
 
-    /** Attach the power probe to this vault's banks and TSV bus. */
-    void setPowerProbe(PowerProbe *probe) { mem_.setPowerProbe(probe); }
+    /** Attach the power probe to this vault's banks and TSV bus,
+     *  attributing bank energy across @p num_dram_layers dies. */
+    void
+    setPowerProbe(PowerProbe *probe, std::uint32_t num_dram_layers = 1)
+    {
+        mem_.setPowerProbe(probe, num_dram_layers);
+    }
 
     /**
      * Thermal throttle: stretch the scheduler's request cycle by

@@ -1,5 +1,7 @@
 #include "host/experiment.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "common/units.h"
 #include "host/system.h"
@@ -20,6 +22,7 @@ collectResult(System &sys, Tick window_ticks)
 {
     ExperimentResult r;
     r.windowTicks = window_ticks;
+    SampleStats hops;
     for (PortId p = 0; p < sys.fpga().numPorts(); ++p) {
         const Monitor &m = sys.port(p).monitor();
         if (m.accesses() == 0)
@@ -39,15 +42,37 @@ collectResult(System &sys, Tick window_ticks)
         r.totalWrites += ps.writes;
         r.totalWireBytes += ps.wireBytes;
         r.mergedRead.merge(m.readLatencyNs());
+        hops.merge(m.chainHops());
         r.ports.push_back(ps);
     }
     r.bandwidthGBs = bytesPerTickToGBs(
         static_cast<double>(r.totalWireBytes), window_ticks);
-    if (const PowerModel *pm = sys.device().powerModel()) {
-        r.energyPj = pm->windowEnergyPj();
-        r.avgPowerW = pm->avgPowerW();
-        r.maxTempC = pm->thermal().maxTemperatureC();
-        r.throttlePct = 100.0 * pm->throttledFraction();
+    r.avgChainHops = hops.mean();
+
+    const HmcHostController &ctrl = sys.fpga().controller();
+    for (CubeId c = 0; c < sys.numCubes(); ++c) {
+        CubeStats cs;
+        cs.cube = c;
+        cs.requestsServed = sys.device(c).totalRequestsServed();
+        if (sys.numCubes() > 1) {
+            cs.requestsSent = ctrl.requestsSentToCube(c);
+            cs.peakOutstanding = ctrl.peakOutstandingToCube(c);
+        } else {
+            cs.requestsSent = ctrl.requestsSent();
+        }
+        if (CubeNetwork *chain = sys.chain())
+            cs.requestHops = chain->routes().requestHops(c);
+        if (const PowerModel *pm = sys.device(c).powerModel()) {
+            cs.energyPj = pm->windowEnergyPj();
+            cs.maxTempC = pm->thermal().maxTemperatureC();
+            r.energyPj += pm->windowEnergyPj();
+            r.avgPowerW += pm->avgPowerW();
+            r.maxTempC = std::max(r.maxTempC,
+                                  pm->thermal().maxTemperatureC());
+            r.throttlePct = std::max(r.throttlePct,
+                                     100.0 * pm->throttledFraction());
+        }
+        r.cubes.push_back(cs);
     }
     r.avgReadLatencyNs = r.mergedRead.mean();
     r.minReadLatencyNs = r.mergedRead.min();
@@ -75,7 +100,7 @@ runGups(const SystemConfig &cfg, const GupsSpec &spec)
         gp.gen.mode = spec.mode;
         gp.gen.pattern = pattern;
         gp.gen.requestBytes = spec.requestBytes;
-        gp.gen.capacity = cfg.hmc.capacityBytes;
+        gp.gen.capacity = cfg.hmc.totalCapacityBytes();
         gp.gen.seed = spec.seed * 7919 + p;
         sys.configureGupsPort(p, gp);
     }
@@ -93,7 +118,7 @@ runStreamBatch(const SystemConfig &cfg, const StreamBatchSpec &spec)
         sys.addressMap().pattern(1, spec.numBanks, spec.vault, 0);
 
     StreamPort::Params sp;
-    sp.trace = makeRandomTrace(rng, pattern, cfg.hmc.capacityBytes,
+    sp.trace = makeRandomTrace(rng, pattern, cfg.hmc.totalCapacityBytes(),
                                spec.traceLength, spec.requestBytes);
     sp.loop = true;
     sp.batchSize = spec.batchSize;
@@ -122,7 +147,7 @@ runStreamVaults(const SystemConfig &cfg, const StreamVaultsSpec &spec)
         StreamPort::Params sp;
         sp.trace = makeRandomTrace(
             rng, sys.addressMap().vaultPattern(spec.vaults[i]),
-            cfg.hmc.capacityBytes, spec.traceLength, spec.requestBytes);
+            cfg.hmc.totalCapacityBytes(), spec.traceLength, spec.requestBytes);
         sp.loop = true;
         sp.window = spec.inFlightWindow;
         sys.configureStreamPort(static_cast<PortId>(i), sp);

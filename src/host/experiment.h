@@ -34,9 +34,27 @@ struct PortStats {
     double bandwidthGBs = 0.0;
 };
 
+/** Per-cube slice of a multi-cube experiment result. */
+struct CubeStats {
+    CubeId cube = 0;
+    std::uint64_t requestsServed = 0;
+    std::uint64_t requestsSent = 0;
+    std::uint32_t peakOutstanding = 0;
+    /** Pass-through forwards to reach this cube (static route). */
+    std::uint32_t requestHops = 0;
+    double energyPj = 0.0;
+    double maxTempC = 0.0;
+};
+
 struct ExperimentResult {
     Tick windowTicks = 0;
     std::vector<PortStats> ports;
+
+    /** One entry per cube (a single entry without chaining). */
+    std::vector<CubeStats> cubes;
+
+    /** Mean pass-through hops per read (request + response legs). */
+    double avgChainHops = 0.0;
 
     std::uint64_t totalReads = 0;
     std::uint64_t totalWrites = 0;

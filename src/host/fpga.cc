@@ -5,13 +5,14 @@
 namespace hmcsim {
 
 Fpga::Fpga(Kernel &kernel, Component *parent, std::string name,
-           const HostConfig &cfg, HmcDevice &cube)
-    : Component(kernel, parent, std::move(name)), cfg_(cfg), cube_(cube),
+           const HostConfig &cfg, HostAttach attach)
+    : Component(kernel, parent, std::move(name)), cfg_(cfg),
+      attach_(std::move(attach)),
       clock_(ClockDomain::fromMhz("fpga", cfg.fpgaMhz))
 {
     cfg_.validate();
     ctrl_ = std::make_unique<HmcHostController>(kernel, this, "controller",
-                                                cfg_, cube_);
+                                                cfg_, attach_);
     for (PortId p = 0; p < cfg_.numPorts; ++p) {
         ports_.push_back(std::make_unique<GupsPort>(
             kernel, this, "port" + std::to_string(p), p, cfg_,
@@ -26,9 +27,9 @@ Fpga::defaultGupsParams(PortId p) const
     GupsPort::Params gp;
     gp.kind = ReqKind::ReadOnly;
     gp.gen.mode = AddrMode::Random;
-    gp.gen.pattern = AddressPattern{cube_.config().capacityBytes - 1, 0};
+    gp.gen.pattern = AddressPattern{attach_.totalCapacityBytes - 1, 0};
     gp.gen.requestBytes = 32;
-    gp.gen.capacity = cube_.config().capacityBytes;
+    gp.gen.capacity = attach_.totalCapacityBytes;
     gp.gen.seed = cfg_.seed + 0x1000 + p;
     return gp;
 }

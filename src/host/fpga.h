@@ -21,7 +21,7 @@ class Fpga : public Component
 {
   public:
     Fpga(Kernel &kernel, Component *parent, std::string name,
-         const HostConfig &cfg, HmcDevice &cube);
+         const HostConfig &cfg, HostAttach attach);
 
     const HostConfig &config() const { return cfg_; }
     const ClockDomain &clock() const { return clock_; }
@@ -54,7 +54,7 @@ class Fpga : public Component
 
   private:
     HostConfig cfg_;
-    HmcDevice &cube_;
+    HostAttach attach_;
     ClockDomain clock_;
     std::vector<std::unique_ptr<Port>> ports_;
     std::unique_ptr<HmcHostController> ctrl_;

@@ -8,10 +8,21 @@ namespace hmcsim {
 
 HmcHostController::HmcHostController(Kernel &kernel, Component *parent,
                                      std::string name,
-                                     const HostConfig &cfg, HmcDevice &cube)
-    : Component(kernel, parent, std::move(name)), cfg_(cfg), cube_(cube),
-      portArb_(cfg.numPorts)
+                                     const HostConfig &cfg,
+                                     HostAttach attach)
+    : Component(kernel, parent, std::move(name)), cfg_(cfg),
+      attach_(std::move(attach)), portArb_(cfg.numPorts),
+      sentPerCube_(attach_.numCubes), outstanding_(attach_.numCubes, 0),
+      peakOutstanding_(attach_.numCubes, 0)
 {
+    if (attach_.links.empty() || !attach_.map)
+        panic("HmcHostController: incomplete host attachment");
+    if (attach_.linkCube.size() != attach_.links.size())
+        panic("HmcHostController: link/cube table size mismatch");
+    for (SerdesLink *lk : attach_.links) {
+        if (lk->endpointMode() != LinkEndpointMode::Host)
+            panic("HmcHostController: wired to a pass-through link");
+    }
 }
 
 void
@@ -39,7 +50,7 @@ HmcHostController::tickRequests()
     // their request used, so an unbalanced request path would halve
     // the usable response bandwidth.
     const LinkDir dir = LinkDir::HostToCube;
-    const std::uint32_t num_links = cube_.numLinks();
+    const std::uint32_t num_links = numLinks();
     std::vector<std::uint32_t> grants(num_links,
                                       cfg_.requestsPerCyclePerLink);
     std::uint32_t idle_links = 0;
@@ -50,12 +61,18 @@ HmcHostController::tickRequests()
             ++idle_links;
             continue;
         }
-        SerdesLink &link = cube_.link(l);
+        SerdesLink &lk = link(l);
+        const CubeId link_cube = attach_.linkCube[l];
         std::vector<bool> req(ports_.size(), false);
         bool any = false;
         for (std::size_t p = 0; p < ports_.size(); ++p) {
             req[p] = ports_[p]->hasRequest() &&
-                link.canSend(dir, ports_[p]->headFlits());
+                lk.canSend(dir, ports_[p]->headFlits());
+            // Star attachment: this link only reaches one cube.
+            if (req[p] && link_cube != kCubeAll) {
+                req[p] = attach_.map->decodeCube(
+                             ports_[p]->headAddr()) == link_cube;
+            }
             any = any || req[p];
         }
         if (!any) {
@@ -66,8 +83,15 @@ HmcHostController::tickRequests()
         const std::size_t winner = portArb_.grant(req);
         HmcPacketPtr pkt = ports_[winner]->popRequest();
         pkt->link = l;
-        link.reserveTokens(dir, pkt->flits());
-        link.send(dir, pkt);
+        if (multiCube()) {
+            pkt->cube = attach_.map->decodeCube(pkt->addr);
+            ++outstanding_[pkt->cube];
+            peakOutstanding_[pkt->cube] = std::max(
+                peakOutstanding_[pkt->cube], outstanding_[pkt->cube]);
+            sentPerCube_[pkt->cube].inc();
+        }
+        lk.reserveTokens(dir, pkt->flits());
+        lk.send(dir, pkt);
         requestsSent_.inc();
         --grants[l];
         idle_links = 0;
@@ -84,27 +108,56 @@ HmcHostController::tickResponses()
     desPacketBudget_ = std::min(
         desPacketBudget_ + cfg_.deserializerPacketsPerCycle,
         cfg_.deserializerPacketBudgetCap);
-    const std::uint32_t num_links = cube_.numLinks();
+    const std::uint32_t num_links = numLinks();
     std::uint32_t exhausted = 0;
     while (exhausted < num_links && desPacketBudget_ > 0) {
-        SerdesLink &link = cube_.link(
-            static_cast<LinkId>(rxNextLink_ % num_links));
+        SerdesLink &lk = link(static_cast<LinkId>(rxNextLink_ % num_links));
         rxNextLink_ = (rxNextLink_ + 1) % num_links;
-        if (!link.rxAvailable(dir)) {
+        if (!lk.rxAvailable(dir)) {
             ++exhausted;
             continue;
         }
-        if (link.rxPeek(dir)->flits() > desFlitBudget_)
+        if (lk.rxPeek(dir)->flits() > desFlitBudget_)
             return;  // datapath saturated this cycle
-        HmcPacketPtr pkt = link.rxPop(dir);
+        HmcPacketPtr pkt = lk.rxPop(dir);
         desFlitBudget_ -= pkt->flits();
         --desPacketBudget_;
         exhausted = 0;
         if (pkt->port >= ports_.size())
             panic("HmcHostController: response for unknown port");
+        if (multiCube()) {
+            if (pkt->cube >= outstanding_.size() ||
+                outstanding_[pkt->cube] == 0)
+                panic("HmcHostController: unmatched response cube id");
+            --outstanding_[pkt->cube];
+        }
         responsesDelivered_.inc();
         ports_[pkt->port]->onResponse(pkt);
     }
+}
+
+std::uint32_t
+HmcHostController::outstandingToCube(CubeId c) const
+{
+    if (c >= outstanding_.size())
+        panic("HmcHostController: cube out of range");
+    return outstanding_[c];
+}
+
+std::uint32_t
+HmcHostController::peakOutstandingToCube(CubeId c) const
+{
+    if (c >= peakOutstanding_.size())
+        panic("HmcHostController: cube out of range");
+    return peakOutstanding_[c];
+}
+
+std::uint64_t
+HmcHostController::requestsSentToCube(CubeId c) const
+{
+    if (c >= sentPerCube_.size())
+        panic("HmcHostController: cube out of range");
+    return sentPerCube_[c].value();
 }
 
 void
@@ -114,6 +167,17 @@ HmcHostController::reportOwnStats(std::map<std::string, double> &out) const
         static_cast<double>(requestsSent_.value());
     out[statName("responses_delivered")] =
         static_cast<double>(responsesDelivered_.value());
+    if (multiCube()) {
+        for (CubeId c = 0; c < attach_.numCubes; ++c) {
+            const std::string tag = "cube" + std::to_string(c);
+            out[statName(tag + "_requests_sent")] =
+                static_cast<double>(sentPerCube_[c].value());
+            out[statName(tag + "_outstanding_now")] =
+                static_cast<double>(outstanding_[c]);
+            out[statName(tag + "_peak_outstanding")] =
+                static_cast<double>(peakOutstanding_[c]);
+        }
+    }
 }
 
 void
@@ -121,6 +185,11 @@ HmcHostController::resetOwnStats()
 {
     requestsSent_.reset();
     responsesDelivered_.reset();
+    for (CubeId c = 0; c < attach_.numCubes; ++c) {
+        sentPerCube_[c].reset();
+        // Peaks restart from the live level, like the vault queues.
+        peakOutstanding_[c] = outstanding_[c];
+    }
 }
 
 }  // namespace hmcsim

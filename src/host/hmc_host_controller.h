@@ -8,6 +8,10 @@
  * links' RX buffers at a bounded rate with a per-packet processing
  * overhead -- the ceiling that caps read bandwidth per request size
  * (Figs. 6 and 13).
+ *
+ * With multi-cube chaining the controller routes by the decoded CUB
+ * field: it stamps every request's cube id, restricts star-attached
+ * links to their cube, and tracks per-cube outstanding tags.
  */
 
 #ifndef HMCSIM_HOST_HMC_HOST_CONTROLLER_H_
@@ -22,11 +26,28 @@
 
 namespace hmcsim {
 
+/**
+ * What the host controller is wired to: the SerDes links it drives,
+ * the shared address geometry, and the cubes behind them.  Assembled
+ * by System from either a bare HmcDevice (classic single-cube) or a
+ * chain::CubeNetwork.
+ */
+struct HostAttach {
+    const AddressMap *map = nullptr;
+    std::uint32_t numCubes = 1;
+    std::uint64_t totalCapacityBytes = 0;
+    std::vector<SerdesLink *> links;
+    /** Cube behind each link; kCubeAll when the link reaches all. */
+    std::vector<CubeId> linkCube;
+    /** Per-cube device handles (stats/power collection). */
+    std::vector<HmcDevice *> cubes;
+};
+
 class HmcHostController : public Component
 {
   public:
     HmcHostController(Kernel &kernel, Component *parent, std::string name,
-                      const HostConfig &cfg, HmcDevice &cube);
+                      const HostConfig &cfg, HostAttach attach);
 
     /** (Re)bind the port table; called whenever a port is replaced. */
     void setPorts(std::vector<Port *> ports);
@@ -41,13 +62,22 @@ class HmcHostController : public Component
         return responsesDelivered_.value();
     }
 
+    /** Requests currently outstanding toward cube @p c. */
+    std::uint32_t outstandingToCube(CubeId c) const;
+
+    /** Peak of outstandingToCube over the stats window. */
+    std::uint32_t peakOutstandingToCube(CubeId c) const;
+
+    /** Lifetime requests sent toward cube @p c. */
+    std::uint64_t requestsSentToCube(CubeId c) const;
+
   protected:
     void reportOwnStats(std::map<std::string, double> &out) const override;
     void resetOwnStats() override;
 
   private:
     HostConfig cfg_;
-    HmcDevice &cube_;
+    HostAttach attach_;
     std::vector<Port *> ports_;
     /** One arbiter shared by all links: a global round-robin pointer
      *  keeps the nine ports' grant shares equal. */
@@ -58,6 +88,18 @@ class HmcHostController : public Component
     std::size_t rxNextLink_ = 0;
     Counter requestsSent_;
     Counter responsesDelivered_;
+
+    // Per-cube CUB-field bookkeeping (sized numCubes).
+    std::vector<Counter> sentPerCube_;
+    std::vector<std::uint32_t> outstanding_;
+    std::vector<std::uint32_t> peakOutstanding_;
+
+    SerdesLink &link(LinkId l) { return *attach_.links[l]; }
+    std::uint32_t numLinks() const
+    {
+        return static_cast<std::uint32_t>(attach_.links.size());
+    }
+    bool multiCube() const { return attach_.numCubes > 1; }
 
     void tickRequests();
     void tickResponses();

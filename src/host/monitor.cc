@@ -27,9 +27,12 @@ Monitor::recordRead(Tick created, Tick completed, std::uint64_t wire_bytes,
     readNs_.add(ns);
     if (hist_)
         hist_->add(ns);
-    if (pkt && ns > worstNs_) {
-        worstNs_ = ns;
-        worst_ = *pkt;
+    if (pkt) {
+        hops_.add(static_cast<double>(pkt->reqHops + pkt->respHops));
+        if (ns > worstNs_) {
+            worstNs_ = ns;
+            worst_ = *pkt;
+        }
     }
 }
 
@@ -55,6 +58,7 @@ Monitor::reset()
     wireBytes_.reset();
     readNs_.reset();
     writeNs_.reset();
+    hops_.reset();
     worst_ = HmcPacket{};
     worstNs_ = -1.0;
     if (hist_)

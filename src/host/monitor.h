@@ -55,6 +55,10 @@ class Monitor
     const SampleStats &readLatencyNs() const { return readNs_; }
     const SampleStats &writeLatencyNs() const { return writeNs_; }
 
+    /** Inter-cube pass-through hops per read (request + response
+     *  direction); all-zero without chaining. */
+    const SampleStats &chainHops() const { return hops_; }
+
     const Histogram *histogram() const { return hist_.get(); }
 
     double baseLatencyNs() const { return baseNs_; }
@@ -74,6 +78,7 @@ class Monitor
     Counter wireBytes_;
     SampleStats readNs_;
     SampleStats writeNs_;
+    SampleStats hops_;
     std::unique_ptr<Histogram> hist_;
 
     double latencyNs(Tick created, Tick completed) const;

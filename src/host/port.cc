@@ -22,6 +22,14 @@ Port::headFlits() const
     return fifo_.front()->flits();
 }
 
+Addr
+Port::headAddr() const
+{
+    if (fifo_.empty())
+        panic("Port::headAddr on empty FIFO");
+    return fifo_.front()->addr;
+}
+
 HmcPacketPtr
 Port::popRequest()
 {

@@ -42,6 +42,8 @@ class Port : public Component
     // ----- controller-facing request path -----
     bool hasRequest() const { return !fifo_.empty(); }
     std::uint32_t headFlits() const;
+    /** Target address of the head request (cube routing). */
+    Addr headAddr() const;
     HmcPacketPtr popRequest();
 
     /** A matched response arrives from the controller's deserializer. */

@@ -42,13 +42,63 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
 {
     cfg_.validate();
     root_ = std::make_unique<RootComponent>(kernel_);
-    cube_ = std::make_unique<HmcDevice>(kernel_, root_.get(), "hmc",
-                                        cfg_.hmc);
+    if (cfg_.hmc.chain.numCubes == 1) {
+        // Classic single-cube construction, kept verbatim so default
+        // configs stay bit-identical to a pre-chain build.
+        cube_ = std::make_unique<HmcDevice>(kernel_, root_.get(), "hmc",
+                                            cfg_.hmc);
+    } else {
+        chain_ = std::make_unique<CubeNetwork>(kernel_, root_.get(),
+                                               "chain", cfg_.hmc);
+    }
     fpga_ = std::make_unique<Fpga>(kernel_, root_.get(), "fpga", cfg_.host,
-                                   *cube_);
+                                   makeAttach());
     fpga_->start();
-    if (PowerModel *pm = cube_->powerModel())
-        pm->start();
+    for (CubeId c = 0; c < numCubes(); ++c) {
+        if (PowerModel *pm = device(c).powerModel())
+            pm->start();
+    }
+}
+
+HostAttach
+System::makeAttach()
+{
+    HostAttach a;
+    a.numCubes = numCubes();
+    a.totalCapacityBytes = cfg_.hmc.totalCapacityBytes();
+    a.map = &addressMap();
+    if (cube_) {
+        for (LinkId l = 0; l < cfg_.hmc.numLinks; ++l) {
+            a.links.push_back(&cube_->link(l));
+            a.linkCube.push_back(kCubeAll);
+        }
+        a.cubes.push_back(cube_.get());
+        return a;
+    }
+    for (LinkId l = 0; l < chain_->numHostLinks(); ++l) {
+        a.links.push_back(&chain_->hostLink(l));
+        a.linkCube.push_back(chain_->hostLinkCube(l));
+    }
+    for (CubeId c = 0; c < numCubes(); ++c)
+        a.cubes.push_back(&chain_->cube(c));
+    return a;
+}
+
+HmcDevice &
+System::device(CubeId c)
+{
+    if (cube_) {
+        if (c != 0)
+            panic("System::device: single-cube system");
+        return *cube_;
+    }
+    return chain_->cube(c);
+}
+
+const AddressMap &
+System::addressMap() const
+{
+    return cube_ ? cube_->addressMap() : chain_->cube(0).addressMap();
 }
 
 void

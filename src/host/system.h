@@ -22,6 +22,7 @@
 
 #include <memory>
 
+#include "chain/cube_network.h"
 #include "hmc/hmc_device.h"
 #include "host/experiment.h"
 #include "host/fpga.h"
@@ -54,9 +55,15 @@ class System
     Kernel &kernel() { return kernel_; }
     Tick now() const { return kernel_.now(); }
 
-    HmcDevice &device() { return *cube_; }
+    /** Cube @p c; the classic single-cube accessor is device(0). */
+    HmcDevice &device(CubeId c = 0);
+    std::uint32_t numCubes() const { return cfg_.hmc.chain.numCubes; }
+
+    /** The cube chain; null in the classic single-cube system. */
+    CubeNetwork *chain() { return chain_.get(); }
+
     Fpga &fpga() { return *fpga_; }
-    const AddressMap &addressMap() const { return cube_->addressMap(); }
+    const AddressMap &addressMap() const;
 
     Port &port(PortId p) { return fpga_->port(p); }
 
@@ -95,8 +102,13 @@ class System
     SystemConfig cfg_;
     Kernel kernel_;
     std::unique_ptr<Component> root_;
+    /** Exactly one of cube_ (single-cube, bit-identical legacy
+     *  construction) and chain_ (multi-cube network) is set. */
     std::unique_ptr<HmcDevice> cube_;
+    std::unique_ptr<CubeNetwork> chain_;
     std::unique_ptr<Fpga> fpga_;
+
+    HostAttach makeAttach();
 };
 
 }  // namespace hmcsim

@@ -126,6 +126,16 @@ Network::setEndpoint(NodeId ep, EndpointOps ops)
     opsSet_[ep] = true;
 }
 
+void
+Network::rewireEndpoint(NodeId ep, EndpointOps ops)
+{
+    if (ep >= ops_.size() || !opsSet_[ep])
+        panic("Network::rewireEndpoint: endpoint not registered");
+    if (!ops.tryReserve || !ops.deliver)
+        panic("Network::rewireEndpoint: incomplete callbacks");
+    ops_[ep] = std::move(ops);
+}
+
 const Network::EndpointOps &
 Network::opsFor(NodeId ep) const
 {

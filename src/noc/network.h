@@ -41,6 +41,13 @@ class Network : public Component
     /** Register endpoint callbacks; panics on re-registration. */
     void setEndpoint(NodeId ep, EndpointOps ops);
 
+    /**
+     * Replace an already-registered endpoint's callbacks (multi-cube
+     * chaining redirects a link endpoint's ejection to a pass-through
+     * switch after device construction).
+     */
+    void rewireEndpoint(NodeId ep, EndpointOps ops);
+
     /** True if injection credits cover a message of @p flits. */
     bool canInject(NodeId ep, std::uint32_t flits) const;
 

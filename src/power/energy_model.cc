@@ -1,5 +1,7 @@
 #include "power/energy_model.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace hmcsim {
@@ -11,8 +13,31 @@ staticEnergyPj(double watts, Tick ticks)
     return watts * static_cast<double>(ticks);
 }
 
-EnergyModel::EnergyModel(const EnergyParams &params) : params_(params)
+EnergyModel::EnergyModel(const EnergyParams &params,
+                         std::uint32_t num_dram_layers)
+    : params_(params),
+      layerPj_(num_dram_layers == 0 ? 1 : num_dram_layers, 0.0)
 {
+}
+
+double
+EnergyModel::perEventPj(PowerEvent ev) const
+{
+    switch (ev) {
+      case PowerEvent::DramActivate: return params_.dramActivatePj;
+      case PowerEvent::DramPrecharge: return params_.dramPrechargePj;
+      case PowerEvent::DramReadBeat: return params_.dramReadBeatPj;
+      case PowerEvent::DramWriteBeat: return params_.dramWriteBeatPj;
+      case PowerEvent::DramRefresh: return params_.dramRefreshPj;
+      case PowerEvent::TsvBeat: return params_.tsvBeatPj;
+      case PowerEvent::NocFlitHop: return params_.nocFlitHopPj;
+      case PowerEvent::SerdesFlit: return params_.serdesFlitPj;
+      case PowerEvent::ChainForwardFlit:
+        return params_.chainForwardFlitPj;
+      case PowerEvent::kCount:
+        break;
+    }
+    panic("EnergyModel: invalid power event");
 }
 
 void
@@ -21,37 +46,18 @@ EnergyModel::record(PowerEvent ev, std::uint64_t count)
     const auto i = static_cast<std::size_t>(ev);
     if (i >= kNumPowerEvents)
         panic("EnergyModel::record: invalid power event");
-    double per_event = 0.0;
-    switch (ev) {
-      case PowerEvent::DramActivate:
-        per_event = params_.dramActivatePj;
-        break;
-      case PowerEvent::DramPrecharge:
-        per_event = params_.dramPrechargePj;
-        break;
-      case PowerEvent::DramReadBeat:
-        per_event = params_.dramReadBeatPj;
-        break;
-      case PowerEvent::DramWriteBeat:
-        per_event = params_.dramWriteBeatPj;
-        break;
-      case PowerEvent::DramRefresh:
-        per_event = params_.dramRefreshPj;
-        break;
-      case PowerEvent::TsvBeat:
-        per_event = params_.tsvBeatPj;
-        break;
-      case PowerEvent::NocFlitHop:
-        per_event = params_.nocFlitHopPj;
-        break;
-      case PowerEvent::SerdesFlit:
-        per_event = params_.serdesFlitPj;
-        break;
-      case PowerEvent::kCount:
-        panic("EnergyModel::record: kCount is not an event");
-    }
     counts_[i] += count;
-    energyPj_[i] += per_event * static_cast<double>(count);
+    energyPj_[i] += perEventPj(ev) * static_cast<double>(count);
+}
+
+void
+EnergyModel::recordAtLayer(PowerEvent ev, std::uint64_t count,
+                           std::uint32_t dram_layer)
+{
+    record(ev, count);
+    const std::size_t layer =
+        std::min<std::size_t>(dram_layer, layerPj_.size() - 1);
+    layerPj_[layer] += perEventPj(ev) * static_cast<double>(count);
 }
 
 std::uint64_t
@@ -90,7 +96,25 @@ double
 EnergyModel::logicDynamicPj() const
 {
     return dynamicPj(PowerEvent::NocFlitHop) +
-        dynamicPj(PowerEvent::SerdesFlit);
+        dynamicPj(PowerEvent::SerdesFlit) +
+        dynamicPj(PowerEvent::ChainForwardFlit);
+}
+
+double
+EnergyModel::dramLayerAttributedPj(std::uint32_t layer) const
+{
+    if (layer >= layerPj_.size())
+        panic("EnergyModel: DRAM layer out of range");
+    return layerPj_[layer];
+}
+
+double
+EnergyModel::dramAttributedPj() const
+{
+    double total = 0.0;
+    for (double e : layerPj_)
+        total += e;
+    return total;
 }
 
 double

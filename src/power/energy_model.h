@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "common/types.h"
 #include "power/power_config.h"
@@ -23,10 +24,17 @@ namespace hmcsim {
 class EnergyModel : public PowerProbe
 {
   public:
-    explicit EnergyModel(const EnergyParams &params);
+    /**
+     * @param num_dram_layers layers the bank -> layer attribution can
+     *        target (recordAtLayer clamps to this)
+     */
+    explicit EnergyModel(const EnergyParams &params,
+                         std::uint32_t num_dram_layers = 1);
 
     // ----- PowerProbe -----
     void record(PowerEvent ev, std::uint64_t count) override;
+    void recordAtLayer(PowerEvent ev, std::uint64_t count,
+                       std::uint32_t dram_layer) override;
 
     /** Events of class @p ev seen since construction (never reset). */
     std::uint64_t eventCount(PowerEvent ev) const;
@@ -45,6 +53,22 @@ class EnergyModel : public PowerProbe
 
     /** Cumulative dynamic energy in the logic layer (NoC + SerDes), pJ. */
     double logicDynamicPj() const;
+
+    /**
+     * Cumulative DRAM energy attributed to one layer via
+     * recordAtLayer(), pJ.  Energy recorded without layer information
+     * (e.g. TSV beats) is not included; the thermal step spreads that
+     * remainder evenly.
+     */
+    double dramLayerAttributedPj(std::uint32_t layer) const;
+
+    /** Sum of the per-layer attributed energies, pJ. */
+    double dramAttributedPj() const;
+
+    std::uint32_t numDramLayers() const
+    {
+        return static_cast<std::uint32_t>(layerPj_.size());
+    }
 
     /** Static power burned in the logic layer (SerDes + logic), W. */
     double logicStaticW() const;
@@ -68,6 +92,9 @@ class EnergyModel : public PowerProbe
     EnergyParams params_;
     std::array<std::uint64_t, kNumPowerEvents> counts_{};
     std::array<double, kNumPowerEvents> energyPj_{};
+    std::vector<double> layerPj_;
+
+    double perEventPj(PowerEvent ev) const;
 };
 
 /** pJ of static energy for @p watts sustained over @p ticks. */

@@ -50,6 +50,9 @@ PowerConfig::fromConfig(const Config &cfg)
         cfg.getDouble("hmc.power_noc_flit_pj", c.energy.nocFlitHopPj);
     c.energy.serdesFlitPj =
         cfg.getDouble("hmc.power_serdes_flit_pj", c.energy.serdesFlitPj);
+    c.energy.chainForwardFlitPj =
+        cfg.getDouble("hmc.power_chain_forward_flit_pj",
+                      c.energy.chainForwardFlitPj);
     c.energy.serdesIdleW =
         cfg.getDouble("hmc.power_serdes_idle_w", c.energy.serdesIdleW);
     c.energy.logicIdleW =
@@ -100,6 +103,8 @@ PowerConfig::toConfig(Config &cfg) const
     cfg.setDouble("hmc.power_tsv_beat_pj", energy.tsvBeatPj);
     cfg.setDouble("hmc.power_noc_flit_pj", energy.nocFlitHopPj);
     cfg.setDouble("hmc.power_serdes_flit_pj", energy.serdesFlitPj);
+    cfg.setDouble("hmc.power_chain_forward_flit_pj",
+                  energy.chainForwardFlitPj);
     cfg.setDouble("hmc.power_serdes_idle_w", energy.serdesIdleW);
     cfg.setDouble("hmc.power_logic_idle_w", energy.logicIdleW);
     cfg.setDouble("hmc.power_dram_idle_w_per_layer",

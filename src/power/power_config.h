@@ -32,6 +32,7 @@ struct EnergyParams {
     double tsvBeatPj = 166.0;        ///< 32 B crossing the TSV stack
     double nocFlitHopPj = 26.0;      ///< 16 B flit through one router
     double serdesFlitPj = 640.0;     ///< 16 B flit onto a link (~5 pJ/bit)
+    double chainForwardFlitPj = 120.0;  ///< 16 B flit through a chain switch
 
     // ----- static, watts -----
     /** All SerDes lanes combined; lanes burn power data or not. */

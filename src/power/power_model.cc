@@ -9,7 +9,8 @@ namespace hmcsim {
 PowerModel::PowerModel(Kernel &kernel, Component *parent, std::string name,
                        const PowerConfig &cfg)
     : Component(kernel, parent, std::move(name)), cfg_(cfg),
-      energy_(cfg.energy), thermal_(cfg.thermal), governor_(cfg.throttle)
+      energy_(cfg.energy, cfg.thermal.numDramLayers), thermal_(cfg.thermal),
+      governor_(cfg.throttle), lastLayerPj_(cfg.thermal.numDramLayers, 0.0)
 {
     cfg_.validate();
     lastStepAt_ = now();
@@ -20,6 +21,13 @@ void
 PowerModel::record(PowerEvent ev, std::uint64_t count)
 {
     energy_.record(ev, count);
+}
+
+void
+PowerModel::recordAtLayer(PowerEvent ev, std::uint64_t count,
+                          std::uint32_t dram_layer)
+{
+    energy_.recordAtLayer(ev, count, dram_layer);
 }
 
 void
@@ -64,11 +72,23 @@ PowerModel::step()
     std::vector<double> power_w(1 + layers);
     power_w[0] =
         (logic_pj - lastLogicPj_) / dt_d + energy_.logicStaticW();
-    const double per_layer_w =
-        (dram_pj - lastDramPj_) / (dt_d * layers) +
-        energy_.dramStaticWPerLayer();
-    for (std::uint32_t l = 0; l < layers; ++l)
-        power_w[1 + l] = per_layer_w;
+
+    // Bank events carry a die attribution (bank -> layer mapping);
+    // whatever arrived without one (TSV beats, direct record() calls)
+    // is spread evenly so aggregate-only probes behave as before.
+    double attributed_delta = 0.0;
+    std::vector<double> layer_delta(layers, 0.0);
+    for (std::uint32_t l = 0; l < layers; ++l) {
+        layer_delta[l] =
+            energy_.dramLayerAttributedPj(l) - lastLayerPj_[l];
+        attributed_delta += layer_delta[l];
+    }
+    const double spread_w =
+        (dram_pj - lastDramPj_ - attributed_delta) / (dt_d * layers);
+    for (std::uint32_t l = 0; l < layers; ++l) {
+        power_w[1 + l] = layer_delta[l] / dt_d + spread_w +
+            energy_.dramStaticWPerLayer();
+    }
 
     thermal_.step(power_w, dt_d * 1e-12);
 
@@ -84,6 +104,8 @@ PowerModel::step()
     lastStepAt_ = now();
     lastDramPj_ = dram_pj;
     lastLogicPj_ = logic_pj;
+    for (std::uint32_t l = 0; l < layers; ++l)
+        lastLayerPj_[l] = energy_.dramLayerAttributedPj(l);
 }
 
 double

@@ -34,6 +34,8 @@ class PowerModel : public Component, public PowerProbe
 
     // ----- PowerProbe -----
     void record(PowerEvent ev, std::uint64_t count) override;
+    void recordAtLayer(PowerEvent ev, std::uint64_t count,
+                       std::uint32_t dram_layer) override;
 
     /**
      * Register the callback that applies a slowdown factor to the
@@ -84,6 +86,7 @@ class PowerModel : public Component, public PowerProbe
     Tick lastStepAt_ = 0;
     double lastDramPj_ = 0.0;
     double lastLogicPj_ = 0.0;
+    std::vector<double> lastLayerPj_;
 
     // Stats-window bases (reset by resetOwnStats).
     Tick windowStartAt_ = 0;

@@ -32,6 +32,9 @@ enum class PowerEvent : unsigned {
     NocFlitHop,
     /** One 16 B flit serialized onto an external SerDes link. */
     SerdesFlit,
+    /** One 16 B flit pass-through-forwarded by a chain switch (the
+     *  transit cube's buffering + retransmit logic). */
+    ChainForwardFlit,
 
     kCount,
 };
@@ -51,6 +54,20 @@ class PowerProbe
 
     /** Report @p count occurrences of @p ev at the current time. */
     virtual void record(PowerEvent ev, std::uint64_t count) = 0;
+
+    /**
+     * Layer-attributed variant for DRAM events: @p dram_layer is the
+     * die (0 = lowest DRAM layer above the logic die) the energy is
+     * dissipated in, so the thermal model can see vertical gradients.
+     * Probes that do not track layers fall back to the aggregate.
+     */
+    virtual void
+    recordAtLayer(PowerEvent ev, std::uint64_t count,
+                  std::uint32_t dram_layer)
+    {
+        (void)dram_layer;
+        record(ev, count);
+    }
 };
 
 }  // namespace hmcsim

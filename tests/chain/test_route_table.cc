@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chain/route_table.h"
+#include "common/log.h"
+
+namespace hmcsim {
+namespace {
+
+TEST(RouteTable, TopologyStrings)
+{
+    EXPECT_EQ(chainTopologyFromString("daisy"), ChainTopology::Daisy);
+    EXPECT_EQ(chainTopologyFromString("ring"), ChainTopology::Ring);
+    EXPECT_EQ(chainTopologyFromString("star"), ChainTopology::Star);
+    EXPECT_THROW(chainTopologyFromString("mesh"), FatalError);
+    EXPECT_EQ(toString(ChainTopology::Ring), "ring");
+    EXPECT_EQ(toString(ChainHop::Wrap), "wrap");
+}
+
+TEST(RouteTable, DaisyRequestsAlwaysFlowDown)
+{
+    const ChainRouteTable t(ChainTopology::Daisy, 4);
+    for (CubeId at = 0; at < 4; ++at) {
+        EXPECT_EQ(t.next(at, at), ChainHop::Local);
+        for (CubeId dest = at + 1; dest < 4; ++dest)
+            EXPECT_EQ(t.next(at, dest), ChainHop::Down);
+        EXPECT_EQ(t.towardHost(at), ChainHop::Up);
+    }
+    EXPECT_EQ(t.requestHops(0), 0u);
+    EXPECT_EQ(t.requestHops(3), 3u);
+    EXPECT_EQ(t.responseHops(0), 0u);
+    EXPECT_EQ(t.responseHops(3), 3u);
+}
+
+TEST(RouteTable, RingTakesShortestDirection)
+{
+    const ChainRouteTable t(ChainTopology::Ring, 4);
+    // Clockwise for near cubes, the wrap link for the far side.
+    EXPECT_EQ(t.next(0, 1), ChainHop::Down);
+    EXPECT_EQ(t.next(0, 2), ChainHop::Down);  // tie broken clockwise
+    EXPECT_EQ(t.next(0, 3), ChainHop::Wrap);
+    EXPECT_EQ(t.requestHops(1), 1u);
+    EXPECT_EQ(t.requestHops(2), 2u);
+    EXPECT_EQ(t.requestHops(3), 1u);  // one wrap hop, not three
+    // Responses: cube 3 wraps straight back to cube 0.
+    EXPECT_EQ(t.towardHost(3), ChainHop::Wrap);
+    EXPECT_EQ(t.responseHops(3), 1u);
+    EXPECT_EQ(t.towardHost(1), ChainHop::Up);
+    EXPECT_EQ(t.responseHops(2), 2u);
+}
+
+TEST(RouteTable, RingEightCubesMakesProgress)
+{
+    const ChainRouteTable t(ChainTopology::Ring, 8);
+    for (CubeId dest = 0; dest < 8; ++dest) {
+        // Shortest-path hop count: min(cw, ccw) from cube 0.
+        const std::uint32_t expect =
+            std::min<std::uint32_t>(dest, 8 - dest);
+        EXPECT_EQ(t.requestHops(dest), expect) << "dest " << dest;
+        EXPECT_LE(t.responseHops(dest), 4u);
+    }
+}
+
+TEST(RouteTable, StarNeverForwards)
+{
+    const ChainRouteTable t(ChainTopology::Star, 4);
+    for (CubeId c = 0; c < 4; ++c) {
+        EXPECT_EQ(t.next(c, c), ChainHop::Local);
+        EXPECT_EQ(t.requestHops(c), 0u);
+        EXPECT_EQ(t.responseHops(c), 0u);
+    }
+}
+
+TEST(RouteTable, BisectionWidth)
+{
+    EXPECT_EQ(ChainRouteTable(ChainTopology::Daisy, 4).bisectionLinkCount(),
+              1u);
+    EXPECT_EQ(ChainRouteTable(ChainTopology::Ring, 4).bisectionLinkCount(),
+              2u);
+    EXPECT_EQ(ChainRouteTable(ChainTopology::Star, 4).bisectionLinkCount(),
+              1u);
+}
+
+TEST(RouteTable, OutOfRangePanics)
+{
+    const ChainRouteTable t(ChainTopology::Daisy, 2);
+    EXPECT_THROW(t.next(2, 0), PanicError);
+    EXPECT_THROW(t.next(0, 2), PanicError);
+    EXPECT_THROW(t.towardHost(2), PanicError);
+    EXPECT_THROW(t.requestHops(5), PanicError);
+}
+
+}  // namespace
+}  // namespace hmcsim

@@ -29,6 +29,12 @@ class VaultControllerTest : public ::testing::Test
     void
     build(VaultController::Params params = VaultController::Params{})
     {
+        // Tear down any previous tree child-first: assigning root_
+        // below would otherwise free the old root while net_/vc_
+        // still unregister from it in their destructors.
+        vc_.reset();
+        net_.reset();
+        root_.reset();
         cfg_ = HmcConfig{};
         map_ = std::make_unique<AddressMap>(cfg_);
         root_ = std::make_unique<RootComponent>(kernel_);

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Address-map property sweeps: decode/encode must be exact inverses
+ * for every combination of map scheme, cube interleave, and
+ * cube/vault/bank field width, and patterns must confine exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "hmc/address_map.h"
+
+namespace hmcsim {
+namespace {
+
+// (map scheme, chain interleave, num cubes, num vaults, banks/vault)
+using MapShape =
+    std::tuple<const char *, const char *, std::uint32_t, std::uint32_t,
+               std::uint32_t>;
+
+HmcConfig
+shapeConfig(const MapShape &shape)
+{
+    const auto &[scheme, interleave, cubes, vaults, banks] = shape;
+    HmcConfig cfg;
+    cfg.mapScheme = scheme;
+    cfg.chain.interleave = interleave;
+    cfg.chain.numCubes = cubes;
+    cfg.numVaults = vaults;
+    cfg.numQuadrants = 4;
+    cfg.numBanksPerVault = banks;
+    return cfg;
+}
+
+class AddressMapRoundTrip : public ::testing::TestWithParam<MapShape>
+{
+};
+
+TEST_P(AddressMapRoundTrip, EncodeDecodeAreInverses)
+{
+    const HmcConfig cfg = shapeConfig(GetParam());
+    const AddressMap map(cfg);
+    Rng rng(0xA11CE);
+    const Addr total = map.totalCapacity();
+    EXPECT_EQ(total, cfg.totalCapacityBytes());
+    for (int i = 0; i < 4000; ++i) {
+        const Addr a = rng.next() & (total - 1);
+        const DecodedAddr d = map.decode(a);
+        EXPECT_EQ(map.encode(d), a) << "addr 0x" << std::hex << a;
+        EXPECT_EQ(d.cube, map.decodeCube(a));
+        EXPECT_LT(d.cube, cfg.chain.numCubes);
+        EXPECT_LT(d.vault, cfg.numVaults);
+        EXPECT_LT(d.bank, cfg.numBanksPerVault);
+    }
+}
+
+TEST_P(AddressMapRoundTrip, DecodeEncodeFromFields)
+{
+    const HmcConfig cfg = shapeConfig(GetParam());
+    const AddressMap map(cfg);
+    Rng rng(0xB0B);
+    for (int i = 0; i < 2000; ++i) {
+        DecodedAddr d;
+        d.cube = static_cast<CubeId>(rng.next() % cfg.chain.numCubes);
+        d.vault = static_cast<VaultId>(rng.next() % cfg.numVaults);
+        d.bank = static_cast<BankId>(rng.next() % cfg.numBanksPerVault);
+        d.row = static_cast<RowId>(rng.next() % 64);
+        const DecodedAddr out = map.decode(map.encode(d));
+        EXPECT_EQ(out.cube, d.cube);
+        EXPECT_EQ(out.vault, d.vault);
+        EXPECT_EQ(out.bank, d.bank);
+        EXPECT_EQ(out.row, d.row);
+    }
+}
+
+TEST_P(AddressMapRoundTrip, CubePatternConfinesAndCovers)
+{
+    const HmcConfig cfg = shapeConfig(GetParam());
+    const AddressMap map(cfg);
+    Rng rng(0xCAFE);
+    for (CubeId c = 0; c < cfg.chain.numCubes; ++c) {
+        const AddressPattern p = map.cubePattern(c);
+        std::set<VaultId> vaults;
+        for (int i = 0; i < 600; ++i) {
+            const Addr a =
+                p.apply(rng.next() & (map.totalCapacity() - 1));
+            const DecodedAddr d = map.decode(a);
+            EXPECT_EQ(d.cube, c);
+            vaults.insert(d.vault);
+        }
+        EXPECT_EQ(vaults.size(), cfg.numVaults);
+    }
+}
+
+TEST_P(AddressMapRoundTrip, GeneralPatternSpansAllCubes)
+{
+    const HmcConfig cfg = shapeConfig(GetParam());
+    const AddressMap map(cfg);
+    Rng rng(0xD00D);
+    const AddressPattern p =
+        map.pattern(cfg.numVaults, cfg.numBanksPerVault);
+    std::set<CubeId> cubes;
+    for (int i = 0; i < 2000; ++i) {
+        cubes.insert(
+            map.decodeCube(p.apply(rng.next() & (map.totalCapacity() - 1))));
+    }
+    EXPECT_EQ(cubes.size(), cfg.chain.numCubes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AddressMapRoundTrip,
+    ::testing::Values(
+        MapShape{"vault_then_bank", "cube_high", 1, 16, 16},
+        MapShape{"vault_then_bank", "cube_high", 4, 16, 16},
+        MapShape{"vault_then_bank", "cube_high", 8, 16, 16},
+        MapShape{"vault_then_bank", "cube_low", 2, 16, 16},
+        MapShape{"vault_then_bank", "cube_low", 8, 16, 16},
+        MapShape{"bank_then_vault", "cube_high", 4, 16, 16},
+        MapShape{"bank_then_vault", "cube_low", 4, 16, 16},
+        MapShape{"vault_then_bank", "cube_low", 4, 8, 8},
+        MapShape{"bank_then_vault", "cube_high", 2, 8, 16},
+        MapShape{"bank_then_vault", "cube_low", 8, 16, 8}));
+
+TEST(AddressMapChain, CubeLowStripesBlocksAcrossCubes)
+{
+    HmcConfig cfg;
+    cfg.chain.numCubes = 4;
+    cfg.chain.interleave = "cube_low";
+    const AddressMap map(cfg);
+    // Consecutive 128 B blocks must visit all four cubes round-robin
+    // before the vault field advances.
+    std::set<CubeId> cubes;
+    for (Addr block = 0; block < 4; ++block) {
+        const DecodedAddr d = map.decode(block * 128);
+        cubes.insert(d.cube);
+        EXPECT_EQ(d.vault, 0u);
+    }
+    EXPECT_EQ(cubes.size(), 4u);
+}
+
+TEST(AddressMapChain, CubeHighKeepsCubesContiguous)
+{
+    HmcConfig cfg;
+    cfg.chain.numCubes = 4;
+    const AddressMap map(cfg);  // cube_high default
+    EXPECT_EQ(map.decode(0).cube, 0u);
+    EXPECT_EQ(map.decode(cfg.capacityBytes - 1).cube, 0u);
+    EXPECT_EQ(map.decode(cfg.capacityBytes).cube, 1u);
+    EXPECT_EQ(map.decode(3 * cfg.capacityBytes + 12345).cube, 3u);
+    EXPECT_THROW(map.decode(4 * cfg.capacityBytes), PanicError);
+}
+
+TEST(AddressMapChain, SingleCubeLayoutUnchanged)
+{
+    // With one cube both interleaves are the exact legacy layout.
+    HmcConfig base;
+    const AddressMap legacy(base);
+    HmcConfig low = base;
+    low.chain.interleave = "cube_low";
+    const AddressMap lowMap(low);
+    Rng rng(99);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = rng.next() & (base.capacityBytes - 1);
+        const DecodedAddr d1 = legacy.decode(a);
+        const DecodedAddr d2 = lowMap.decode(a);
+        EXPECT_EQ(d1.vault, d2.vault);
+        EXPECT_EQ(d1.bank, d2.bank);
+        EXPECT_EQ(d1.row, d2.row);
+        EXPECT_EQ(d1.col, d2.col);
+        EXPECT_EQ(d2.cube, 0u);
+    }
+}
+
+}  // namespace
+}  // namespace hmcsim
