@@ -27,7 +27,7 @@ run(const SystemConfig &cfg, bool hot_region, Tick warmup, Tick window)
     System sys(cfg);
     Rng rng(99);
     for (PortId p = 0; p < 9; ++p) {
-        StreamPort::Params sp;
+        StreamPortSpec sp;
         if (hot_region) {
             // All ports hammer one hot 2 KB buffer (half an OS page)
             // with 128 B accesses.  Under the spec's vault-then-bank
@@ -52,8 +52,10 @@ run(const SystemConfig &cfg, bool hot_region, Tick warmup, Tick window)
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
+    (void)opts;
     const Tick warmup = scaled(fastMode() ? 4 : 10) * kMicrosecond;
     const Tick window = scaled(fastMode() ? 8 : 25) * kMicrosecond;
 

@@ -18,8 +18,10 @@ using namespace hmcsim;
 using namespace hmcsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
+    (void)opts;
     const Tick warmup = scaled(fastMode() ? 4 : 10) * kMicrosecond;
     const Tick window = scaled(fastMode() ? 8 : 25) * kMicrosecond;
 
@@ -38,7 +40,7 @@ main()
             cfg.hmc.topology = topo;
             System sys(cfg);
             for (PortId p = 0; p < 9; ++p) {
-                GupsPort::Params gp;
+                GupsPortSpec gp;
                 gp.gen.pattern = sys.addressMap().pattern(16, 16);
                 gp.gen.requestBytes = bytes;
                 gp.gen.capacity = cfg.hmc.totalCapacityBytes();

@@ -17,8 +17,10 @@ using namespace hmcsim;
 using namespace hmcsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
+    (void)opts;
     const SystemConfig cfg;
     const Tick warmup = scaled(fastMode() ? 4 : 10) * kMicrosecond;
     const Tick window = scaled(fastMode() ? 8 : 25) * kMicrosecond;
@@ -37,7 +39,7 @@ main()
         const std::uint32_t writers =
             static_cast<std::uint32_t>(frac * 9 + 0.5);
         for (PortId p = 0; p < 9; ++p) {
-            GupsPort::Params gp;
+            GupsPortSpec gp;
             gp.kind = p < writers ? ReqKind::WriteOnly
                                   : ReqKind::ReadOnly;
             gp.gen.pattern = sys.addressMap().pattern(16, 16);

@@ -24,7 +24,7 @@ run(const SystemConfig &cfg, bool sequential, Tick warmup, Tick window)
     System sys(cfg);
     Rng rng(4242);
     for (PortId p = 0; p < 4; ++p) {
-        StreamPort::Params sp;
+        StreamPortSpec sp;
         if (sequential) {
             // Row-friendly walk within one vault: eight 32 B beats per
             // 256 B row before moving on, so open page gets 7 hits per
@@ -57,8 +57,10 @@ run(const SystemConfig &cfg, bool sequential, Tick warmup, Tick window)
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
+    (void)opts;
     const Tick warmup = scaled(fastMode() ? 4 : 10) * kMicrosecond;
     const Tick window = scaled(fastMode() ? 8 : 25) * kMicrosecond;
 

@@ -7,6 +7,12 @@
  *   HMCSIM_BENCH_SCALE=x     multiply measurement windows by x
  *   HMCSIM_BENCH_CSV_DIR=d   write each binary's CSV to d/<name>.csv
  *                            instead of stdout (CI artifact collection)
+ *   HMCSIM_BENCH_WORKLOAD=w  restrict workload-sweeping binaries to a
+ *                            comma-separated list of source types
+ *
+ * Every figure binary accepts the same flags via parseBenchArgs()
+ * (flags override the environment): --fast, --scale=X, --csv-dir=DIR,
+ * --workload=LIST, --help.
  */
 
 #ifndef HMCSIM_BENCH_BENCH_UTIL_H_
@@ -16,7 +22,9 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "common/strutil.h"
 #include "common/types.h"
 
 namespace hmcsim {
@@ -47,6 +55,98 @@ scaled(Tick base)
 
 /** The paper's four request sizes. */
 constexpr std::uint32_t kSizes[] = {16, 32, 64, 128};
+
+/** Options shared by every figure binary. */
+struct BenchOptions {
+    bool fast = false;
+    double scale = 1.0;
+    std::string csvDir;
+    /** Comma-separated workload filter ("gups,zipf"); empty = all.
+     *  Honoured by the binaries that sweep traffic sources. */
+    std::string workload;
+
+    /** True when @p name passes the workload filter. */
+    bool
+    wantsWorkload(const std::string &name) const
+    {
+        if (workload.empty())
+            return true;
+        for (const std::string &tok : split(workload, ','))
+            if (trim(tok) == name)
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Parse the shared benchmark command line.  Flags mirror (and
+ * override) the HMCSIM_BENCH_* environment knobs; the env vars are
+ * updated so the fastMode()/scaled()/CsvOutput helpers see the same
+ * values.  Exits on --help or an unknown argument.
+ */
+inline BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions o;
+    o.fast = fastMode();
+    o.scale = windowScale();
+    if (const char *d = std::getenv("HMCSIM_BENCH_CSV_DIR"))
+        o.csvDir = d;
+    if (const char *w = std::getenv("HMCSIM_BENCH_WORKLOAD"))
+        o.workload = w;
+
+    const std::string name = argc > 0 ? argv[0] : "bench";
+    const auto usage = [&name](std::ostream &os) {
+        os << "usage: " << name
+           << " [--fast] [--scale=X] [--csv-dir=DIR]"
+              " [--workload=a,b,...]\n";
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        // A flag matches exactly or as "--flag=value" (so a typo like
+        // --scales is rejected instead of eating the next argument).
+        const auto matches = [&arg](const char *flag) {
+            return arg == flag || startsWith(arg, std::string(flag) + "=");
+        };
+        // Accept both --flag=value and --flag value.
+        const auto value = [&](const char *flag) -> std::string {
+            const std::string f(flag);
+            if (arg.size() > f.size() && arg[f.size()] == '=')
+                return arg.substr(f.size() + 1);
+            if (i + 1 >= argc) {
+                std::cerr << name << ": " << f << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--fast") {
+            o.fast = true;
+            setenv("HMCSIM_BENCH_FAST", "1", 1);
+        } else if (matches("--scale")) {
+            const std::string v = value("--scale");
+            o.scale = std::atof(v.c_str());
+            if (o.scale <= 0.0) {
+                std::cerr << name << ": bad --scale '" << v << "'\n";
+                std::exit(2);
+            }
+            setenv("HMCSIM_BENCH_SCALE", v.c_str(), 1);
+        } else if (matches("--csv-dir")) {
+            o.csvDir = value("--csv-dir");
+            setenv("HMCSIM_BENCH_CSV_DIR", o.csvDir.c_str(), 1);
+        } else if (matches("--workload")) {
+            o.workload = value("--workload");
+            setenv("HMCSIM_BENCH_WORKLOAD", o.workload.c_str(), 1);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        } else {
+            std::cerr << name << ": unknown argument '" << arg << "'\n";
+            usage(std::cerr);
+            std::exit(2);
+        }
+    }
+    return o;
+}
 
 /**
  * CSV destination for one benchmark binary: stdout by default, or

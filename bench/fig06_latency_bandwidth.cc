@@ -35,8 +35,10 @@ constexpr Pattern kPatterns[] = {
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
+    (void)opts;
     const SystemConfig cfg;
     const Tick warmup = scaled(fastMode() ? 5 : 15) * kMicrosecond;
     const Tick window = scaled(fastMode() ? 10 : 40) * kMicrosecond;

@@ -30,8 +30,10 @@ struct Summary {
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
+    (void)opts;
     const SystemConfig cfg;
     const Tick warmup = scaled(5) * kMicrosecond;
     const Tick window = scaled(fastMode() ? 8 : 20) * kMicrosecond;

@@ -49,8 +49,10 @@ allCombinations(unsigned stride)
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
+    (void)opts;
     const SystemConfig cfg;
     const bool fast = fastMode();
     const unsigned stride = fast ? 8 : 1;

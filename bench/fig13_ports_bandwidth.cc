@@ -38,8 +38,10 @@ constexpr Pattern kPatterns[] = {
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
+    (void)opts;
     const SystemConfig cfg;
     const bool fast = fastMode();
     const Tick warmup = scaled(fast ? 3 : 8) * kMicrosecond;

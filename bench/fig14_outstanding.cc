@@ -20,8 +20,10 @@ using namespace hmcsim;
 using namespace hmcsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
+    (void)opts;
     const SystemConfig cfg;
     const bool fast = fastMode();
     const Tick warmup = scaled(fast ? 4 : 10) * kMicrosecond;

@@ -48,7 +48,7 @@ lowLoadLatencyToCube(const SystemConfig &cfg, CubeId cube, Tick warmup,
 {
     System sys(cfg);
     Rng rng(1234 + cube);
-    StreamPort::Params sp;
+    StreamPortSpec sp;
     sp.trace = makeRandomTrace(rng, sys.addressMap().cubePattern(cube),
                                cfg.hmc.totalCapacityBytes(), 512, 32);
     sp.loop = true;
@@ -61,8 +61,10 @@ lowLoadLatencyToCube(const SystemConfig &cfg, CubeId cube, Tick warmup,
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
+    (void)opts;
     const bool fast = fastMode();
     const Tick warmup = scaled(fast ? 2 : 6) * kMicrosecond;
     const Tick window = scaled(fast ? 5 : 16) * kMicrosecond;

@@ -78,7 +78,7 @@ throttleCliff()
 
     System sys(cfg);
     for (PortId p = 0; p < 9; ++p) {
-        GupsPort::Params gp;
+        GupsPortSpec gp;
         gp.gen.pattern = sys.addressMap().pattern(16, 16);
         gp.gen.requestBytes = 128;
         gp.gen.capacity = cfg.hmc.totalCapacityBytes();
@@ -130,8 +130,10 @@ throttleCliff()
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
+    (void)opts;
     loadSweep();
     throttleCliff();
     return 0;

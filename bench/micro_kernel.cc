@@ -66,7 +66,7 @@ BM_EndToEndGups(benchmark::State &state)
         SystemConfig cfg;
         System sys(cfg);
         for (PortId p = 0; p < 9; ++p) {
-            GupsPort::Params gp;
+            GupsPortSpec gp;
             gp.gen.pattern = sys.addressMap().pattern(16, 16);
             gp.gen.requestBytes = bytes;
             gp.gen.capacity = cfg.hmc.totalCapacityBytes();

@@ -16,8 +16,10 @@
 using namespace hmcsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
+    (void)opts;
     std::cout << "Table I: HMC request/response read/write sizes "
                  "(flits)\n";
     bench::CsvOutput csv_out("table1_protocol");

@@ -44,7 +44,7 @@ runOne(SystemConfig cfg)
 
     // All nine GUPS ports, random 64 B reads over every cube.
     for (PortId p = 0; p < cfg.host.numPorts; ++p) {
-        GupsPort::Params gp;
+        GupsPortSpec gp;
         gp.gen.pattern = map.pattern(cfg.hmc.numVaults,
                                      cfg.hmc.numBanksPerVault);
         gp.gen.requestBytes = 64;

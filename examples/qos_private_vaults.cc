@@ -50,7 +50,7 @@ run(bool partitioned)
         ? sys.addressMap().pattern(2, 16, 14)   // private vaults 14-15
         : sys.addressMap().pattern(4, 16, 12);  // shared hot quadrant
 
-    StreamPort::Params hp;
+    StreamPortSpec hp;
     hp.trace = makeRandomTrace(rng, hi, cfg.hmc.totalCapacityBytes(), 4096, 64);
     hp.loop = true;
     hp.window = 8;  // latency-sensitive: shallow queue
@@ -60,7 +60,7 @@ run(bool partitioned)
         ? sys.addressMap().pattern(2, 16, 12)   // vaults 12-13
         : sys.addressMap().pattern(4, 16, 12);  // whole hot quadrant
     for (PortId p = 1; p <= 8; ++p) {
-        GupsPort::Params gp;
+        GupsPortSpec gp;
         gp.gen.pattern = bg;
         gp.gen.requestBytes = 16;
         gp.gen.capacity = cfg.hmc.totalCapacityBytes();

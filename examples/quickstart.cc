@@ -35,7 +35,7 @@ try {
                 cfg.hmc.peakBandwidthGBs());
 
     // One GUPS port, random 64 B reads over every vault and bank.
-    GupsPort::Params gp;
+    GupsPortSpec gp;
     gp.gen.pattern = sys.addressMap().pattern(cfg.hmc.numVaults,
                                               cfg.hmc.numBanksPerVault);
     gp.gen.requestBytes = 64;
@@ -56,7 +56,7 @@ try {
 
     // Scale up to all nine ports, like the paper's GUPS runs.
     for (PortId p = 1; p < cfg.host.numPorts; ++p) {
-        GupsPort::Params pp = gp;
+        GupsPortSpec pp = gp;
         pp.gen.seed = gp.gen.seed + p;
         sys.configureGupsPort(p, pp);
     }

@@ -37,7 +37,7 @@ try {
 
     System sys(cfg);
     for (PortId p = 0; p < cfg.host.numPorts; ++p) {
-        GupsPort::Params gp;
+        GupsPortSpec gp;
         gp.gen.pattern = sys.addressMap().pattern(
             cfg.hmc.numVaults, cfg.hmc.numBanksPerVault);
         gp.gen.requestBytes = 128;

@@ -35,7 +35,7 @@ replayFile(const std::string &path)
 {
     SystemConfig cfg;
     System sys(cfg);
-    StreamPort::Params sp;
+    StreamPortSpec sp;
     sp.trace = loadTraceFile(path);
     sp.loop = false;
     sys.configureStreamPort(0, sp);
@@ -64,13 +64,13 @@ try {
 
     // Streaming: sequential 128 B lines -- rides the vault-then-bank
     // interleave perfectly.
-    StreamPort::Params stream;
+    StreamPortSpec stream;
     stream.trace = makeStreamTrace(0, 8192, 128, 128);
     stream.loop = true;
     sys.configureStreamPort(0, stream);
 
     // Random: uniform 64 B over the whole cube.
-    StreamPort::Params random;
+    StreamPortSpec random;
     random.trace = makeRandomTrace(
         rng, sys.addressMap().pattern(16, 16), cfg.hmc.totalCapacityBytes(),
         8192, 64);
@@ -79,7 +79,7 @@ try {
 
     // Pointer chase: dependent-ish hops inside a 16 MB pool with a
     // shallow window, the latency-bound extreme.
-    StreamPort::Params chase;
+    StreamPortSpec chase;
     chase.trace = makePointerChaseTrace(rng, 0, 16ull << 20, 8192, 16);
     chase.loop = true;
     chase.window = 1;  // one dependent load at a time

@@ -7,6 +7,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-check}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-cmake -B "$BUILD_DIR" -S . -DHMCSIM_WERROR=ON
+# Use ccache when available (CI restores its cache across runs).
+CCACHE_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+    CCACHE_ARGS=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+cmake -B "$BUILD_DIR" -S . -DHMCSIM_WERROR=ON "${CCACHE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

@@ -13,6 +13,16 @@ splitmix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
+std::uint64_t
+mixSeeds(std::uint64_t base, std::uint64_t stream)
+{
+    // The stream-th output of the splitmix64 sequence anchored at
+    // base: jump the state directly (splitmix64 advances by the golden
+    // gamma each step), then mix once.
+    std::uint64_t state = base + stream * 0x9E3779B97F4A7C15ull;
+    return splitmix64(state);
+}
+
 namespace {
 
 inline std::uint64_t

@@ -17,6 +17,17 @@ namespace hmcsim {
 /** splitmix64 step; used for seeding and hashing. */
 std::uint64_t splitmix64(std::uint64_t &state);
 
+/**
+ * Derive a decorrelated per-stream seed from a shared base seed.
+ *
+ * "base + streamId" style derivation hands adjacent streams seeds that
+ * differ in a couple of low bits, which correlates the early part of
+ * small-state generators.  This returns the @p stream -th element of a
+ * splitmix64 sequence anchored at @p base, so neighbouring stream ids
+ * land on statistically independent seeds.
+ */
+std::uint64_t mixSeeds(std::uint64_t base, std::uint64_t stream);
+
 /** xoshiro256** generator. */
 class Rng
 {

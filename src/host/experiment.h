@@ -15,6 +15,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "host/addr_gen.h"
+#include "host/workload/workload_spec.h"
 
 namespace hmcsim {
 
@@ -32,6 +33,9 @@ struct PortStats {
     double stddevReadNs = 0.0;
     /** This port's bandwidth share (paper formula), GB/s. */
     double bandwidthGBs = 0.0;
+    /** Open-loop injection: requests the rate controller offered over
+     *  the window (accepted = reads + writes); 0 for closed loop. */
+    double offeredRequests = 0.0;
 };
 
 /** Per-cube slice of a multi-cube experiment result. */
@@ -59,6 +63,9 @@ struct ExperimentResult {
     std::uint64_t totalReads = 0;
     std::uint64_t totalWrites = 0;
     std::uint64_t totalWireBytes = 0;
+
+    /** Open-loop offered requests across all ports (0 = closed loop). */
+    double totalOfferedRequests = 0.0;
 
     /** Total request+response bytes over the window, GB/s (Eq. in
      *  Section III-B of the paper). */
@@ -88,6 +95,12 @@ struct ExperimentResult {
 
     /** Accesses per second across all ports. */
     double accessesPerSec() const;
+
+    /** Accepted request rate in requests/ns (open-loop comparisons). */
+    double acceptedPerNs() const;
+
+    /** Offered request rate in requests/ns (open loop only). */
+    double offeredPerNs() const;
 };
 
 /** Collect a result from @p sys over a window that just ended. */
@@ -148,6 +161,24 @@ struct StreamVaultsSpec {
 
 ExperimentResult runStreamVaults(const SystemConfig &cfg,
                                  const StreamVaultsSpec &spec);
+
+// ----- pluggable workload experiments (bench/fig_workload_sweep) -----
+
+/**
+ * Run one WorkloadSpec on @p activePorts ports.  Per-port seeds are
+ * derived from @p seed with the SplitMix64 mixer, so adjacent ports
+ * draw decorrelated streams.
+ */
+struct WorkloadRunSpec {
+    WorkloadSpec workload;
+    std::uint32_t activePorts = 9;
+    Tick warmup = 10 * kMicrosecond;
+    Tick window = 30 * kMicrosecond;
+    std::uint64_t seed = 1;
+};
+
+ExperimentResult runWorkload(const SystemConfig &cfg,
+                             const WorkloadRunSpec &spec);
 
 }  // namespace hmcsim
 

@@ -14,24 +14,24 @@ Fpga::Fpga(Kernel &kernel, Component *parent, std::string name,
     ctrl_ = std::make_unique<HmcHostController>(kernel, this, "controller",
                                                 cfg_, attach_);
     for (PortId p = 0; p < cfg_.numPorts; ++p) {
-        ports_.push_back(std::make_unique<GupsPort>(
+        ports_.push_back(std::make_unique<WorkloadPort>(
             kernel, this, "port" + std::to_string(p), p, cfg_,
-            defaultGupsParams(p)));
+            defaultPortParams(p)));
     }
     rebindController();
 }
 
-GupsPort::Params
-Fpga::defaultGupsParams(PortId p) const
+WorkloadPort::Params
+Fpga::defaultPortParams(PortId p) const
 {
-    GupsPort::Params gp;
-    gp.kind = ReqKind::ReadOnly;
-    gp.gen.mode = AddrMode::Random;
-    gp.gen.pattern = AddressPattern{attach_.totalCapacityBytes - 1, 0};
-    gp.gen.requestBytes = 32;
-    gp.gen.capacity = attach_.totalCapacityBytes;
-    gp.gen.seed = cfg_.seed + 0x1000 + p;
-    return gp;
+    GupsPortSpec spec;
+    spec.kind = ReqKind::ReadOnly;
+    spec.gen.mode = AddrMode::Random;
+    spec.gen.pattern = AddressPattern{attach_.totalCapacityBytes - 1, 0};
+    spec.gen.requestBytes = 32;
+    spec.gen.capacity = attach_.totalCapacityBytes;
+    spec.gen.seed = mixSeeds(cfg_.seed, p);
+    return workloadFromGupsSpec(spec, cfg_);
 }
 
 Port &
@@ -52,32 +52,38 @@ Fpga::rebindController()
     ctrl_->setPorts(std::move(table));
 }
 
-GupsPort &
-Fpga::configureGupsPort(PortId p, const GupsPort::Params &params)
+WorkloadPort &
+Fpga::configureWorkloadPort(PortId p, WorkloadPort::Params params)
 {
     if (p >= ports_.size())
-        panic("Fpga::configureGupsPort: port out of range");
-    auto port = std::make_unique<GupsPort>(
-        kernel(), this, "port" + std::to_string(p), p, cfg_, params);
-    GupsPort &ref = *port;
+        panic("Fpga::configureWorkloadPort: port out of range");
+    auto port = std::make_unique<WorkloadPort>(
+        kernel(), this, "port" + std::to_string(p), p, cfg_,
+        std::move(params));
+    WorkloadPort &ref = *port;
     ports_[p] = std::move(port);
     ref.setActive(true);
     rebindController();
     return ref;
 }
 
-StreamPort &
-Fpga::configureStreamPort(PortId p, const StreamPort::Params &params)
+WorkloadPort &
+Fpga::configureWorkload(PortId p, const WorkloadSpec &spec)
 {
-    if (p >= ports_.size())
-        panic("Fpga::configureStreamPort: port out of range");
-    auto port = std::make_unique<StreamPort>(
-        kernel(), this, "port" + std::to_string(p), p, cfg_, params);
-    StreamPort &ref = *port;
-    ports_[p] = std::move(port);
-    ref.setActive(true);
-    rebindController();
-    return ref;
+    return configureWorkloadPort(
+        p, buildWorkloadParams(spec, *attach_.map, cfg_, p));
+}
+
+WorkloadPort &
+Fpga::configureGupsPort(PortId p, const GupsPortSpec &params)
+{
+    return configureWorkloadPort(p, workloadFromGupsSpec(params, cfg_));
+}
+
+WorkloadPort &
+Fpga::configureStreamPort(PortId p, const StreamPortSpec &params)
+{
+    return configureWorkloadPort(p, workloadFromStreamSpec(params, cfg_));
 }
 
 void

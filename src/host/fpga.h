@@ -1,8 +1,9 @@
 /**
  * @file
  * The FPGA fabric: nine request ports and the host HMC controller,
- * ticking at 187.5 MHz.  Ports start as inactive GUPS ports and are
- * replaced in place when an experiment configures them.
+ * ticking at 187.5 MHz.  Ports start as inactive GUPS-sourced
+ * WorkloadPorts and are replaced in place when an experiment (or the
+ * config-driven workload layer) configures them.
  */
 
 #ifndef HMCSIM_HOST_FPGA_H_
@@ -12,7 +13,8 @@
 #include <vector>
 
 #include "host/hmc_host_controller.h"
-#include "host/port.h"
+#include "host/workload/workload_build.h"
+#include "host/workload/workload_port.h"
 #include "sim/clock.h"
 
 namespace hmcsim {
@@ -29,14 +31,21 @@ class Fpga : public Component
     Port &port(PortId p);
     std::uint32_t numPorts() const { return cfg_.numPorts; }
 
-    /** Replace port @p p with a GUPS port (active). */
-    GupsPort &configureGupsPort(PortId p, const GupsPort::Params &params);
+    /** Replace port @p p with a fully parameterized port (active). */
+    WorkloadPort &configureWorkloadPort(PortId p,
+                                        WorkloadPort::Params params);
 
-    /** Replace port @p p with a stream port (active). */
-    StreamPort &configureStreamPort(PortId p,
-                                    const StreamPort::Params &params);
+    /** Replace port @p p per a config-level workload spec (active). */
+    WorkloadPort &configureWorkload(PortId p, const WorkloadSpec &spec);
 
-    /** Deactivate every port (they keep their type). */
+    /** Replace port @p p with a GUPS-firmware port (active). */
+    WorkloadPort &configureGupsPort(PortId p, const GupsPortSpec &params);
+
+    /** Replace port @p p with a stream-firmware port (active). */
+    WorkloadPort &configureStreamPort(PortId p,
+                                      const StreamPortSpec &params);
+
+    /** Deactivate every port (they keep their workload). */
     void deactivateAllPorts();
 
     HmcHostController &controller() { return *ctrl_; }
@@ -62,7 +71,7 @@ class Fpga : public Component
 
     void tickAll();
     void rebindController();
-    GupsPort::Params defaultGupsParams(PortId p) const;
+    WorkloadPort::Params defaultPortParams(PortId p) const;
 };
 
 }  // namespace hmcsim

@@ -28,6 +28,14 @@ HostConfig::validate() const
         fatal("host: stream window and drain rate must be nonzero");
     if (fixedLatencyNs < 0.0)
         fatal("host: negative fixed latency");
+    if (workloadPorts > numPorts)
+        fatal("host: more workload ports than ports");
+    workload.validate();
+    for (const PortWorkload &pw : portWorkloads) {
+        if (pw.port >= numPorts)
+            fatal("host: workload port out of range");
+        pw.spec.validate();
+    }
 }
 
 HostConfig
@@ -65,6 +73,16 @@ HostConfig::fromConfig(const Config &cfg)
         cfg.getU64("host.stream_drain_flits_per_cycle",
                    c.streamDrainFlitsPerCycle));
     c.seed = cfg.getU64("host.seed", c.seed);
+    c.workloadPorts = static_cast<std::uint32_t>(
+        cfg.getU64("host.workload_ports", c.workloadPorts));
+    c.workload = WorkloadSpec::fromConfig(cfg, "host.", c.workload);
+    for (PortId p = 0; p < c.numPorts; ++p) {
+        const std::string prefix = "host.port" + std::to_string(p) + ".";
+        if (p < c.workloadPorts || cfg.has(prefix + "workload")) {
+            c.portWorkloads.push_back(
+                {p, WorkloadSpec::fromConfig(cfg, prefix, c.workload)});
+        }
+    }
     c.validate();
     return c;
 }
@@ -90,6 +108,12 @@ HostConfig::toConfig(Config &cfg) const
     cfg.setU64("host.stream_drain_flits_per_cycle",
                streamDrainFlitsPerCycle);
     cfg.setU64("host.seed", seed);
+    cfg.setU64("host.workload_ports", workloadPorts);
+    workload.toConfig(cfg, "host.");
+    for (const PortWorkload &pw : portWorkloads) {
+        pw.spec.toConfig(cfg,
+                         "host.port" + std::to_string(pw.port) + ".");
+    }
 }
 
 }  // namespace hmcsim

@@ -11,11 +11,19 @@
 #define HMCSIM_HOST_HOST_CONFIG_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/config.h"
 #include "common/types.h"
+#include "host/workload/workload_spec.h"
 
 namespace hmcsim {
+
+/** One config-driven port workload (resolved from host.port<N>.*). */
+struct PortWorkload {
+    PortId port = 0;
+    WorkloadSpec spec;
+};
 
 struct HostConfig {
     /** FPGA fabric frequency (the AC-510 runs at 187.5 MHz). */
@@ -59,8 +67,24 @@ struct HostConfig {
     /** Stream-port response drain rate (flits per FPGA cycle). */
     std::uint32_t streamDrainFlitsPerCycle = 1;
 
-    /** Base RNG seed for the per-port address generators. */
+    /** Base RNG seed for the per-port address generators; per-port
+     *  seeds are derived with the SplitMix64 mixer (mixSeeds). */
     std::uint64_t seed = 12345;
+
+    /**
+     * Config-driven workloads: ports [0, workloadPorts) are configured
+     * from `workload` at System construction; any port with an
+     * explicit host.port<N>.workload key is configured too (override
+     * wins).  0 with no per-port keys keeps the seed behaviour of
+     * inactive default ports.
+     */
+    std::uint32_t workloadPorts = 0;
+
+    /** Shared workload defaults (host.workload*). */
+    WorkloadSpec workload;
+
+    /** Fully resolved per-port workloads, sorted by port. */
+    std::vector<PortWorkload> portWorkloads;
 
     void validate() const;
 

@@ -1,7 +1,5 @@
 #include "host/port.h"
 
-#include <algorithm>
-
 #include "common/log.h"
 #include "common/units.h"
 
@@ -85,166 +83,6 @@ Port::resetOwnStats()
 {
     issued_.reset();
     monitor_.reset();
-}
-
-// ---------------------------------------------------------------- GUPS --
-
-GupsPort::GupsPort(Kernel &kernel, Component *parent, std::string name,
-                   PortId id, const HostConfig &cfg, const Params &params)
-    : Port(kernel, parent, std::move(name), id, cfg), params_(params),
-      gen_(params.gen), tags_(cfg.tagsPerPort)
-{
-}
-
-void
-GupsPort::tick()
-{
-    if (!active_ || fifoFull() || !tags_.hasFree())
-        return;
-
-    // Read-modify-write: the write half of a completed read has
-    // priority over new reads.
-    if (!pendingWrites_.empty()) {
-        const Addr addr = pendingWrites_.front();
-        pendingWrites_.pop_front();
-        HmcPacketPtr pkt =
-            makeWriteRequest(addr, gen_.requestBytes(), id_);
-        pkt->tag = tags_.acquire();
-        pushRequest(pkt);
-        return;
-    }
-
-    const Addr addr = gen_.next();
-    HmcPacketPtr pkt = params_.kind == ReqKind::WriteOnly
-        ? makeWriteRequest(addr, gen_.requestBytes(), id_)
-        : makeReadRequest(addr, gen_.requestBytes(), id_);
-    pkt->tag = tags_.acquire();
-    pushRequest(pkt);
-}
-
-void
-GupsPort::onResponse(const HmcPacketPtr &pkt)
-{
-    pkt->hostArriveAt = now();
-    tags_.release(pkt->tag);
-    if (pkt->cmd == HmcCmd::ReadResponse) {
-        monitor_.recordRead(pkt->createdAt, now(), transactionBytes(*pkt), pkt.get());
-        if (params_.kind == ReqKind::ReadModifyWrite)
-            pendingWrites_.push_back(pkt->addr);
-    } else {
-        monitor_.recordWrite(pkt->createdAt, now(),
-                             transactionBytes(*pkt));
-    }
-}
-
-bool
-GupsPort::idle() const
-{
-    // A GUPS port never finishes on its own; it is idle only while
-    // deactivated with nothing outstanding.
-    return !active_ && fifo_.empty() && tags_.inUse() == 0 &&
-        pendingWrites_.empty();
-}
-
-// -------------------------------------------------------------- Stream --
-
-StreamPort::StreamPort(Kernel &kernel, Component *parent, std::string name,
-                       PortId id, const HostConfig &cfg,
-                       const Params &params)
-    : Port(kernel, parent, std::move(name), id, cfg), params_(params),
-      window_(params.window ? params.window : cfg.streamWindow),
-      drainRate_(cfg.streamDrainFlitsPerCycle)
-{
-    if (params_.trace.empty())
-        fatal("StreamPort: empty trace");
-    batchRemaining_ = params_.batchSize;
-}
-
-bool
-StreamPort::issueNext()
-{
-    if (exhausted_ || fifoFull() || inFlight_ >= window_)
-        return false;
-    if (params_.batchSize != 0) {
-        if (batchRemaining_ == 0) {
-            // Wait for the batch to fully complete before restarting.
-            if (inFlight_ != 0)
-                return false;
-            batchRemaining_ = params_.batchSize;
-            batches_.inc();
-        }
-    }
-    if (nextIdx_ >= params_.trace.size()) {
-        if (!params_.loop) {
-            exhausted_ = true;
-            return false;
-        }
-        nextIdx_ = 0;
-    }
-    const TraceRecord &rec = params_.trace[nextIdx_];
-    if (rec.delayNs != 0 && now() < nextIssueAllowed_)
-        return false;
-    ++nextIdx_;
-    HmcPacketPtr pkt = rec.isWrite
-        ? makeWriteRequest(rec.addr, rec.bytes, id_)
-        : makeReadRequest(rec.addr, rec.bytes, id_);
-    pushRequest(pkt);
-    ++inFlight_;
-    if (params_.batchSize != 0)
-        --batchRemaining_;
-    if (rec.delayNs != 0)
-        nextIssueAllowed_ = now() + rec.delayNs * kNanosecond;
-    return true;
-}
-
-void
-StreamPort::tick()
-{
-    if (!active_)
-        return;
-
-    // Drain responses through the port's AXI-Stream channel: the
-    // budget accumulates drainRate_ flits per cycle so multi-flit
-    // responses take multiple cycles, which is what throttles large
-    // request sizes on the stream path (Fig. 7/8 slopes).
-    drainBudget_ = std::min(drainBudget_ + drainRate_,
-                            std::max(2 * drainRate_, 12u));
-    while (!drainQ_.empty() && drainQ_.front()->flits() <= drainBudget_) {
-        const HmcPacketPtr pkt = drainQ_.front();
-        drainQ_.pop_front();
-        drainBudget_ -= pkt->flits();
-        completeResponse(pkt);
-    }
-
-    // One new request per cycle at most.
-    issueNext();
-}
-
-void
-StreamPort::onResponse(const HmcPacketPtr &pkt)
-{
-    drainQ_.push_back(pkt);
-}
-
-void
-StreamPort::completeResponse(const HmcPacketPtr &pkt)
-{
-    pkt->hostArriveAt = now();
-    if (inFlight_ == 0)
-        panic("StreamPort: response with nothing in flight");
-    --inFlight_;
-    if (pkt->cmd == HmcCmd::ReadResponse)
-        monitor_.recordRead(pkt->createdAt, now(), transactionBytes(*pkt), pkt.get());
-    else
-        monitor_.recordWrite(pkt->createdAt, now(),
-                             transactionBytes(*pkt));
-}
-
-bool
-StreamPort::idle() const
-{
-    return (exhausted_ || !active_) && inFlight_ == 0 && fifo_.empty() &&
-        drainQ_.empty();
 }
 
 }  // namespace hmcsim

@@ -1,13 +1,11 @@
 /**
  * @file
- * FPGA request ports.
- *
- * Port is the common machinery (request FIFO toward the controller,
- * monitoring logic, activity control).  GupsPort generates requests
- * from an address generation unit as fast as tags and FIFO space allow
- * (the vendor GUPS firmware); StreamPort replays a memory trace with a
- * bounded in-flight window and a bounded response drain rate (the
- * custom multi-port stream firmware).
+ * FPGA request port base class: the machinery every port shares (the
+ * request FIFO toward the controller, monitoring logic, activity
+ * control).  The concrete port is WorkloadPort
+ * (host/workload/workload_port.h), parameterized by a TrafficSource
+ * and an injection policy; the seed's GupsPort/StreamPort behaviours
+ * live on as legacy spec mappings there.
  */
 
 #ifndef HMCSIM_HOST_PORT_H_
@@ -16,11 +14,8 @@
 #include <deque>
 #include <memory>
 
-#include "host/addr_gen.h"
 #include "host/host_config.h"
 #include "host/monitor.h"
-#include "host/tag_pool.h"
-#include "host/trace.h"
 #include "hmc/packet.h"
 #include "sim/component.h"
 
@@ -52,7 +47,7 @@ class Port : public Component
     /** Called once per FPGA cycle while the fabric runs. */
     virtual void tick() = 0;
 
-    /** True once the port has no further work (stream completion). */
+    /** True once the port has no further work (trace completion). */
     virtual bool idle() const;
 
     Monitor &monitor() { return monitor_; }
@@ -78,77 +73,6 @@ class Port : public Component
     std::deque<HmcPacketPtr> fifo_;
     Monitor monitor_;
     Counter issued_;
-};
-
-/** GUPS firmware port: address-generator driven, tag limited. */
-class GupsPort : public Port
-{
-  public:
-    struct Params {
-        ReqKind kind = ReqKind::ReadOnly;
-        GupsAddrGen::Params gen;
-    };
-
-    GupsPort(Kernel &kernel, Component *parent, std::string name,
-             PortId id, const HostConfig &cfg, const Params &params);
-
-    void tick() override;
-    void onResponse(const HmcPacketPtr &pkt) override;
-    bool idle() const override;
-
-    const TagPool &tags() const { return tags_; }
-
-  private:
-    Params params_;
-    GupsAddrGen gen_;
-    TagPool tags_;
-    /** Writes queued by read-modify-write pairs. */
-    std::deque<Addr> pendingWrites_;
-};
-
-/** Multi-port-stream firmware port: trace replay with a window. */
-class StreamPort : public Port
-{
-  public:
-    struct Params {
-        Trace trace;
-        /** Loop the trace forever (continuous load). */
-        bool loop = true;
-        /** Max requests in flight; 0 uses the host config default. */
-        std::uint32_t window = 0;
-        /**
-         * Batch mode: issue @p batchSize requests, wait for all
-         * responses, repeat.  0 = continuous windowed issue.
-         * This is the paper's "number of requests in a stream".
-         */
-        std::uint32_t batchSize = 0;
-    };
-
-    StreamPort(Kernel &kernel, Component *parent, std::string name,
-               PortId id, const HostConfig &cfg, const Params &params);
-
-    void tick() override;
-    void onResponse(const HmcPacketPtr &pkt) override;
-    bool idle() const override;
-
-    std::uint32_t inFlight() const { return inFlight_; }
-    std::uint64_t batchesCompleted() const { return batches_.value(); }
-
-  private:
-    Params params_;
-    std::uint32_t window_;
-    std::uint32_t drainRate_;
-    std::size_t nextIdx_ = 0;
-    std::uint32_t inFlight_ = 0;
-    std::uint32_t batchRemaining_ = 0;
-    bool exhausted_ = false;
-    Tick nextIssueAllowed_ = 0;
-    std::deque<HmcPacketPtr> drainQ_;
-    std::uint32_t drainBudget_ = 0;
-    Counter batches_;
-
-    bool issueNext();
-    void completeResponse(const HmcPacketPtr &pkt);
 };
 
 }  // namespace hmcsim

@@ -58,6 +58,9 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
         if (PowerModel *pm = device(c).powerModel())
             pm->start();
     }
+    // Config-driven workloads (host.workload_ports / host.port<N>.*).
+    for (const PortWorkload &pw : cfg_.host.portWorkloads)
+        fpga_->configureWorkload(pw.port, pw.spec);
 }
 
 HostAttach

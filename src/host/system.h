@@ -8,19 +8,25 @@
  * @code
  *   SystemConfig cfg;                       // paper's AC-510 defaults
  *   System sys(cfg);
- *   GupsPort::Params gp;
+ *   GupsPortSpec gp;
  *   gp.gen.pattern = sys.addressMap().pattern(16, 16);
  *   gp.gen.requestBytes = 64;
  *   sys.configureGupsPort(0, gp);
  *   sys.run(20 * kMicrosecond);             // warm up
  *   ExperimentResult r = sys.measure(50 * kMicrosecond);
  * @endcode
+ *
+ * Workloads can also be declared entirely in config
+ * (host.workload_ports=N, host.workload=zipf, host.port0.workload=...,
+ * see host/workload/workload_spec.h); such ports are configured and
+ * activated at System construction.
  */
 
 #ifndef HMCSIM_HOST_SYSTEM_H_
 #define HMCSIM_HOST_SYSTEM_H_
 
 #include <memory>
+#include <utility>
 
 #include "chain/cube_network.h"
 #include "hmc/hmc_device.h"
@@ -67,14 +73,26 @@ class System
 
     Port &port(PortId p) { return fpga_->port(p); }
 
-    GupsPort &
-    configureGupsPort(PortId p, const GupsPort::Params &params)
+    WorkloadPort &
+    configureWorkloadPort(PortId p, WorkloadPort::Params params)
+    {
+        return fpga_->configureWorkloadPort(p, std::move(params));
+    }
+
+    WorkloadPort &
+    configureWorkload(PortId p, const WorkloadSpec &spec)
+    {
+        return fpga_->configureWorkload(p, spec);
+    }
+
+    WorkloadPort &
+    configureGupsPort(PortId p, const GupsPortSpec &params)
     {
         return fpga_->configureGupsPort(p, params);
     }
 
-    StreamPort &
-    configureStreamPort(PortId p, const StreamPort::Params &params)
+    WorkloadPort &
+    configureStreamPort(PortId p, const StreamPortSpec &params)
     {
         return fpga_->configureStreamPort(p, params);
     }

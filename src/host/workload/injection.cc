@@ -1,0 +1,40 @@
+#include "host/workload/injection.h"
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+void
+InjectionConfig::validate() const
+{
+    if (burstiness < 1.0)
+        fatal("injection: burstiness must be >= 1");
+    if (bucketCap < 0.0)
+        fatal("injection: negative bucket capacity");
+    if (mode == InjectMode::OpenLoop) {
+        if (ratePerNs <= 0.0)
+            fatal("injection: open loop needs a positive rate");
+        if (batchSize != 0)
+            fatal("injection: batches are a closed-loop concept");
+        if (bucketCap != 0.0 && bucketCap < burstiness)
+            fatal("injection: bucket capacity below burstiness");
+    }
+}
+
+InjectMode
+injectModeFromString(const std::string &s)
+{
+    if (s == "closed")
+        return InjectMode::ClosedLoop;
+    if (s == "open")
+        return InjectMode::OpenLoop;
+    fatal("injection: unknown mode '" + s + "' (closed|open)");
+}
+
+const char *
+toString(InjectMode mode)
+{
+    return mode == InjectMode::ClosedLoop ? "closed" : "open";
+}
+
+}  // namespace hmcsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Injection policy of a WorkloadPort: *when* requests enter the FIFO,
+ * independent of *what* the TrafficSource generates.
+ *
+ * Closed loop reproduces the firmware behaviours the paper measures:
+ * a bounded outstanding window (the GUPS tag pool / stream AXI
+ * buffer), optionally quantized into batches (Fig. 7/8's "requests in
+ * a stream").  Open loop injects at a configured offered rate
+ * regardless of completions -- the classical way to measure a
+ * latency-vs-offered-load curve -- with a token bucket whose
+ * burstiness knob releases tokens in clumps.
+ */
+
+#ifndef HMCSIM_HOST_WORKLOAD_INJECTION_H_
+#define HMCSIM_HOST_WORKLOAD_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hmcsim {
+
+enum class InjectMode {
+    /** Issue while outstanding < window (completions gate issue). */
+    ClosedLoop,
+    /** Issue at ratePerNs regardless of completions. */
+    OpenLoop,
+};
+
+struct InjectionConfig {
+    InjectMode mode = InjectMode::ClosedLoop;
+
+    /** Closed loop: max outstanding requests; 0 = firmware default
+     *  (the GUPS tag pool for generated traffic). */
+    std::uint32_t window = 0;
+
+    /** Closed loop: issue in batches of this many requests, waiting
+     *  for the whole batch to complete before the next (0 = off). */
+    std::uint32_t batchSize = 0;
+
+    /** Open loop: mean offered rate in requests per nanosecond. */
+    double ratePerNs = 0.05;
+
+    /**
+     * Open loop: tokens accumulated before the bucket starts
+     * releasing.  1.0 injects as smoothly as the rate allows; larger
+     * values clump arrivals into bursts of roughly this size.
+     */
+    double burstiness = 1.0;
+
+    /** Open loop: token bucket capacity; 0 = auto
+     *  (max(2*burstiness, 16)).  Arrivals beyond a full bucket are
+     *  dropped, bounding the catch-up backlog after stalls. */
+    double bucketCap = 0.0;
+
+    void validate() const;
+};
+
+InjectMode injectModeFromString(const std::string &s);
+const char *toString(InjectMode mode);
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_HOST_WORKLOAD_INJECTION_H_

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * TrafficSource: the "what to access" half of a host workload.
+ *
+ * A source produces a stream of request descriptors (address, size,
+ * read/write, optional issue gap); it knows nothing about FIFOs, tags,
+ * outstanding windows or injection rates -- that is the WorkloadPort's
+ * "how to inject" half (host/workload/workload_port.h).  Separating
+ * the two lets every access pattern run under every injection policy.
+ */
+
+#ifndef HMCSIM_HOST_WORKLOAD_TRAFFIC_SOURCE_H_
+#define HMCSIM_HOST_WORKLOAD_TRAFFIC_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+
+namespace hmcsim {
+
+/** One request a TrafficSource wants issued. */
+struct WorkloadRequest {
+    Addr addr = 0;
+    std::uint32_t bytes = 32;
+    bool isWrite = false;
+    /** Minimum gap (ns) after the previous issue before this request
+     *  may go out (trace inter-arrival delays, on/off gaps). */
+    std::uint32_t delayNs = 0;
+};
+
+/**
+ * Pull-based request generator.  The port calls next() exactly once
+ * per request it is about to issue (plus at most one staged request it
+ * holds while an issue gate is closed), so RNG-backed sources draw in
+ * issue order and stay deterministic.
+ */
+class TrafficSource
+{
+  public:
+    virtual ~TrafficSource() = default;
+
+    /**
+     * Produce the next request.  @p now is the current simulated time
+     * (phase-mixed sources switch on it).  Returns false once the
+     * source is exhausted; exhaustion is permanent.
+     */
+    virtual bool next(Tick now, WorkloadRequest &out) = 0;
+
+    /** Short identifier for logs and stats ("gups", "zipf", ...). */
+    virtual const char *kind() const = 0;
+};
+
+using TrafficSourcePtr = std::unique_ptr<TrafficSource>;
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_HOST_WORKLOAD_TRAFFIC_SOURCE_H_

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Turn a WorkloadSpec (the config-level description) into live
+ * WorkloadPort parameters: build the TrafficSource tree against the
+ * system's address geometry and resolve the injection policy against
+ * the host firmware defaults.
+ */
+
+#ifndef HMCSIM_HOST_WORKLOAD_WORKLOAD_BUILD_H_
+#define HMCSIM_HOST_WORKLOAD_WORKLOAD_BUILD_H_
+
+#include "hmc/address_map.h"
+#include "host/workload/workload_port.h"
+#include "host/workload/workload_spec.h"
+
+namespace hmcsim {
+
+struct HostConfig;
+
+/**
+ * Build the TrafficSource described by @p spec.  @p seed is the fully
+ * resolved per-port seed (the builder derives decorrelated sub-seeds
+ * for nested sources with mixSeeds()).
+ */
+TrafficSourcePtr buildTrafficSource(const WorkloadSpec &spec,
+                                    const AddressMap &map,
+                                    std::uint64_t seed);
+
+/**
+ * Resolve @p spec into full port parameters for @p port.  A zero
+ * spec.seed derives the port seed as mixSeeds(host.seed, port).
+ */
+WorkloadPort::Params buildWorkloadParams(const WorkloadSpec &spec,
+                                         const AddressMap &map,
+                                         const HostConfig &host,
+                                         PortId port);
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_HOST_WORKLOAD_WORKLOAD_BUILD_H_

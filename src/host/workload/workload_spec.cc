@@ -1,0 +1,203 @@
+#include "host/workload/workload_spec.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace hmcsim {
+
+namespace {
+
+bool
+knownType(const std::string &t)
+{
+    return t == "gups" || t == "stride" || t == "zipf" || t == "burst" ||
+        t == "trace" || t == "mix";
+}
+
+}  // namespace
+
+void
+WorkloadSpec::validate() const
+{
+    if (!knownType(type))
+        fatal("workload: unknown type '" + type +
+              "' (gups|stride|zipf|burst|trace|mix)");
+    if (requestBytes == 0)
+        fatal("workload: zero request size");
+    if (writeFraction < 0.0 || writeFraction > 1.0)
+        fatal("workload: write fraction outside [0, 1]");
+    if (inject != "closed" && inject != "open")
+        fatal("workload: unknown injection mode '" + inject +
+              "' (closed|open)");
+    if (inject == "open" && ratePerNs <= 0.0)
+        fatal("workload: open loop needs a positive rate_per_ns");
+    if (type == "zipf" && zipfDomain != "vault" && zipfDomain != "cube" &&
+        zipfDomain != "block")
+        fatal("workload: unknown zipf domain '" + zipfDomain +
+              "' (vault|cube|block)");
+    if (type == "zipf" && (zipfTheta < 0.0 || zipfTheta >= 1.0))
+        fatal("workload: zipf_theta must be in [0, 1)");
+    if (type == "burst" &&
+        (burstInner == "burst" || burstInner == "mix" ||
+         !knownType(burstInner)))
+        fatal("workload: burst_inner must be gups|stride|zipf|trace");
+    if (type == "mix" && mixPhases.empty())
+        fatal("workload: mix needs mix_phases");
+}
+
+WorkloadSpec
+WorkloadSpec::fromConfig(const Config &cfg, const std::string &prefix,
+                         const WorkloadSpec &defaults)
+{
+    WorkloadSpec s = defaults;
+    const std::string w = prefix + "workload";
+    s.type = cfg.getString(w, s.type);
+    const auto u32 = [&cfg](const std::string &key, std::uint32_t fb) {
+        return static_cast<std::uint32_t>(cfg.getU64(key, fb));
+    };
+    s.requestBytes = u32(w + ".request_bytes", s.requestBytes);
+    s.kind = reqKindFromString(
+        cfg.getString(w + ".kind", toString(s.kind)));
+    s.writeFraction = cfg.getDouble(w + ".write_fraction", s.writeFraction);
+    s.patternVaults = u32(w + ".vaults", s.patternVaults);
+    s.patternBanks = u32(w + ".banks", s.patternBanks);
+    s.baseVault = u32(w + ".base_vault", s.baseVault);
+    s.baseBank = u32(w + ".base_bank", s.baseBank);
+    s.seed = cfg.getU64(w + ".seed", s.seed);
+
+    s.inject = cfg.getString(w + ".inject", s.inject);
+    s.window = u32(w + ".window", s.window);
+    s.batchSize = u32(w + ".batch", s.batchSize);
+    s.ratePerNs = cfg.getDouble(w + ".rate_per_ns", s.ratePerNs);
+    s.burstiness = cfg.getDouble(w + ".burstiness", s.burstiness);
+
+    s.gupsMode = cfg.getString(w + ".gups_mode", s.gupsMode);
+
+    s.strideBytes = cfg.getU64(w + ".stride_bytes", s.strideBytes);
+    s.strideSpanBytes = cfg.getU64(w + ".stride_span", s.strideSpanBytes);
+    s.strideBase = cfg.getU64(w + ".stride_base", s.strideBase);
+
+    s.zipfTheta = cfg.getDouble(w + ".zipf_theta", s.zipfTheta);
+    s.zipfDomain = cfg.getString(w + ".zipf_domain", s.zipfDomain);
+    s.zipfHotItems = cfg.getU64(w + ".zipf_hot_items", s.zipfHotItems);
+
+    s.burstInner = cfg.getString(w + ".burst_inner", s.burstInner);
+    s.burstLen = u32(w + ".burst_len", s.burstLen);
+    s.burstGapNs = u32(w + ".burst_gap_ns", s.burstGapNs);
+    s.burstJitter = cfg.getBool(w + ".burst_jitter", s.burstJitter);
+
+    s.traceFile = cfg.getString(w + ".trace_file", s.traceFile);
+    s.traceLength = cfg.getU64(w + ".trace_length", s.traceLength);
+    s.traceLoop = cfg.getBool(w + ".trace_loop", s.traceLoop);
+
+    s.mixPhases = cfg.getString(w + ".mix_phases", s.mixPhases);
+    s.validate();
+    return s;
+}
+
+void
+WorkloadSpec::toConfig(Config &cfg, const std::string &prefix) const
+{
+    const std::string w = prefix + "workload";
+    cfg.set(w, type);
+    cfg.setU64(w + ".request_bytes", requestBytes);
+    cfg.set(w + ".kind", toString(kind));
+    cfg.setDouble(w + ".write_fraction", writeFraction);
+    cfg.setU64(w + ".vaults", patternVaults);
+    cfg.setU64(w + ".banks", patternBanks);
+    cfg.setU64(w + ".base_vault", baseVault);
+    cfg.setU64(w + ".base_bank", baseBank);
+    cfg.setU64(w + ".seed", seed);
+    cfg.set(w + ".inject", inject);
+    cfg.setU64(w + ".window", window);
+    cfg.setU64(w + ".batch", batchSize);
+    cfg.setDouble(w + ".rate_per_ns", ratePerNs);
+    cfg.setDouble(w + ".burstiness", burstiness);
+    cfg.set(w + ".gups_mode", gupsMode);
+    cfg.setU64(w + ".stride_bytes", strideBytes);
+    cfg.setU64(w + ".stride_span", strideSpanBytes);
+    cfg.setU64(w + ".stride_base", strideBase);
+    cfg.setDouble(w + ".zipf_theta", zipfTheta);
+    cfg.set(w + ".zipf_domain", zipfDomain);
+    cfg.setU64(w + ".zipf_hot_items", zipfHotItems);
+    cfg.set(w + ".burst_inner", burstInner);
+    cfg.setU64(w + ".burst_len", burstLen);
+    cfg.setU64(w + ".burst_gap_ns", burstGapNs);
+    cfg.setBool(w + ".burst_jitter", burstJitter);
+    cfg.set(w + ".trace_file", traceFile);
+    cfg.setU64(w + ".trace_length", traceLength);
+    cfg.setBool(w + ".trace_loop", traceLoop);
+    cfg.set(w + ".mix_phases", mixPhases);
+}
+
+Tick
+parseDurationTicks(const std::string &text)
+{
+    if (text.empty())
+        fatal("duration: empty string");
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || value < 0.0)
+        fatal("duration: malformed '" + text + "'");
+    std::string unit(end);
+    while (!unit.empty() && std::isspace(static_cast<unsigned char>(unit.front())))
+        unit.erase(unit.begin());
+    double scale;
+    if (unit.empty() || unit == "ns")
+        scale = static_cast<double>(kNanosecond);
+    else if (unit == "us")
+        scale = static_cast<double>(kMicrosecond);
+    else if (unit == "ms")
+        scale = static_cast<double>(kMillisecond);
+    else if (unit == "s")
+        scale = static_cast<double>(kSecond);
+    else
+        fatal("duration: unknown unit '" + unit + "' in '" + text + "'");
+    return static_cast<Tick>(value * scale + 0.5);
+}
+
+ReqKind
+reqKindFromString(const std::string &s)
+{
+    if (s == "read")
+        return ReqKind::ReadOnly;
+    if (s == "write")
+        return ReqKind::WriteOnly;
+    if (s == "rmw")
+        return ReqKind::ReadModifyWrite;
+    fatal("workload: unknown request kind '" + s + "' (read|write|rmw)");
+}
+
+const char *
+toString(ReqKind kind)
+{
+    switch (kind) {
+      case ReqKind::ReadOnly:
+        return "read";
+      case ReqKind::WriteOnly:
+        return "write";
+      case ReqKind::ReadModifyWrite:
+        return "rmw";
+    }
+    return "read";
+}
+
+AddrMode
+addrModeFromString(const std::string &s)
+{
+    if (s == "random")
+        return AddrMode::Random;
+    if (s == "linear")
+        return AddrMode::Linear;
+    fatal("workload: unknown gups mode '" + s + "' (random|linear)");
+}
+
+const char *
+toString(AddrMode mode)
+{
+    return mode == AddrMode::Random ? "random" : "linear";
+}
+
+}  // namespace hmcsim

@@ -47,7 +47,7 @@ runConservation(const SystemConfig &cfg)
 {
     System sys(cfg);
     for (PortId p = 0; p < 3; ++p) {
-        GupsPort::Params gp;
+        GupsPortSpec gp;
         gp.gen.pattern = sys.addressMap().pattern(16, 16);
         gp.gen.requestBytes = 32;
         gp.gen.capacity = cfg.hmc.totalCapacityBytes();
@@ -150,7 +150,7 @@ TEST(ChainSystem, CubePatternConfinesTraffic)
 {
     const SystemConfig cfg = chainConfig(4, "daisy");
     System sys(cfg);
-    GupsPort::Params gp;
+    GupsPortSpec gp;
     gp.gen.pattern = sys.addressMap().cubePattern(2);
     gp.gen.requestBytes = 32;
     gp.gen.capacity = cfg.hmc.totalCapacityBytes();
@@ -172,7 +172,7 @@ lowLoadLatencyToCube(const SystemConfig &cfg, CubeId cube)
 {
     System sys(cfg);
     Rng rng(42 + cube);
-    StreamPort::Params sp;
+    StreamPortSpec sp;
     sp.trace = makeRandomTrace(rng, sys.addressMap().cubePattern(cube),
                                cfg.hmc.totalCapacityBytes(), 512, 32);
     sp.loop = true;
@@ -218,7 +218,7 @@ TEST(ChainSystem, StarHasNoHops)
 {
     const SystemConfig cfg = chainConfig(4, "star");
     System sys(cfg);
-    GupsPort::Params gp;
+    GupsPortSpec gp;
     gp.gen.pattern = sys.addressMap().pattern(16, 16);
     gp.gen.requestBytes = 32;
     gp.gen.capacity = cfg.hmc.totalCapacityBytes();
@@ -238,7 +238,7 @@ TEST(ChainSystem, StatsExposeChainTree)
 {
     const SystemConfig cfg = chainConfig(4, "daisy");
     System sys(cfg);
-    GupsPort::Params gp;
+    GupsPortSpec gp;
     gp.gen.pattern = sys.addressMap().pattern(16, 16);
     gp.gen.requestBytes = 32;
     gp.gen.capacity = cfg.hmc.totalCapacityBytes();

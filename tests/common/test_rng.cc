@@ -114,5 +114,41 @@ TEST(SplitMix, KnownToAdvanceState)
     EXPECT_NE(s, 0u);
 }
 
+TEST(MixSeeds, Deterministic)
+{
+    EXPECT_EQ(mixSeeds(42, 7), mixSeeds(42, 7));
+    EXPECT_NE(mixSeeds(42, 7), mixSeeds(42, 8));
+    EXPECT_NE(mixSeeds(42, 7), mixSeeds(43, 7));
+}
+
+TEST(MixSeeds, AdjacentStreamsDecorrelate)
+{
+    // Adjacent stream ids must land on seeds that differ in roughly
+    // half their bits (a "seed + portId" scheme differs in one or two
+    // low bits), and the seeds must all be distinct.
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t p = 0; p < 64; ++p) {
+        const std::uint64_t a = mixSeeds(12345, p);
+        const std::uint64_t b = mixSeeds(12345, p + 1);
+        const int hamming = __builtin_popcountll(a ^ b);
+        EXPECT_GT(hamming, 12);
+        EXPECT_LT(hamming, 52);
+        seen.insert(a);
+    }
+    EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(MixSeeds, FirstDrawsAreDecorrelated)
+{
+    // The first outputs of generators seeded from adjacent streams
+    // behave like independent uniform draws.
+    double sum = 0.0;
+    for (std::uint64_t p = 0; p < 4096; ++p) {
+        Rng r(mixSeeds(999, p));
+        sum += r.nextDouble();
+    }
+    EXPECT_NEAR(sum / 4096.0, 0.5, 0.03);
+}
+
 }  // namespace
 }  // namespace hmcsim

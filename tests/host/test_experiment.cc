@@ -18,7 +18,7 @@ TEST(Experiment, CollectResultAggregatesPorts)
     SystemConfig cfg;
     System sys(cfg);
     for (PortId p = 0; p < 2; ++p) {
-        GupsPort::Params gp;
+        GupsPortSpec gp;
         gp.gen.pattern = sys.addressMap().pattern(16, 16);
         gp.gen.requestBytes = 32;
         gp.gen.capacity = cfg.hmc.capacityBytes;
@@ -49,7 +49,7 @@ TEST(Experiment, IdlePortsExcludedFromResult)
 {
     SystemConfig cfg;
     System sys(cfg);
-    GupsPort::Params gp;
+    GupsPortSpec gp;
     gp.gen.pattern = sys.addressMap().pattern(16, 16);
     gp.gen.requestBytes = 32;
     gp.gen.capacity = cfg.hmc.capacityBytes;

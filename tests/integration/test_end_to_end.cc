@@ -142,7 +142,7 @@ TEST(EndToEnd, ResponsesMatchRequests)
 {
     SystemConfig cfg = fastCfg();
     System sys(cfg);
-    GupsPort::Params gp;
+    GupsPortSpec gp;
     gp.gen.pattern = sys.addressMap().pattern(16, 16);
     gp.gen.requestBytes = 64;
     gp.gen.capacity = cfg.hmc.capacityBytes;
@@ -175,7 +175,7 @@ TEST(EndToEnd, ReadModifyWriteProducesBoth)
 {
     SystemConfig cfg = fastCfg();
     System sys(cfg);
-    GupsPort::Params gp;
+    GupsPortSpec gp;
     gp.kind = ReqKind::ReadModifyWrite;
     gp.gen.pattern = sys.addressMap().pattern(16, 16);
     gp.gen.requestBytes = 32;

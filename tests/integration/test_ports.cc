@@ -16,10 +16,10 @@ class PortsTest : public ::testing::Test
   protected:
     PortsTest() : sys_(SystemConfig{}) {}
 
-    GupsPort::Params
+    GupsPortSpec
     gupsParams(std::uint32_t bytes = 32)
     {
-        GupsPort::Params gp;
+        GupsPortSpec gp;
         gp.gen.pattern = sys_.addressMap().pattern(16, 16);
         gp.gen.requestBytes = bytes;
         gp.gen.capacity = sys_.config().hmc.capacityBytes;
@@ -27,10 +27,10 @@ class PortsTest : public ::testing::Test
         return gp;
     }
 
-    StreamPort::Params
+    StreamPortSpec
     streamParams(std::size_t n = 64, std::uint32_t bytes = 32)
     {
-        StreamPort::Params sp;
+        StreamPortSpec sp;
         sp.trace = makeStreamTrace(0, n, bytes, bytes);
         sp.loop = false;
         return sp;
@@ -48,7 +48,7 @@ TEST_F(PortsTest, InactivePortGeneratesNothing)
 
 TEST_F(PortsTest, GupsPortRespectsTagLimit)
 {
-    GupsPort &port = sys_.configureGupsPort(0, gupsParams());
+    WorkloadPort &port = sys_.configureGupsPort(0, gupsParams());
     sys_.run(10 * kMicrosecond);
     EXPECT_LE(port.tags().peakInUse(),
               sys_.config().host.tagsPerPort);
@@ -57,7 +57,7 @@ TEST_F(PortsTest, GupsPortRespectsTagLimit)
 
 TEST_F(PortsTest, GupsDeactivationDrains)
 {
-    GupsPort &port = sys_.configureGupsPort(0, gupsParams());
+    WorkloadPort &port = sys_.configureGupsPort(0, gupsParams());
     sys_.run(10 * kMicrosecond);
     port.setActive(false);
     sys_.run(20 * kMicrosecond);
@@ -75,10 +75,10 @@ TEST_F(PortsTest, StreamPortFinishesFiniteTrace)
 
 TEST_F(PortsTest, StreamPortHonoursWindow)
 {
-    StreamPort::Params sp = streamParams(5000, 32);
+    StreamPortSpec sp = streamParams(5000, 32);
     sp.loop = true;
     sp.window = 4;
-    StreamPort &port = sys_.configureStreamPort(0, sp);
+    WorkloadPort &port = sys_.configureStreamPort(0, sp);
     sys_.run(5 * kMicrosecond);
     EXPECT_LE(port.inFlight(), 4u);
     EXPECT_GT(port.monitor().reads(), 10u);
@@ -86,10 +86,10 @@ TEST_F(PortsTest, StreamPortHonoursWindow)
 
 TEST_F(PortsTest, StreamBatchesComplete)
 {
-    StreamPort::Params sp = streamParams(4096, 32);
+    StreamPortSpec sp = streamParams(4096, 32);
     sp.loop = true;
     sp.batchSize = 10;
-    StreamPort &port = sys_.configureStreamPort(0, sp);
+    WorkloadPort &port = sys_.configureStreamPort(0, sp);
     sys_.run(30 * kMicrosecond);
     EXPECT_GT(port.batchesCompleted(), 10u);
     // Reads arrive in multiples of the batch size (plus the batch in
@@ -99,14 +99,14 @@ TEST_F(PortsTest, StreamBatchesComplete)
 
 TEST_F(PortsTest, StreamRecordDelaysThrottle)
 {
-    StreamPort::Params fast = streamParams(200, 32);
+    StreamPortSpec fast = streamParams(200, 32);
     fast.loop = false;
     sys_.configureStreamPort(0, fast);
     ASSERT_TRUE(sys_.runUntilIdle(1 * kMillisecond));
     const Tick fast_done = sys_.now();
 
     System slow_sys{SystemConfig{}};
-    StreamPort::Params slow;
+    StreamPortSpec slow;
     slow.trace = makeStreamTrace(0, 200, 32, 32);
     for (auto &r : slow.trace)
         r.delayNs = 100;  // 100 ns between issues
@@ -120,7 +120,7 @@ TEST_F(PortsTest, StreamRecordDelaysThrottle)
 TEST_F(PortsTest, MixedPortTypesCoexist)
 {
     sys_.configureGupsPort(0, gupsParams(64));
-    StreamPort::Params sp = streamParams(4096, 64);
+    StreamPortSpec sp = streamParams(4096, 64);
     sp.loop = true;
     sys_.configureStreamPort(1, sp);
     sys_.run(20 * kMicrosecond);
@@ -131,7 +131,7 @@ TEST_F(PortsTest, MixedPortTypesCoexist)
 TEST_F(PortsTest, NinePortsShareFairly)
 {
     for (PortId p = 0; p < 9; ++p) {
-        GupsPort::Params gp = gupsParams(32);
+        GupsPortSpec gp = gupsParams(32);
         gp.gen.seed = 100 + p;
         sys_.configureGupsPort(p, gp);
     }
@@ -163,14 +163,14 @@ TEST_F(PortsTest, MonitorBandwidthUsesPaperFormula)
 
 TEST_F(PortsTest, EmptyTraceIsFatal)
 {
-    StreamPort::Params sp;
+    StreamPortSpec sp;
     sp.trace = {};
     EXPECT_THROW(sys_.configureStreamPort(0, sp), FatalError);
 }
 
 TEST_F(PortsTest, WritesInTraceProduceWrites)
 {
-    StreamPort::Params sp;
+    StreamPortSpec sp;
     sp.trace = makeStreamTrace(0, 50, 64, 64, /*writes=*/true);
     sp.loop = false;
     sys_.configureStreamPort(0, sp);

@@ -54,7 +54,7 @@ TEST(PowerSystem, StatsExposePowerTree)
 {
     SystemConfig cfg;
     System sys(cfg);
-    GupsPort::Params gp;
+    GupsPortSpec gp;
     gp.gen.pattern = sys.addressMap().pattern(16, 16);
     gp.gen.requestBytes = 64;
     gp.gen.capacity = cfg.hmc.capacityBytes;

@@ -28,7 +28,7 @@ TEST_P(SystemConservation, NoRequestLostOrDuplicated)
     SystemConfig cfg;
     System sys(cfg);
     for (PortId p = 0; p < 3; ++p) {
-        GupsPort::Params gp;
+        GupsPortSpec gp;
         gp.gen.pattern = sys.addressMap().pattern(vaults, banks);
         gp.gen.requestBytes = bytes;
         gp.gen.capacity = cfg.hmc.capacityBytes;
@@ -127,7 +127,7 @@ TEST(SystemAccounting, LinkFlitsMatchPacketSizes)
 {
     SystemConfig cfg;
     System sys(cfg);
-    GupsPort::Params gp;
+    GupsPortSpec gp;
     gp.gen.pattern = sys.addressMap().pattern(16, 16);
     gp.gen.requestBytes = 64;
     gp.gen.capacity = cfg.hmc.capacityBytes;
@@ -150,7 +150,7 @@ TEST(SystemAccounting, StatsTreeExposesEveryLayer)
 {
     SystemConfig cfg;
     System sys(cfg);
-    GupsPort::Params gp;
+    GupsPortSpec gp;
     gp.gen.pattern = sys.addressMap().pattern(16, 16);
     gp.gen.requestBytes = 32;
     gp.gen.capacity = cfg.hmc.capacityBytes;
@@ -169,7 +169,7 @@ TEST(SystemAccounting, ResetStatsZeroesWindow)
 {
     SystemConfig cfg;
     System sys(cfg);
-    GupsPort::Params gp;
+    GupsPortSpec gp;
     gp.gen.pattern = sys.addressMap().pattern(16, 16);
     gp.gen.requestBytes = 32;
     gp.gen.capacity = cfg.hmc.capacityBytes;

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * System-level tests of the injection policies: open-loop offered vs
+ * accepted rates (cross-validated against the Little's-law helpers),
+ * burstiness, and closed-loop window behaviour through the workload
+ * spec path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/littles_law.h"
+#include "common/log.h"
+#include "host/experiment.h"
+#include "host/system.h"
+
+namespace hmcsim {
+namespace {
+
+WorkloadRunSpec
+openGups(double rate_per_ns)
+{
+    WorkloadRunSpec spec;
+    spec.workload.type = "gups";
+    spec.workload.inject = "open";
+    spec.workload.ratePerNs = rate_per_ns;
+    spec.activePorts = 1;
+    spec.warmup = 5 * kMicrosecond;
+    spec.window = 20 * kMicrosecond;
+    return spec;
+}
+
+TEST(OpenLoop, AcceptsTheOfferedRateBelowSaturation)
+{
+    // 0.01 req/ns = 10 M req/s per port, far below the port ceiling.
+    const ExperimentResult r = runWorkload(SystemConfig{},
+                                           openGups(0.01));
+    EXPECT_NEAR(r.offeredPerNs(), 0.01, 0.001);
+    EXPECT_NEAR(r.acceptedPerNs(), r.offeredPerNs(),
+                0.05 * r.offeredPerNs());
+
+    // Cross-validate with the paper's utilization-law helper: the
+    // arrival rate implied by the measured wire bandwidth must equal
+    // the accepted rate (64 wire bytes per 32 B read).
+    const double implied_per_s = arrivalRatePerSec(r.bandwidthGBs, 64);
+    EXPECT_NEAR(implied_per_s / 1e9, r.acceptedPerNs(),
+                0.02 * r.acceptedPerNs());
+}
+
+TEST(OpenLoop, LittlesLawPopulationConsistent)
+{
+    const double rate = 0.02;
+    const ExperimentResult r = runWorkload(SystemConfig{},
+                                           openGups(rate));
+    // Below saturation the open-loop population is rate*latency
+    // (Little's law).  estimateOutstanding() recomputes it from the
+    // measured data bandwidth and latency; both paths must agree.
+    const double data_gbs = static_cast<double>(r.totalReads) * 32.0 /
+        (static_cast<double>(r.windowTicks) * 1e-3);
+    const double est = estimateOutstanding(data_gbs, r.avgReadLatencyNs,
+                                           32);
+    const double expected = rate * r.avgReadLatencyNs;
+    EXPECT_NEAR(est, expected, 0.05 * expected);
+}
+
+TEST(OpenLoop, SaturationAcceptsLessThanOffered)
+{
+    // 1 req/ns per port is far beyond what one port can issue (the
+    // fabric issues at most one request per 5.33 ns cycle).
+    const ExperimentResult r = runWorkload(SystemConfig{},
+                                           openGups(1.0));
+    EXPECT_NEAR(r.offeredPerNs(), 1.0, 0.05);
+    EXPECT_LT(r.acceptedPerNs(), 0.5 * r.offeredPerNs());
+    EXPECT_GT(r.acceptedPerNs(), 0.0);
+}
+
+TEST(OpenLoop, BurstinessClumpsArrivals)
+{
+    SystemConfig cfg;
+    WorkloadRunSpec smooth = openGups(0.05);
+    smooth.workload.burstiness = 1.0;
+    WorkloadRunSpec bursty = openGups(0.05);
+    bursty.workload.burstiness = 64.0;
+
+    const ExperimentResult rs = runWorkload(cfg, smooth);
+    const ExperimentResult rb = runWorkload(cfg, bursty);
+    // Same offered load accepted either way...
+    EXPECT_NEAR(rb.acceptedPerNs(), rs.acceptedPerNs(),
+                0.1 * rs.acceptedPerNs());
+    // ...but clumped arrivals queue behind each other: the latency
+    // spread (and tail) must be clearly wider than the smooth case.
+    EXPECT_GT(rb.stddevReadLatencyNs, 2.0 * rs.stddevReadLatencyNs);
+    EXPECT_GT(rb.maxReadLatencyNs, rs.maxReadLatencyNs);
+}
+
+TEST(ClosedLoop, SpecWindowBoundsOutstanding)
+{
+    SystemConfig cfg;
+    System sys(cfg);
+    WorkloadSpec w;
+    w.type = "gups";
+    w.inject = "closed";
+    w.window = 4;
+    w.seed = 11;
+    WorkloadPort &port = sys.configureWorkload(0, w);
+    sys.run(10 * kMicrosecond);
+    EXPECT_LE(port.tags().peakInUse(), 4u);
+    EXPECT_GT(port.monitor().reads(), 100u);
+}
+
+TEST(ClosedLoop, OfferedIsZero)
+{
+    WorkloadRunSpec spec;
+    spec.workload.type = "gups";
+    spec.workload.inject = "closed";
+    spec.activePorts = 2;
+    spec.warmup = 2 * kMicrosecond;
+    spec.window = 5 * kMicrosecond;
+    const ExperimentResult r = runWorkload(SystemConfig{}, spec);
+    EXPECT_EQ(r.totalOfferedRequests, 0.0);
+    EXPECT_GT(r.totalReads, 0u);
+}
+
+TEST(Injection, ValidationRejectsNonsense)
+{
+    InjectionConfig inj;
+    inj.mode = InjectMode::OpenLoop;
+    inj.ratePerNs = 0.0;
+    EXPECT_THROW(inj.validate(), FatalError);
+
+    inj = InjectionConfig{};
+    inj.mode = InjectMode::OpenLoop;
+    inj.ratePerNs = 0.1;
+    inj.batchSize = 8;  // batches are closed-loop only
+    EXPECT_THROW(inj.validate(), FatalError);
+
+    inj = InjectionConfig{};
+    inj.burstiness = 0.5;
+    EXPECT_THROW(inj.validate(), FatalError);
+}
+
+TEST(Injection, BurstOffGapsThrottleThroughput)
+{
+    // The off-gap is anchored at the END of the previous burst (the
+    // last issue), so even a gap shorter than the burst duration must
+    // cut throughput versus continuous traffic.
+    SystemConfig cfg;
+    WorkloadRunSpec cont;
+    cont.workload.type = "gups";
+    cont.activePorts = 1;
+    cont.warmup = 3 * kMicrosecond;
+    cont.window = 15 * kMicrosecond;
+
+    WorkloadRunSpec burst = cont;
+    burst.workload.type = "burst";
+    burst.workload.burstInner = "gups";
+    burst.workload.burstLen = 64;
+    burst.workload.burstGapNs = 200;
+
+    const ExperimentResult rc = runWorkload(cfg, cont);
+    const ExperimentResult rb = runWorkload(cfg, burst);
+    // Duty cycle ~ burst_time / (burst_time + 200 ns) well below 1.
+    EXPECT_LT(rb.totalReads, 0.9 * static_cast<double>(rc.totalReads));
+    EXPECT_GT(rb.totalReads, 0u);
+}
+
+TEST(Injection, OpenLoopFiniteSourceStopsOffering)
+{
+    // A non-looping trace that exhausts mid-window must not keep
+    // accruing offered load (the gap would masquerade as saturation).
+    SystemConfig cfg;
+    WorkloadRunSpec spec;
+    spec.workload.type = "trace";
+    spec.workload.traceLength = 200;
+    spec.workload.traceLoop = false;
+    spec.workload.inject = "open";
+    spec.workload.ratePerNs = 0.05;
+    spec.activePorts = 1;
+    spec.warmup = 0;
+    spec.window = 50 * kMicrosecond;  // trace ends long before this
+    const ExperimentResult r = runWorkload(cfg, spec);
+    EXPECT_EQ(r.totalReads, 200u);
+    // Offered stops at exhaustion: far below rate * window = 2500.
+    EXPECT_LT(r.totalOfferedRequests, 400.0);
+    EXPECT_GE(r.totalOfferedRequests, 200.0);
+}
+
+TEST(Injection, OpenLoopRatesScaleAcrossPorts)
+{
+    WorkloadRunSpec spec = openGups(0.01);
+    spec.activePorts = 4;
+    const ExperimentResult r = runWorkload(SystemConfig{}, spec);
+    EXPECT_NEAR(r.offeredPerNs(), 0.04, 0.004);
+    EXPECT_NEAR(r.acceptedPerNs(), r.offeredPerNs(),
+                0.05 * r.offeredPerNs());
+    ASSERT_EQ(r.ports.size(), 4u);
+    for (const PortStats &ps : r.ports)
+        EXPECT_GT(ps.offeredRequests, 0.0);
+}
+
+}  // namespace
+}  // namespace hmcsim
