@@ -190,5 +190,82 @@ main(int argc, char **argv)
                             static_cast<double>(total_served)
                         : 0.0);
     }
+
+    // Part 3: static vs adaptive routing under a cube-skewed zipf
+    // hotspot, open loop.  The skew concentrates flows on the near
+    // cubes so the ring's clockwise entry path congests while the wrap
+    // side idles; bursty injection makes the congestion transient --
+    // the regime where occupancy-driven tie-splitting and bounded
+    // misroutes trim the tail without wasting capacity on detours.
+    // Small link-token pools keep the interior backpressure visible
+    // (the signal the adaptive policy reads).  Offered-vs-accepted and
+    // p99 quantify the win.  The daisy rows isolate the entry-link
+    // spreading component: a daisy chain has no path diversity, so
+    // switch-level deviations/misroutes stay zero and any delta comes
+    // from the congestion-aware entry-link pick alone.
+    {
+        bench::CsvOutput routing_out("fig_chain_routing");
+        CsvWriter rcsv(routing_out.stream(),
+                       {"topology", "routing", "offered_per_ns",
+                        "accepted_per_ns", "avg_latency_ns",
+                        "p99_latency_ns", "deviations", "misroutes",
+                        "rx_hol_stalls"});
+        rep.section(
+            "static vs adaptive chain routing (zipf cube hotspot)");
+        for (const char *topo : {"ring", "daisy"}) {
+            double acc[2] = {0.0, 0.0};
+            double p99[2] = {0.0, 0.0};
+            int idx = 0;
+            for (const char *routing : {"static", "adaptive"}) {
+                SystemConfig cfg = chainConfig(4, topo);
+                cfg.hmc.chain.routing = routing;
+                cfg.hmc.linkTokens = 32;
+                cfg.host.tagsPerPort = 128;
+                WorkloadRunSpec wr;
+                wr.workload.type = "zipf";
+                wr.workload.zipfDomain = "cube";
+                wr.workload.zipfTheta = 0.9;
+                wr.workload.requestBytes = 64;
+                wr.workload.writeFraction = 0.5;
+                wr.workload.inject = "open";
+                wr.workload.ratePerNs = 0.018;
+                wr.workload.burstiness = 64.0;
+                wr.activePorts = 9;
+                wr.warmup = warmup;
+                wr.window = window;
+                // 50 ns bins: p99 sits around 4-5 us here, so the
+                // bin quantization stays ~1% of the measured value.
+                wr.latencyHistBins = 800;
+                wr.latencyHistLoNs = 0.0;
+                wr.latencyHistHiNs = 40000.0;
+                const ExperimentResult rr = runWorkload(cfg, wr);
+                acc[idx] = rr.acceptedPerNs();
+                p99[idx] = rr.p99ReadLatencyNs;
+                ++idx;
+                rcsv.row()
+                    .cell(topo)
+                    .cell(routing)
+                    .cell(rr.offeredPerNs(), 4)
+                    .cell(rr.acceptedPerNs(), 4)
+                    .cell(rr.avgReadLatencyNs, 0)
+                    .cell(rr.p99ReadLatencyNs, 0)
+                    .cell(static_cast<double>(rr.totalAdaptiveDeviations),
+                          0)
+                    .cell(static_cast<double>(rr.totalChainMisroutes), 0)
+                    .cell(static_cast<double>(rr.totalRxHolStalls), 0);
+            }
+            rep.measured(std::string(topo) +
+                             " accepted throughput (adaptive/static)",
+                         acc[0] > 0.0 ? acc[1] / acc[0] : 0.0, "ratio");
+            rep.measured(std::string(topo) + " p99 latency "
+                                             "(adaptive/static)",
+                         p99[0] > 0.0 ? p99[1] / p99[0] : 0.0, "ratio");
+        }
+        rcsv.finish();
+        rep.note("switch-level adaptivity needs path diversity: the "
+                 "ring splits tie traffic across both directions, "
+                 "while the daisy rows carry only the entry-link "
+                 "spread (deviations and misroutes stay zero)");
+    }
     return 0;
 }

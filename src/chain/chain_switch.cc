@@ -23,9 +23,10 @@ kindIndex(ChainHop kind)
 
 ChainSwitch::ChainSwitch(Kernel &kernel, HmcDevice &dev, std::string name,
                          const ChainRouteTable &routes,
+                         const ChainRoutingPolicy &policy,
                          const ChainParams &params)
     : Component(kernel, &dev, std::move(name)), dev_(dev), routes_(routes),
-      params_(params)
+      policy_(policy), params_(params)
 {
     for (auto &kind : ports_)
         kind.resize(dev_.numLinks());
@@ -62,21 +63,66 @@ ChainSwitch::setPort(ChainHop kind, LinkId l, SerdesLink *link,
     }
 }
 
-ChainHop
-ChainSwitch::routeOf(const HmcPacketPtr &pkt) const
+ChainPortLoad
+ChainSwitch::portLoad(ChainHop kind, LinkId l) const
 {
-    return pkt->isResponse() ? routes_.towardHost(cubeId())
-                             : routes_.next(cubeId(), pkt->cube);
+    ChainPortLoad load;
+    if (l >= dev_.numLinks())
+        return load;
+    const Port &p = ports_[kindIndex(kind)][l];
+    if (!p.link)
+        return load;
+    load.wired = true;
+    load.queuedFlits = p.qFlits;
+    const std::uint32_t queued =
+        static_cast<std::uint32_t>(p.q.size());
+    load.queueFreePackets = queued >= params_.forwardQueuePackets
+        ? 0
+        : params_.forwardQueuePackets - queued;
+    load.tokensInUse = p.link->tokensInUse(p.outDir);
+    return load;
+}
+
+ChainRouteDecision
+ChainSwitch::decide(LinkId l, const HmcPacket &pkt) const
+{
+    ChainPacketView view;
+    view.dest = pkt.cube;
+    view.toHost = pkt.isResponse();
+    view.misroutes = pkt.chainMisroutes;
+    view.dirLock = pkt.chainDirLock;
+    return policy_.route(cubeId(), view, l, *this);
+}
+
+void
+ChainSwitch::commit(const ChainRouteDecision &d, const HmcPacketPtr &pkt)
+{
+    switch (d.hop) {
+      case ChainHop::Up: routeUp_.inc(); break;
+      case ChainHop::Down: routeDown_.inc(); break;
+      case ChainHop::Wrap: routeWrap_.inc(); break;
+      case ChainHop::Local: break;
+    }
+    if (d.deviated)
+        adaptiveDeviations_.inc();
+    if (d.misrouted) {
+        misroutes_.inc();
+        ++pkt->chainMisroutes;
+    }
+    pkt->chainDirLock = d.dirLock;
 }
 
 bool
 ChainSwitch::tryForward(LinkId l, const HmcPacketPtr &pkt)
 {
-    const ChainHop kind = routeOf(pkt);
-    if (kind == ChainHop::Local)
+    const ChainRouteDecision d = decide(l, *pkt);
+    if (d.hop == ChainHop::Local)
         panic("ChainSwitch::tryForward: packet is local to cube " +
               std::to_string(cubeId()));
-    return enqueue(kind, l, pkt);
+    if (!enqueue(d.hop, l, pkt))
+        return false;
+    commit(d, pkt);
+    return true;
 }
 
 bool
@@ -91,6 +137,7 @@ ChainSwitch::enqueue(ChainHop kind, LinkId l, const HmcPacketPtr &pkt)
     // traverses the switch in passThroughLatency and then competes for
     // the output link's tokens.
     p.q.push_back(Pending{now() + params_.passThroughLatency, pkt});
+    p.qFlits += pkt->flits();
     if (!p.kickScheduled) {
         p.kickScheduled = true;
         kernel().scheduleAt(p.q.back().readyAt, [this, &p] {
@@ -135,6 +182,7 @@ ChainSwitch::pump(Port &p)
         if (probe_)
             probe_->record(PowerEvent::ChainForwardFlit, flits);
         p.link->send(p.outDir, head.pkt);
+        p.qFlits -= flits;
         p.q.pop_front();
         popped = true;
     }
@@ -153,6 +201,47 @@ ChainSwitch::pumpAll()
     }
 }
 
+bool
+ChainSwitch::couldProgress(const ChainRouteDecision &d, LinkId l) const
+{
+    if (d.hop == ChainHop::Local)
+        return true;  // checked against NoC credits by the caller
+    const ChainPortLoad load = portLoad(d.hop, l);
+    return load.wired && load.queueFreePackets > 0;
+}
+
+void
+ChainSwitch::noteRxHolStall(Port &p, LinkDir in_dir, LinkId l)
+{
+    // The head could not move.  If anything queued behind it routes to
+    // a *different* output that has space, this stall is head-of-line
+    // blocking, not plain backpressure -- account it so saturation
+    // studies can tell the two apart.  One count per blocked-head
+    // episode: retry kicks on the same stuck head do not inflate it
+    // (a new head -- this drain or the device's may have popped the
+    // old one -- starts a new episode).
+    const HmcPacketPtr &head = p.link->rxPeek(in_dir);
+    if (p.holHead == head)
+        return;
+    const std::size_t waiting = p.link->rxQueued(in_dir);
+    for (std::size_t i = 1; i < waiting; ++i) {
+        const HmcPacketPtr &behind = p.link->rxPeekAt(in_dir, i);
+        if (behind->isRequest() && behind->cube == cubeId()) {
+            if (dev_.canInjectLocal(l, behind->flits())) {
+                rxHolStalls_.inc();
+                p.holHead = head;
+                return;
+            }
+            continue;
+        }
+        if (couldProgress(decide(l, *behind), l)) {
+            rxHolStalls_.inc();
+            p.holHead = head;
+            return;
+        }
+    }
+}
+
 void
 ChainSwitch::drainInRx(ChainHop kind, LinkId l)
 {
@@ -162,25 +251,30 @@ ChainSwitch::drainInRx(ChainHop kind, LinkId l)
         : LinkDir::HostToCube;
     while (p.link->rxAvailable(in_dir)) {
         const HmcPacketPtr &head = p.link->rxPeek(in_dir);
-        const ChainHop route = head->isRequest() && head->cube == cubeId()
-            ? ChainHop::Local
-            : routeOf(head);
-        if (route == ChainHop::Local) {
+        if (head->isRequest() && head->cube == cubeId()) {
             // Pop before injecting, mirroring HmcDevice::drainLinkRx:
             // the RX token-refund event must be scheduled ahead of the
             // injection's events.
-            if (!dev_.canInjectLocal(l, head->flits()))
+            if (!dev_.canInjectLocal(l, head->flits())) {
+                noteRxHolStall(p, in_dir, l);
                 return;  // onLocalInjectSpace retries
+            }
             HmcPacketPtr pkt = p.link->rxPop(in_dir);
             if (!dev_.tryInjectLocal(l, pkt))
                 panic("ChainSwitch: NoC credits vanished between "
                       "check and inject");
             localInjects_.inc();
+            p.holHead.reset();  // the head moved: episode over
             continue;
         }
-        if (!enqueue(route, l, head))
+        const ChainRouteDecision d = decide(l, *head);
+        if (!enqueue(d.hop, l, head)) {
+            noteRxHolStall(p, in_dir, l);
             return;  // pump() kicks us when the queue drains
+        }
+        commit(d, head);
         p.link->rxPop(in_dir);
+        p.holHead.reset();  // the head moved: episode over
     }
 }
 
@@ -243,6 +337,14 @@ ChainSwitch::reportOwnStats(std::map<std::string, double> &out) const
         static_cast<double>(localInjects_.value());
     out[statName("queue_full_stalls")] =
         static_cast<double>(queueFullStalls_.value());
+    out[statName("rx_hol_stalls")] =
+        static_cast<double>(rxHolStalls_.value());
+    out[statName("route_up")] = static_cast<double>(routeUp_.value());
+    out[statName("route_down")] = static_cast<double>(routeDown_.value());
+    out[statName("route_wrap")] = static_cast<double>(routeWrap_.value());
+    out[statName("adaptive_deviations")] =
+        static_cast<double>(adaptiveDeviations_.value());
+    out[statName("misroutes")] = static_cast<double>(misroutes_.value());
 }
 
 void
@@ -253,6 +355,12 @@ ChainSwitch::resetOwnStats()
     fwdFlits_.reset();
     localInjects_.reset();
     queueFullStalls_.reset();
+    rxHolStalls_.reset();
+    routeUp_.reset();
+    routeDown_.reset();
+    routeWrap_.reset();
+    adaptiveDeviations_.reset();
+    misroutes_.reset();
 }
 
 }  // namespace hmcsim

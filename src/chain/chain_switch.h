@@ -5,11 +5,19 @@
  * Packets whose CUB field does not match the local cube (and responses
  * transiting toward the host) are handed here by the cube's link layer.
  * The switch stores the fully received packet, waits the configured
- * pass-through latency, and re-transmits it on the route-table-selected
+ * pass-through latency, and re-transmits it on the policy-selected
  * output link under that link's token flow control.  A full forward
  * queue refuses the hand-off, which leaves the packet in the upstream
  * RX buffer holding its link tokens -- chaining the per-hop credits
  * into end-to-end backpressure.
+ *
+ * Output-port selection goes through a ChainRoutingPolicy: the static
+ * policy replays the route table verbatim; the adaptive policy reads
+ * this switch's live per-port telemetry (ChainLoadProvider) to pick
+ * among minimal next-hops and, under severe congestion, to misroute a
+ * bounded number of times per packet.  Decisions commit -- counters,
+ * per-packet misroute budget, direction lock -- only when the chosen
+ * output queue accepts the packet.
  *
  * Port classes (see ChainRouteTable): Up = this cube's own links toward
  * the host, Down = the next cube's links, Wrap = the ring-closing
@@ -26,16 +34,19 @@
 #include <vector>
 
 #include "chain/route_table.h"
+#include "chain/routing_policy.h"
 #include "hmc/hmc_device.h"
 #include "hmc/serdes_link.h"
 
 namespace hmcsim {
 
-class ChainSwitch : public Component
+class ChainSwitch : public Component, public ChainLoadProvider
 {
   public:
     ChainSwitch(Kernel &kernel, HmcDevice &dev, std::string name,
-                const ChainRouteTable &routes, const ChainParams &params);
+                const ChainRouteTable &routes,
+                const ChainRoutingPolicy &policy,
+                const ChainParams &params);
 
     CubeId cubeId() const { return dev_.cubeId(); }
 
@@ -73,6 +84,11 @@ class ChainSwitch : public Component
     /** Hook the transit-energy probe (ChainForwardFlit events). */
     void setPowerProbe(PowerProbe *probe) { probe_ = probe; }
 
+    // ----- telemetry (ChainLoadProvider) -----
+
+    /** Live congestion snapshot of output port (kind, l). */
+    ChainPortLoad portLoad(ChainHop kind, LinkId l) const override;
+
     // ----- statistics -----
     std::uint64_t forwardedRequests() const { return fwdRequests_.value(); }
     std::uint64_t forwardedResponses() const
@@ -81,6 +97,21 @@ class ChainSwitch : public Component
     }
     std::uint64_t forwardedFlits() const { return fwdFlits_.value(); }
     std::uint64_t localInjects() const { return localInjects_.value(); }
+
+    /** Adaptive choices of the non-preferred minimal direction. */
+    std::uint64_t adaptiveDeviations() const
+    {
+        return adaptiveDeviations_.value();
+    }
+
+    /** Non-minimal (long-way-around) forwards committed here. */
+    std::uint64_t misroutes() const { return misroutes_.value(); }
+
+    /** Head-of-line blocking episodes: a stalled RX head wedging
+     *  traffic behind it that could progress on a different output.
+     *  Counted once per episode (re-drains of the same stuck head do
+     *  not inflate the count). */
+    std::uint64_t rxHolStalls() const { return rxHolStalls_.value(); }
 
   protected:
     void reportOwnStats(std::map<std::string, double> &out) const override;
@@ -96,13 +127,19 @@ class ChainSwitch : public Component
         SerdesLink *link = nullptr;
         LinkDir outDir = LinkDir::HostToCube;
         std::deque<Pending> q;
+        /** Flits across q (the policy's occupancy signal). */
+        std::uint32_t qFlits = 0;
         bool kickScheduled = false;
+        /** RX head whose head-of-line episode was already counted;
+         *  a different (or popped) head starts a new episode. */
+        HmcPacketPtr holHead;
     };
 
     static constexpr std::size_t kPortKinds = 3;  // Up, Down, Wrap
 
     HmcDevice &dev_;
     const ChainRouteTable &routes_;
+    const ChainRoutingPolicy &policy_;
     ChainParams params_;
     /** ports_[kind - 1][link]; kind Local has no port. */
     std::array<std::vector<Port>, kPortKinds> ports_;
@@ -113,14 +150,27 @@ class ChainSwitch : public Component
     Counter fwdFlits_;
     Counter localInjects_;
     Counter queueFullStalls_;
+    Counter rxHolStalls_;
+    Counter adaptiveDeviations_;
+    Counter misroutes_;
+    /** Committed route choices per output port class. */
+    Counter routeUp_;
+    Counter routeDown_;
+    Counter routeWrap_;
 
     Port &port(ChainHop kind, LinkId l);
-    ChainHop routeOf(const HmcPacketPtr &pkt) const;
+    ChainRouteDecision decide(LinkId l, const HmcPacket &pkt) const;
+    void commit(const ChainRouteDecision &d, const HmcPacketPtr &pkt);
     bool enqueue(ChainHop kind, LinkId l, const HmcPacketPtr &pkt);
     void pump(Port &p);
     void drainInRx(ChainHop kind, LinkId l);
     void drainAllInRx();
     void kickSources();
+    /** Count a drain stopped by HOL blocking if any packet waiting
+     *  behind the head could progress on a different output; at most
+     *  once per blocked-head episode. */
+    void noteRxHolStall(Port &p, LinkDir in_dir, LinkId l);
+    bool couldProgress(const ChainRouteDecision &d, LinkId l) const;
 };
 
 }  // namespace hmcsim

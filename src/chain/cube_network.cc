@@ -10,9 +10,15 @@ CubeNetwork::CubeNetwork(Kernel &kernel, Component *parent, std::string name,
                          const HmcConfig &cfg)
     : Component(kernel, parent, std::move(name)), cfg_(cfg),
       routes_(chainTopologyFromString(cfg_.chain.topology),
-              cfg_.chain.numCubes)
+              cfg_.chain.numCubes),
+      mode_(chainRoutingFromString(cfg_.chain.routing))
 {
     cfg_.validate();
+    AdaptiveRoutingParams ap;
+    ap.thresholdFlits = cfg_.chain.adaptiveThresholdFlits;
+    ap.misrouteThresholdFlits = cfg_.chain.adaptiveMisrouteThresholdFlits;
+    ap.maxMisroutes = cfg_.chain.adaptiveMaxMisroutes;
+    policy_ = makeChainRoutingPolicy(mode_, routes_, ap);
     const std::uint32_t n = cfg_.chain.numCubes;
 
     for (CubeId c = 0; c < n; ++c) {
@@ -58,7 +64,7 @@ CubeNetwork::wireChain()
 
     for (CubeId c = 0; c < n; ++c) {
         switches_.push_back(std::make_unique<ChainSwitch>(
-            kernel(), *cubes_[c], "fwd", routes_, cfg_.chain));
+            kernel(), *cubes_[c], "fwd", routes_, *policy_, cfg_.chain));
         ChainSwitch *sw = switches_.back().get();
         if (PowerModel *pm = cubes_[c]->powerModel())
             sw->setPowerProbe(pm);

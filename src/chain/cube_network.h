@@ -24,6 +24,7 @@
 
 #include "chain/chain_switch.h"
 #include "chain/route_table.h"
+#include "chain/routing_policy.h"
 #include "hmc/hmc_device.h"
 
 namespace hmcsim {
@@ -37,6 +38,8 @@ class CubeNetwork : public Component
     std::uint32_t numCubes() const { return cfg_.chain.numCubes; }
     HmcDevice &cube(CubeId c);
     const ChainRouteTable &routes() const { return routes_; }
+    const ChainRoutingPolicy &routingPolicy() const { return *policy_; }
+    ChainRoutingMode routingMode() const { return mode_; }
     const HmcConfig &config() const { return cfg_; }
 
     /** Pass-through switch of cube @p c; null for star topologies. */
@@ -65,6 +68,8 @@ class CubeNetwork : public Component
   private:
     HmcConfig cfg_;
     ChainRouteTable routes_;
+    ChainRoutingMode mode_;
+    std::unique_ptr<ChainRoutingPolicy> policy_;
     std::vector<std::unique_ptr<HmcDevice>> cubes_;
     std::vector<std::unique_ptr<SerdesLink>> wrapLinks_;
     std::vector<std::unique_ptr<ChainSwitch>> switches_;

@@ -94,17 +94,59 @@ ChainRouteTable::towardHost(CubeId at) const
 CubeId
 ChainRouteTable::neighbor(CubeId at, ChainHop h) const
 {
+    if (at >= numCubes_)
+        panic("ChainRouteTable::neighbor: cube out of range");
     switch (h) {
       case ChainHop::Local:
         return at;
       case ChainHop::Up:
-        return at - 1;  // cube 0's Up port is the host itself
+        // Cube 0's Up port faces the host, not another cube; an
+        // unchecked `at - 1` would wrap to CubeId(-1) and address a
+        // nonexistent cube.
+        if (at == 0)
+            panic("ChainRouteTable::neighbor: cube 0's Up neighbor is "
+                  "the host, not a cube");
+        return at - 1;
       case ChainHop::Down:
+        if (at + 1 >= numCubes_)
+            panic("ChainRouteTable::neighbor: cube " +
+                  std::to_string(at) + " has no Down neighbor");
         return at + 1;
       case ChainHop::Wrap:
         return at == 0 ? numCubes_ - 1 : 0;
     }
     panic("ChainRouteTable: invalid hop");
+}
+
+std::uint32_t
+ChainRouteTable::cwDistance(CubeId at, CubeId dest) const
+{
+    if (at >= numCubes_ || dest >= numCubes_)
+        panic("ChainRouteTable::cwDistance: cube out of range");
+    return (dest + numCubes_ - at) % numCubes_;
+}
+
+std::uint32_t
+ChainRouteTable::ccwDistance(CubeId at, CubeId dest) const
+{
+    const std::uint32_t cw = cwDistance(at, dest);
+    return cw == 0 ? 0 : numCubes_ - cw;
+}
+
+ChainHop
+ChainRouteTable::cwHop(CubeId at) const
+{
+    if (at >= numCubes_)
+        panic("ChainRouteTable::cwHop: cube out of range");
+    return at == numCubes_ - 1 ? ChainHop::Wrap : ChainHop::Down;
+}
+
+ChainHop
+ChainRouteTable::ccwHop(CubeId at) const
+{
+    if (at >= numCubes_)
+        panic("ChainRouteTable::ccwHop: cube out of range");
+    return at == 0 ? ChainHop::Wrap : ChainHop::Up;
 }
 
 std::uint32_t

@@ -71,6 +71,24 @@ class ChainRouteTable
      */
     std::uint32_t bisectionLinkCount() const;
 
+    /**
+     * Cube on the far side of hop @p h from cube @p at.  Panics for
+     * (0, Up): cube 0's Up port faces the host, which has no cube id.
+     */
+    CubeId neighbor(CubeId at, ChainHop h) const;
+
+    /** Hops from @p at to @p dest going clockwise (increasing ids). */
+    std::uint32_t cwDistance(CubeId at, CubeId dest) const;
+
+    /** Hops from @p at to @p dest counter-clockwise (decreasing ids). */
+    std::uint32_t ccwDistance(CubeId at, CubeId dest) const;
+
+    /** Port class one clockwise step out of @p at uses (ring wiring). */
+    ChainHop cwHop(CubeId at) const;
+
+    /** Port class one counter-clockwise step out of @p at uses. */
+    ChainHop ccwHop(CubeId at) const;
+
   private:
     ChainTopology topo_;
     std::uint32_t numCubes_;
@@ -78,7 +96,6 @@ class ChainRouteTable
     std::vector<ChainHop> next_;
     std::vector<ChainHop> towardHost_;
 
-    CubeId neighbor(CubeId at, ChainHop h) const;
     std::uint32_t walk(CubeId start, CubeId dest, bool to_host) const;
 };
 

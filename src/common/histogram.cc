@@ -20,10 +20,16 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 std::size_t
 Histogram::binIndex(double x) const
 {
-    if (x < lo_)
+    // Clamp explicitly before the float arithmetic: NaN fails every
+    // comparison, so an unguarded cast of (NaN - lo_) / width_ to
+    // size_t is undefined behaviour, and a sample epsilon-below lo_
+    // must land in bin 0 rather than ride rounding into bin -1.
+    if (std::isnan(x) || x <= lo_)
         return 0;
     const std::size_t last = counts_.size() - 1;
     const double rel = (x - lo_) / width_;
+    if (rel < 0.0)
+        return 0;
     if (rel >= static_cast<double>(counts_.size()))
         return last;
     return static_cast<std::size_t>(rel);
@@ -62,6 +68,23 @@ Histogram::fraction(std::size_t i) const
     if (total_ == 0)
         return 0.0;
     return static_cast<double>(count(i)) / static_cast<double>(total_);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (p < 0.0 || p > 100.0)
+        panic("Histogram::percentile: p must be in [0, 100]");
+    if (total_ == 0)
+        return 0.0;
+    const double target = p / 100.0 * static_cast<double>(total_);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cum += counts_[i];
+        if (static_cast<double>(cum) >= target && counts_[i] != 0)
+            return binLow(i) + width_;
+    }
+    return hi_;
 }
 
 void

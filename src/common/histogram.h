@@ -46,8 +46,17 @@ class Histogram
     /** count(i) / total(), or 0 if empty. */
     double fraction(std::size_t i) const;
 
-    /** Bin index a sample would land in. */
+    /** Bin index a sample would land in.  NaN and below-range samples
+     *  clamp to bin 0; at/above-range samples clamp to the last bin. */
     std::size_t binIndex(double x) const;
+
+    /**
+     * Upper edge of the bin where the cumulative distribution first
+     * reaches @p p percent (0..100); conservative for tail percentiles
+     * (reports the bin boundary at or above the true value).  0 when
+     * the histogram is empty.
+     */
+    double percentile(double p) const;
 
     /** Merge a same-shaped histogram; panics on shape mismatch. */
     void merge(const Histogram &other);

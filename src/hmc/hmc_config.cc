@@ -128,6 +128,12 @@ HmcConfig::validate() const
               "(every cube is host-attached)");
     if (chain.forwardQueuePackets == 0)
         fatal("hmc: chain forward queue must hold at least one packet");
+    if (chain.routing != "static" && chain.routing != "adaptive")
+        fatal("hmc: unknown chain routing '" + chain.routing +
+              "' (expected static|adaptive)");
+    if (chain.adaptiveMaxMisroutes > 8)
+        fatal("hmc: chain adaptive misroute budget must be <= 8 "
+              "(bounded detours keep ring routing loop-free)");
     schedulerFromString(scheduler);
     pagePolicyFromString(pagePolicy);
     (void)dramTiming();  // validates the preset name
@@ -217,6 +223,16 @@ HmcConfig::fromConfig(const Config &cfg)
     c.chain.forwardQueuePackets = static_cast<std::uint32_t>(
         cfg.getU64("hmc.chain_forward_queue_packets",
                    c.chain.forwardQueuePackets));
+    c.chain.routing = cfg.getString("hmc.chain_routing", c.chain.routing);
+    c.chain.adaptiveThresholdFlits = static_cast<std::uint32_t>(
+        cfg.getU64("hmc.chain_adaptive_threshold_flits",
+                   c.chain.adaptiveThresholdFlits));
+    c.chain.adaptiveMisrouteThresholdFlits = static_cast<std::uint32_t>(
+        cfg.getU64("hmc.chain_adaptive_misroute_threshold_flits",
+                   c.chain.adaptiveMisrouteThresholdFlits));
+    c.chain.adaptiveMaxMisroutes = static_cast<std::uint32_t>(
+        cfg.getU64("hmc.chain_adaptive_max_misroutes",
+                   c.chain.adaptiveMaxMisroutes));
 
     c.power = PowerConfig::fromConfig(cfg);
     c.validate();
@@ -269,6 +285,13 @@ HmcConfig::toConfig(Config &cfg) const
     cfg.setU64("hmc.chain_passthrough_latency_ps",
                chain.passThroughLatency);
     cfg.setU64("hmc.chain_forward_queue_packets", chain.forwardQueuePackets);
+    cfg.set("hmc.chain_routing", chain.routing);
+    cfg.setU64("hmc.chain_adaptive_threshold_flits",
+               chain.adaptiveThresholdFlits);
+    cfg.setU64("hmc.chain_adaptive_misroute_threshold_flits",
+               chain.adaptiveMisrouteThresholdFlits);
+    cfg.setU64("hmc.chain_adaptive_max_misroutes",
+               chain.adaptiveMaxMisroutes);
     power.toConfig(cfg);
 }
 

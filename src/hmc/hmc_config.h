@@ -81,6 +81,32 @@ struct ChainParams {
 
     /** Per-output forward queue depth in the pass-through switch. */
     std::uint32_t forwardQueuePackets = 8;
+
+    /**
+     * Chain routing policy (see chain/routing_policy.h):
+     *   "static"    route-table lookup, bit-identical legacy behavior
+     *   "adaptive"  occupancy/token-driven minimal adaptive routing on
+     *               rings, with bounded direction-locked misroutes and
+     *               congestion-aware host entry-link selection
+     */
+    std::string routing = "static";
+
+    /**
+     * Adaptive hysteresis: congestion advantage (flits) the alternate
+     * direction needs before the switch deviates from the static
+     * choice.  Keeps a zero-load adaptive chain on exact static paths.
+     */
+    std::uint32_t adaptiveThresholdFlits = 8;
+
+    /**
+     * Minimum congestion score (flits) of the preferred minimal port
+     * before a non-minimal (long-way-around) misroute is considered.
+     */
+    std::uint32_t adaptiveMisrouteThresholdFlits = 48;
+
+    /** Non-minimal deviations allowed per packet; 0 disables
+     *  misrouting entirely (tie-splitting stays active). */
+    std::uint32_t adaptiveMaxMisroutes = 1;
 };
 
 struct HmcConfig {

@@ -56,6 +56,13 @@ struct HmcPacket {
     /** Inter-cube pass-through forwards taken by the response. */
     std::uint32_t respHops = 0;
 
+    /** Non-minimal chain-routing deviations taken (adaptive policy). */
+    std::uint8_t chainMisroutes = 0;
+
+    /** Rotational direction lock a chain misroute imposed; 0 = none
+     *  (see kChainDir* in chain/routing_policy.h). */
+    std::uint8_t chainDirLock = 0;
+
     // --- latency decomposition timestamps (ticks) ---
     Tick createdAt = 0;       ///< generated in the FPGA port
     Tick linkTxAt = 0;        ///< first flit onto the external link

@@ -155,6 +155,39 @@ SerdesLink::rxPeek(LinkDir d) const
     return dir(d).rxQ.front();
 }
 
+std::size_t
+SerdesLink::rxQueued(LinkDir d) const
+{
+    return dir(d).rxQ.size();
+}
+
+const HmcPacketPtr &
+SerdesLink::rxPeekAt(LinkDir d, std::size_t i) const
+{
+    const Direction &dd = dir(d);
+    if (i >= dd.rxQ.size())
+        panic("SerdesLink::rxPeekAt: index out of range");
+    return dd.rxQ[i];
+}
+
+std::uint32_t
+SerdesLink::tokensFree(LinkDir d) const
+{
+    return dir(d).tokens.available();
+}
+
+std::uint32_t
+SerdesLink::tokensInUse(LinkDir d) const
+{
+    return dir(d).tokens.inFlight();
+}
+
+std::uint32_t
+SerdesLink::tokenCapacity(LinkDir d) const
+{
+    return dir(d).tokens.capacity();
+}
+
 HmcPacketPtr
 SerdesLink::rxPop(LinkDir d)
 {

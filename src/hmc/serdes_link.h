@@ -90,6 +90,18 @@ class SerdesLink : public Component
     /** Fired whenever tokens return (transmit may resume). */
     void setOnTokensFree(LinkDir dir, std::function<void()> fn);
 
+    // ----- token visibility (adaptive chain routing telemetry) -----
+
+    /** Remote-buffer tokens currently free in @p dir. */
+    std::uint32_t tokensFree(LinkDir dir) const;
+
+    /** Tokens consumed (reserved or riding the wire) in @p dir --
+     *  the link's live backpressure signal. */
+    std::uint32_t tokensInUse(LinkDir dir) const;
+
+    /** Total token pool of @p dir (the remote RX buffer, in flits). */
+    std::uint32_t tokenCapacity(LinkDir dir) const;
+
     // ----- receive side -----
 
     /** Fired when a packet lands in the RX buffer. */
@@ -97,6 +109,13 @@ class SerdesLink : public Component
 
     bool rxAvailable(LinkDir dir) const;
     const HmcPacketPtr &rxPeek(LinkDir dir) const;
+
+    /** Packets waiting in the RX buffer of @p dir. */
+    std::size_t rxQueued(LinkDir dir) const;
+
+    /** Peek the @p i-th waiting RX packet (0 = head); used by the
+     *  chain switch's head-of-line-blocking accounting. */
+    const HmcPacketPtr &rxPeekAt(LinkDir dir, std::size_t i) const;
 
     /**
      * Drain the head packet from the RX buffer.  Tokens flow back to

@@ -41,6 +41,8 @@ collectResult(System &sys, Tick window_ticks)
     ExperimentResult r;
     r.windowTicks = window_ticks;
     SampleStats hops;
+    std::unique_ptr<Histogram> merged_lat;
+    bool lat_hist_complete = true;
     for (PortId p = 0; p < sys.fpga().numPorts(); ++p) {
         const Port &port = sys.port(p);
         double offered = 0.0;
@@ -68,8 +70,31 @@ collectResult(System &sys, Tick window_ticks)
         r.totalWireBytes += ps.wireBytes;
         r.mergedRead.merge(m.readLatencyNs());
         hops.merge(m.chainHops());
+        if (r.chainHopCounts.empty())
+            r.chainHopCounts.assign(m.chainHopHistogram().bins(), 0);
+        for (std::size_t i = 0; i < r.chainHopCounts.size(); ++i)
+            r.chainHopCounts[i] += m.chainHopHistogram().count(i);
+        // p99 needs every port that recorded reads to carry a
+        // same-shaped latency histogram; a partial set would skew the
+        // tail silently.  Write-only ports contribute no read samples
+        // and cannot disqualify the merge.
+        if (const Histogram *h = m.histogram()) {
+            if (!merged_lat)
+                merged_lat = std::make_unique<Histogram>(
+                    h->lo(), h->hi(), h->bins());
+            if (h->lo() == merged_lat->lo() &&
+                h->hi() == merged_lat->hi() &&
+                h->bins() == merged_lat->bins())
+                merged_lat->merge(*h);
+            else
+                lat_hist_complete = false;
+        } else if (ps.reads != 0) {
+            lat_hist_complete = false;
+        }
         r.ports.push_back(ps);
     }
+    if (merged_lat && lat_hist_complete)
+        r.p99ReadLatencyNs = merged_lat->percentile(99.0);
     r.bandwidthGBs = bytesPerTickToGBs(
         static_cast<double>(r.totalWireBytes), window_ticks);
     r.avgChainHops = hops.mean();
@@ -85,8 +110,16 @@ collectResult(System &sys, Tick window_ticks)
         } else {
             cs.requestsSent = ctrl.requestsSent();
         }
-        if (CubeNetwork *chain = sys.chain())
+        if (CubeNetwork *chain = sys.chain()) {
             cs.requestHops = chain->routes().requestHops(c);
+            if (const ChainSwitch *sw = chain->switchAt(c)) {
+                cs.misroutes = sw->misroutes();
+                cs.rxHolStalls = sw->rxHolStalls();
+                r.totalAdaptiveDeviations += sw->adaptiveDeviations();
+                r.totalChainMisroutes += cs.misroutes;
+                r.totalRxHolStalls += cs.rxHolStalls;
+            }
+        }
         if (const PowerModel *pm = sys.device(c).powerModel()) {
             cs.energyPj = pm->windowEnergyPj();
             cs.maxTempC = pm->thermal().maxTemperatureC();
@@ -195,6 +228,10 @@ runWorkload(const SystemConfig &cfg, const WorkloadRunSpec &spec)
         if (w.seed == 0)
             w.seed = mixSeeds(spec.seed, p);
         sys.configureWorkload(p, w);
+        if (spec.latencyHistBins != 0)
+            sys.port(p).monitor().enableHistogram(spec.latencyHistLoNs,
+                                                  spec.latencyHistHiNs,
+                                                  spec.latencyHistBins);
     }
     sys.run(spec.warmup);
     return sys.measure(spec.window);

@@ -46,6 +46,10 @@ struct CubeStats {
     std::uint32_t peakOutstanding = 0;
     /** Pass-through forwards to reach this cube (static route). */
     std::uint32_t requestHops = 0;
+    /** Non-minimal adaptive forwards this cube's switch committed. */
+    std::uint64_t misroutes = 0;
+    /** RX drains this cube's switch ended on head-of-line blocking. */
+    std::uint64_t rxHolStalls = 0;
     double energyPj = 0.0;
     double maxTempC = 0.0;
 };
@@ -59,6 +63,20 @@ struct ExperimentResult {
 
     /** Mean pass-through hops per read (request + response legs). */
     double avgChainHops = 0.0;
+
+    /** Per-read chain-hop distribution merged over all ports; entry i
+     *  counts reads that took i hops (last entry saturates). */
+    std::vector<std::uint64_t> chainHopCounts;
+
+    /** Adaptive routing: non-preferred minimal choices (ring ties)
+     *  across all switches. */
+    std::uint64_t totalAdaptiveDeviations = 0;
+
+    /** Adaptive routing: non-minimal forwards across all switches. */
+    std::uint64_t totalChainMisroutes = 0;
+
+    /** Head-of-line-blocked RX drains across all switches. */
+    std::uint64_t totalRxHolStalls = 0;
 
     std::uint64_t totalReads = 0;
     std::uint64_t totalWrites = 0;
@@ -75,6 +93,11 @@ struct ExperimentResult {
     double minReadLatencyNs = 0.0;
     double maxReadLatencyNs = 0.0;
     double stddevReadLatencyNs = 0.0;
+
+    /** 99th-percentile read latency from the per-port histograms;
+     *  0 unless the run enabled latency histograms (see
+     *  WorkloadRunSpec::latencyHistBins). */
+    double p99ReadLatencyNs = 0.0;
 
     /** Merged read-latency accumulator for further analysis. */
     SampleStats mergedRead;
@@ -175,6 +198,13 @@ struct WorkloadRunSpec {
     Tick warmup = 10 * kMicrosecond;
     Tick window = 30 * kMicrosecond;
     std::uint64_t seed = 1;
+
+    /** When non-zero, enable a read-latency histogram on every active
+     *  port so the result carries p99ReadLatencyNs.  Observation-only:
+     *  recording samples does not perturb timing. */
+    std::size_t latencyHistBins = 0;
+    double latencyHistLoNs = 0.0;
+    double latencyHistHiNs = 50000.0;
 };
 
 ExperimentResult runWorkload(const SystemConfig &cfg,

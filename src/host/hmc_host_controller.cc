@@ -13,7 +13,8 @@ HmcHostController::HmcHostController(Kernel &kernel, Component *parent,
     : Component(kernel, parent, std::move(name)), cfg_(cfg),
       attach_(std::move(attach)), portArb_(cfg.numPorts),
       sentPerCube_(attach_.numCubes), outstanding_(attach_.numCubes, 0),
-      peakOutstanding_(attach_.numCubes, 0)
+      peakOutstanding_(attach_.numCubes, 0),
+      sentPerLink_(attach_.links.size())
 {
     if (attach_.links.empty() || !attach_.map)
         panic("HmcHostController: incomplete host attachment");
@@ -55,8 +56,25 @@ HmcHostController::tickRequests()
                                       cfg_.requestsPerCyclePerLink);
     std::uint32_t idle_links = 0;
     while (idle_links < num_links) {
-        const LinkId l = static_cast<LinkId>(txNextLink_ % num_links);
-        txNextLink_ = (txNextLink_ + 1) % num_links;
+        LinkId l = static_cast<LinkId>(txNextLink_ % num_links);
+        if (attach_.adaptiveEntry && num_links > 1) {
+            // Congestion-aware entry spread: among links that still
+            // hold an issue grant, prefer the one with the most free
+            // request tokens; ties keep the round-robin order.
+            std::uint32_t best = link(l).tokensFree(dir);
+            for (std::uint32_t k = 1; k < num_links; ++k) {
+                const LinkId cand =
+                    static_cast<LinkId>((txNextLink_ + k) % num_links);
+                if (grants[cand] == 0)
+                    continue;
+                const std::uint32_t free = link(cand).tokensFree(dir);
+                if (grants[l] == 0 || free > best) {
+                    l = cand;
+                    best = free;
+                }
+            }
+        }
+        txNextLink_ = (static_cast<std::size_t>(l) + 1) % num_links;
         if (grants[l] == 0) {
             ++idle_links;
             continue;
@@ -93,6 +111,7 @@ HmcHostController::tickRequests()
         lk.reserveTokens(dir, pkt->flits());
         lk.send(dir, pkt);
         requestsSent_.inc();
+        sentPerLink_[l].inc();
         --grants[l];
         idle_links = 0;
     }
@@ -160,6 +179,14 @@ HmcHostController::requestsSentToCube(CubeId c) const
     return sentPerCube_[c].value();
 }
 
+std::uint64_t
+HmcHostController::requestsSentOnLink(LinkId l) const
+{
+    if (l >= sentPerLink_.size())
+        panic("HmcHostController: link out of range");
+    return sentPerLink_[l].value();
+}
+
 void
 HmcHostController::reportOwnStats(std::map<std::string, double> &out) const
 {
@@ -167,6 +194,10 @@ HmcHostController::reportOwnStats(std::map<std::string, double> &out) const
         static_cast<double>(requestsSent_.value());
     out[statName("responses_delivered")] =
         static_cast<double>(responsesDelivered_.value());
+    for (LinkId l = 0; l < numLinks(); ++l) {
+        out[statName("link" + std::to_string(l) + "_requests_sent")] =
+            static_cast<double>(sentPerLink_[l].value());
+    }
     if (multiCube()) {
         for (CubeId c = 0; c < attach_.numCubes; ++c) {
             const std::string tag = "cube" + std::to_string(c);
@@ -185,6 +216,8 @@ HmcHostController::resetOwnStats()
 {
     requestsSent_.reset();
     responsesDelivered_.reset();
+    for (Counter &c : sentPerLink_)
+        c.reset();
     for (CubeId c = 0; c < attach_.numCubes; ++c) {
         sentPerCube_[c].reset();
         // Peaks restart from the live level, like the vault queues.

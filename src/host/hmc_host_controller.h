@@ -41,6 +41,13 @@ struct HostAttach {
     std::vector<CubeId> linkCube;
     /** Per-cube device handles (stats/power collection). */
     std::vector<HmcDevice *> cubes;
+    /**
+     * Congestion-aware chain-entry selection
+     * (hmc.chain_routing=adaptive): each issue slot picks the entry
+     * link with the most free request tokens instead of pure
+     * round-robin.  False keeps the bit-identical legacy rotation.
+     */
+    bool adaptiveEntry = false;
 };
 
 class HmcHostController : public Component
@@ -71,6 +78,9 @@ class HmcHostController : public Component
     /** Lifetime requests sent toward cube @p c. */
     std::uint64_t requestsSentToCube(CubeId c) const;
 
+    /** Requests issued down entry link @p l over the stats window. */
+    std::uint64_t requestsSentOnLink(LinkId l) const;
+
   protected:
     void reportOwnStats(std::map<std::string, double> &out) const override;
     void resetOwnStats() override;
@@ -93,6 +103,8 @@ class HmcHostController : public Component
     std::vector<Counter> sentPerCube_;
     std::vector<std::uint32_t> outstanding_;
     std::vector<std::uint32_t> peakOutstanding_;
+    /** Entry-link spread (sized numLinks). */
+    std::vector<Counter> sentPerLink_;
 
     SerdesLink &link(LinkId l) { return *attach_.links[l]; }
     std::uint32_t numLinks() const

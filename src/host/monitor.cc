@@ -5,7 +5,8 @@
 
 namespace hmcsim {
 
-Monitor::Monitor(double base_latency_ns) : baseNs_(base_latency_ns)
+Monitor::Monitor(double base_latency_ns)
+    : baseNs_(base_latency_ns), hopHist_(0.0, 16.0, 16)
 {
 }
 
@@ -29,6 +30,7 @@ Monitor::recordRead(Tick created, Tick completed, std::uint64_t wire_bytes,
         hist_->add(ns);
     if (pkt) {
         hops_.add(static_cast<double>(pkt->reqHops + pkt->respHops));
+        hopHist_.add(static_cast<double>(pkt->reqHops + pkt->respHops));
         if (ns > worstNs_) {
             worstNs_ = ns;
             worst_ = *pkt;
@@ -59,6 +61,7 @@ Monitor::reset()
     readNs_.reset();
     writeNs_.reset();
     hops_.reset();
+    hopHist_.reset();
     worst_ = HmcPacket{};
     worstNs_ = -1.0;
     if (hist_)

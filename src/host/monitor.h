@@ -59,6 +59,11 @@ class Monitor
      *  direction); all-zero without chaining. */
     const SampleStats &chainHops() const { return hops_; }
 
+    /** Distribution of per-read chain hop counts (always on; bin i =
+     *  i hops, saturating at 15+).  Adaptive routing widens it when
+     *  misroutes take the long way around a ring. */
+    const Histogram &chainHopHistogram() const { return hopHist_; }
+
     const Histogram *histogram() const { return hist_.get(); }
 
     double baseLatencyNs() const { return baseNs_; }
@@ -79,6 +84,7 @@ class Monitor
     SampleStats readNs_;
     SampleStats writeNs_;
     SampleStats hops_;
+    Histogram hopHist_;
     std::unique_ptr<Histogram> hist_;
 
     double latencyNs(Tick created, Tick completed) const;

@@ -82,6 +82,11 @@ System::makeAttach()
         a.links.push_back(&chain_->hostLink(l));
         a.linkCube.push_back(chain_->hostLinkCube(l));
     }
+    // Entry spreading needs interchangeable entry links; a star link
+    // reaches exactly one cube, so star keeps the static rotation.
+    a.adaptiveEntry =
+        chain_->routingMode() == ChainRoutingMode::Adaptive &&
+        chain_->routes().topology() != ChainTopology::Star;
     for (CubeId c = 0; c < numCubes(); ++c)
         a.cubes.push_back(&chain_->cube(c));
     return a;

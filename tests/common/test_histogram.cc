@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/histogram.h"
 #include "common/log.h"
 
@@ -43,6 +46,48 @@ TEST(Histogram, BoundaryBelongsToUpperBin)
     Histogram h(0.0, 10.0, 5);
     EXPECT_EQ(h.binIndex(2.0), 1u);
     EXPECT_EQ(h.binIndex(1.9999), 0u);
+}
+
+TEST(Histogram, BinIndexClampsBoundariesAndNaN)
+{
+    // Regression: binIndex(NaN) used to fall through every comparison
+    // and cast NaN to size_t (undefined behaviour); values just below
+    // lo_ must clamp to bin 0 without relying on float rounding.
+    Histogram h(100.0, 200.0, 10);
+    EXPECT_EQ(h.binIndex(100.0), 0u);                       // x = lo
+    EXPECT_EQ(h.binIndex(200.0), 9u);                       // x = hi
+    EXPECT_EQ(h.binIndex(std::nan("")), 0u);                // x = NaN
+    EXPECT_EQ(h.binIndex(std::nextafter(100.0, 0.0)), 0u);  // lo - eps
+    EXPECT_EQ(h.binIndex(std::nextafter(200.0, 1e9)), 9u);  // hi + eps
+    EXPECT_EQ(h.binIndex(-std::numeric_limits<double>::infinity()), 0u);
+    EXPECT_EQ(h.binIndex(std::numeric_limits<double>::infinity()), 9u);
+
+    h.add(std::nan(""));  // must count, in bin 0, not crash
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Histogram, NegativeRangeBoundaries)
+{
+    Histogram h(-50.0, 50.0, 10);
+    EXPECT_EQ(h.binIndex(-50.0), 0u);
+    EXPECT_EQ(h.binIndex(std::nextafter(-50.0, -1e9)), 0u);
+    EXPECT_EQ(h.binIndex(0.0), 5u);
+    EXPECT_EQ(h.binIndex(50.0), 9u);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 99; ++i)
+        h.add(5.0);  // bin 0
+    h.add(95.0);     // bin 9
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 10.0);   // inside bin 0
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 10.0);   // 99/100 in bin 0
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0); // tail bin's edge
+    EXPECT_DOUBLE_EQ(Histogram(0.0, 1.0, 2).percentile(99.0), 0.0);
+    EXPECT_THROW(h.percentile(-1.0), PanicError);
+    EXPECT_THROW(h.percentile(101.0), PanicError);
 }
 
 TEST(Histogram, Fractions)
