@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Multi-host chain fabric: dual-host rings vs the classic single-host
+ * attachment at matched total offered load.
+ *
+ * A single host funnels every request through cube 0's two links and
+ * one response deserializer; the paper's host-link scaling story
+ * (Fig. 13) says throughput grows with the links driving the cube.
+ * Attaching a second host controller at the far side of the ring
+ * doubles the attachment width AND halves the average transit
+ * distance, so at a total offered load above one host's ceiling the
+ * dual-host fabric accepts more, at lower latency, while moving less
+ * transit traffic across the bisection.  The sweep crosses topology
+ * (ring, daisy) x host count (1, 2) x chain routing (static,
+ * adaptive); the CSV carries total, per-host and per-cube rows.
+ */
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/units.h"
+#include "host/experiment.h"
+#include "host/system.h"
+
+using namespace hmcsim;
+using namespace hmcsim::bench;
+
+namespace {
+
+constexpr std::uint32_t kCubes = 4;
+constexpr std::uint32_t kPortsPerHost = 9;
+/** Total offered load, req/ns: above one deserializer-limited host's
+ *  acceptance ceiling (~0.19 req/ns), below two hosts'. */
+constexpr double kTotalOfferedPerNs = 0.26;
+
+SystemConfig
+fabricConfig(const std::string &topology, std::uint32_t hosts,
+             const std::string &routing)
+{
+    SystemConfig cfg;
+    cfg.hmc.chain.numCubes = kCubes;
+    cfg.hmc.chain.topology = topology;
+    cfg.hmc.chain.routing = routing;
+    cfg.host.numHosts = hosts;
+    return cfg;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
+    (void)opts;
+    const bool fast = fastMode();
+    const Tick warmup = scaled(fast ? 3 : 8) * kMicrosecond;
+    const Tick window = scaled(fast ? 8 : 24) * kMicrosecond;
+
+    std::cout << "multi-host chain fabric: dual-host vs single-host at "
+                 "matched offered load\n";
+    bench::CsvOutput csv_out("fig_multihost");
+    CsvWriter csv(csv_out.stream(),
+                  {"topology", "routing", "num_hosts", "scope",
+                   "offered_per_ns", "accepted_per_ns", "bandwidth_gbs",
+                   "avg_latency_ns", "p99_latency_ns", "transit_gbs",
+                   "bisection_gbs", "bisection_util"});
+
+    // accepted[topology][hosts][routing]
+    std::map<std::string, std::map<std::uint32_t,
+                                   std::map<std::string, double>>> acc;
+    std::map<std::string, std::map<std::uint32_t,
+                                   std::map<std::string, double>>> p99;
+
+    for (const char *topo : {"ring", "daisy"}) {
+        for (std::uint32_t hosts : {1u, 2u}) {
+            for (const char *routing : {"static", "adaptive"}) {
+                const SystemConfig cfg =
+                    fabricConfig(topo, hosts, routing);
+                WorkloadRunSpec wr;
+                wr.workload.type = "gups";
+                wr.workload.requestBytes = 64;
+                wr.workload.inject = "open";
+                // Matched TOTAL offered load across the sweep: the
+                // runner replicates the spec onto every host, so the
+                // per-port rate shrinks with the host count.
+                wr.workload.ratePerNs = kTotalOfferedPerNs /
+                    (hosts * kPortsPerHost);
+                wr.activePorts = kPortsPerHost;
+                wr.warmup = warmup;
+                wr.window = window;
+                wr.latencyHistBins = 800;
+                wr.latencyHistLoNs = 0.0;
+                wr.latencyHistHiNs = 40000.0;
+                const ExperimentResult r = runWorkload(cfg, wr);
+                acc[topo][hosts][routing] = r.acceptedPerNs();
+                p99[topo][hosts][routing] = r.p99ReadLatencyNs;
+
+                const double window_ns =
+                    static_cast<double>(r.windowTicks) * 1e-3;
+                const double util = r.chainBisectionGBs > 0.0
+                    ? r.chainBisectionTrafficGBs() / r.chainBisectionGBs
+                    : 0.0;
+                csv.row()
+                    .cell(topo)
+                    .cell(routing)
+                    .cell(hosts)
+                    .cell("total")
+                    .cell(r.offeredPerNs(), 4)
+                    .cell(r.acceptedPerNs(), 4)
+                    .cell(r.bandwidthGBs, 2)
+                    .cell(r.avgReadLatencyNs, 0)
+                    .cell(r.p99ReadLatencyNs, 0)
+                    .cell(r.chainTransitGBs(), 2)
+                    .cell(r.chainBisectionGBs, 1)
+                    .cell(util, 3);
+                for (const HostStats &hs : r.hosts) {
+                    csv.row()
+                        .cell(topo)
+                        .cell(routing)
+                        .cell(hosts)
+                        .cell("host" + std::to_string(hs.host) +
+                              "@cube" + std::to_string(hs.entryCube))
+                        .cell(hs.offeredRequests / window_ns, 4)
+                        .cell(static_cast<double>(hs.reads + hs.writes) /
+                                  window_ns,
+                              4)
+                        .cell(hs.bandwidthGBs, 2)
+                        .cell(hs.avgReadNs, 0)
+                        .cell(0.0, 0)
+                        .cell(0.0, 2)
+                        .cell(0.0, 1)
+                        .cell(0.0, 3);
+                }
+                for (const CubeStats &cs : r.cubes) {
+                    csv.row()
+                        .cell(topo)
+                        .cell(routing)
+                        .cell(hosts)
+                        .cell("cube" + std::to_string(cs.cube))
+                        .cell(0.0, 4)
+                        .cell(static_cast<double>(cs.requestsServed) /
+                                  window_ns,
+                              4)
+                        .cell(0.0, 2)
+                        .cell(0.0, 0)
+                        .cell(0.0, 0)
+                        .cell(0.0, 2)
+                        .cell(0.0, 1)
+                        .cell(0.0, 3);
+                }
+            }
+        }
+    }
+    csv.finish();
+
+    Report rep(std::cout);
+    rep.section("dual-host vs single-host at matched offered load");
+    for (const char *topo : {"ring", "daisy"}) {
+        rep.measured(std::string(topo) +
+                         " accepted throughput (2 hosts / 1 host)",
+                     acc[topo][1]["static"] > 0.0
+                         ? acc[topo][2]["static"] / acc[topo][1]["static"]
+                         : 0.0,
+                     "ratio");
+        rep.measured(std::string(topo) + " p99 latency (2 hosts / 1)",
+                     p99[topo][1]["static"] > 0.0
+                         ? p99[topo][2]["static"] / p99[topo][1]["static"]
+                         : 0.0,
+                     "ratio");
+    }
+    rep.measured("dual ring p99 (adaptive/static)",
+                 p99["ring"][2]["static"] > 0.0
+                     ? p99["ring"][2]["adaptive"] / p99["ring"][2]["static"]
+                     : 0.0,
+                 "ratio");
+    rep.note("one host funnels everything through cube 0's links and "
+             "one deserializer; the second entry point doubles the "
+             "attachment width and halves transit distances");
+
+    // Per-host balance of the dual-host ring (static), reproduced at
+    // report scale for the console.
+    {
+        const SystemConfig cfg = fabricConfig("ring", 2, "static");
+        WorkloadRunSpec wr;
+        wr.workload.type = "gups";
+        wr.workload.requestBytes = 64;
+        wr.workload.inject = "open";
+        wr.workload.ratePerNs =
+            kTotalOfferedPerNs / (2 * kPortsPerHost);
+        wr.activePorts = kPortsPerHost;
+        wr.warmup = warmup;
+        wr.window = window;
+        const ExperimentResult r = runWorkload(cfg, wr);
+        rep.section("dual-host ring per-host breakdown");
+        for (const HostStats &hs : r.hosts)
+            rep.perHost(hs.host, hs.entryCube, hs.reads + hs.writes,
+                        hs.bandwidthGBs, hs.avgReadNs);
+        std::uint64_t total_served = 0;
+        for (const CubeStats &cs : r.cubes)
+            total_served += cs.requestsServed;
+        for (const CubeStats &cs : r.cubes) {
+            rep.perCube(cs.cube, cs.requestsServed, cs.requestHops,
+                        total_served
+                            ? 100.0 *
+                                static_cast<double>(cs.requestsServed) /
+                                static_cast<double>(total_served)
+                            : 0.0);
+        }
+    }
+    return 0;
+}

@@ -59,10 +59,23 @@ try {
                     r.acceptedPerNs(),
                     100.0 * r.acceptedPerNs() / r.offeredPerNs());
     }
+    for (const HostStats &hs : r.hosts) {
+        if (r.hosts.size() > 1)
+            std::printf("  host %u @ cube %u: %llu reads, avg %.0f ns\n",
+                        hs.host, hs.entryCube,
+                        static_cast<unsigned long long>(hs.reads),
+                        hs.avgReadNs);
+    }
     for (const PortStats &ps : r.ports) {
-        std::printf("  port %u: %llu reads, avg %.0f ns\n", ps.port,
-                    static_cast<unsigned long long>(ps.reads),
-                    ps.avgReadNs);
+        if (r.hosts.size() > 1)
+            std::printf("  host %u port %u: %llu reads, avg %.0f ns\n",
+                        ps.host, ps.port,
+                        static_cast<unsigned long long>(ps.reads),
+                        ps.avgReadNs);
+        else
+            std::printf("  port %u: %llu reads, avg %.0f ns\n", ps.port,
+                        static_cast<unsigned long long>(ps.reads),
+                        ps.avgReadNs);
     }
     return 0;
 } catch (const std::exception &e) {

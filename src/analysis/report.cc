@@ -60,4 +60,17 @@ Report::perCube(std::uint32_t cube, std::uint64_t served,
          << "  share_pct=" << formatDouble(share_pct, 1) << '\n';
 }
 
+void
+Report::perHost(std::uint32_t host, std::uint32_t entry_cube,
+                std::uint64_t accepted, double bandwidth_gbs,
+                double avg_read_ns)
+{
+    out_ << "  " << std::left << std::setw(36)
+         << ("host " + std::to_string(host) + " @ cube " +
+             std::to_string(entry_cube))
+         << " accepted=" << std::right << std::setw(10) << accepted
+         << "  bw_gbs=" << formatDouble(bandwidth_gbs, 2)
+         << "  avg_read_ns=" << formatDouble(avg_read_ns, 0) << '\n';
+}
+
 }  // namespace hmcsim

@@ -50,6 +50,14 @@ class Report
     void perCube(std::uint32_t cube, std::uint64_t served,
                  std::uint32_t request_hops, double share_pct);
 
+    /**
+     * One multi-host row: host id, its chain entry cube, accepted
+     * requests, bandwidth share and average read latency.
+     */
+    void perHost(std::uint32_t host, std::uint32_t entry_cube,
+                 std::uint64_t accepted, double bandwidth_gbs,
+                 double avg_read_ns);
+
   private:
     std::ostream &out_;
 };

@@ -13,6 +13,7 @@ kindIndex(ChainHop kind)
       case ChainHop::Up: return 0;
       case ChainHop::Down: return 1;
       case ChainHop::Wrap: return 2;
+      case ChainHop::Host: return 3;
       case ChainHop::Local:
         break;
     }
@@ -87,8 +88,10 @@ ChainRouteDecision
 ChainSwitch::decide(LinkId l, const HmcPacket &pkt) const
 {
     ChainPacketView view;
-    view.dest = pkt.cube;
     view.toHost = pkt.isResponse();
+    // Responses head for the entry cube of the host that issued them;
+    // requests for their CUB field.
+    view.dest = view.toHost ? routes_.hostEntry(pkt.host) : pkt.cube;
     view.misroutes = pkt.chainMisroutes;
     view.dirLock = pkt.chainDirLock;
     return policy_.route(cubeId(), view, l, *this);
@@ -101,6 +104,7 @@ ChainSwitch::commit(const ChainRouteDecision &d, const HmcPacketPtr &pkt)
       case ChainHop::Up: routeUp_.inc(); break;
       case ChainHop::Down: routeDown_.inc(); break;
       case ChainHop::Wrap: routeWrap_.inc(); break;
+      case ChainHop::Host: routeHost_.inc(); break;
       case ChainHop::Local: break;
     }
     if (d.deviated)
@@ -125,6 +129,18 @@ ChainSwitch::tryForward(LinkId l, const HmcPacketPtr &pkt)
     return true;
 }
 
+void
+ChainSwitch::scheduleKick(Port &p, Tick at)
+{
+    if (p.kickScheduled)
+        return;
+    p.kickScheduled = true;
+    kernel().scheduleAt(at, [this, &p] {
+        p.kickScheduled = false;
+        pump(p);
+    });
+}
+
 bool
 ChainSwitch::enqueue(ChainHop kind, LinkId l, const HmcPacketPtr &pkt)
 {
@@ -136,15 +152,9 @@ ChainSwitch::enqueue(ChainHop kind, LinkId l, const HmcPacketPtr &pkt)
     // Store-and-forward: the packet was fully received upstream; it
     // traverses the switch in passThroughLatency and then competes for
     // the output link's tokens.
-    p.q.push_back(Pending{now() + params_.passThroughLatency, pkt});
+    p.q.push_back(Pending{now() + params_.passThroughLatency, pkt, true});
     p.qFlits += pkt->flits();
-    if (!p.kickScheduled) {
-        p.kickScheduled = true;
-        kernel().scheduleAt(p.q.back().readyAt, [this, &p] {
-            p.kickScheduled = false;
-            pump(p);
-        });
-    }
+    scheduleKick(p, p.q.back().readyAt);
     return true;
 }
 
@@ -155,32 +165,28 @@ ChainSwitch::pump(Port &p)
     while (!p.q.empty()) {
         Pending &head = p.q.front();
         if (head.readyAt > now()) {
-            if (!p.kickScheduled) {
-                p.kickScheduled = true;
-                kernel().scheduleAt(head.readyAt, [this, &p] {
-                    p.kickScheduled = false;
-                    pump(p);
-                });
-            }
+            scheduleKick(p, head.readyAt);
             break;
         }
         const std::uint32_t flits = head.pkt->flits();
         if (!p.link->canSend(p.outDir, flits))
             break;  // resumed by the link's tokens-free callback
         p.link->reserveTokens(p.outDir, flits);
-        if (head.pkt->isRequest()) {
-            ++head.pkt->reqHops;
-            fwdRequests_.inc();
-        } else {
-            ++head.pkt->respHops;
-            fwdResponses_.inc();
+        if (head.countHop) {
+            if (head.pkt->isRequest()) {
+                ++head.pkt->reqHops;
+                fwdRequests_.inc();
+            } else {
+                ++head.pkt->respHops;
+                fwdResponses_.inc();
+            }
+            fwdFlits_.inc(flits);
+            // Transit energy lands on THIS cube: it drives the
+            // outgoing wire and pays the switch buffering, wherever
+            // the link object happens to live.
+            if (probe_)
+                probe_->record(PowerEvent::ChainForwardFlit, flits);
         }
-        fwdFlits_.inc(flits);
-        // Transit energy lands on THIS cube: it drives the outgoing
-        // wire and pays the switch buffering, wherever the link object
-        // happens to live.
-        if (probe_)
-            probe_->record(PowerEvent::ChainForwardFlit, flits);
         p.link->send(p.outDir, head.pkt);
         p.qFlits -= flits;
         p.q.pop_front();
@@ -282,7 +288,7 @@ void
 ChainSwitch::drainAllInRx()
 {
     static constexpr ChainHop kKinds[] = {ChainHop::Up, ChainHop::Down,
-                                          ChainHop::Wrap};
+                                          ChainHop::Wrap, ChainHop::Host};
     for (const ChainHop kind : kKinds) {
         for (LinkId l = 0; l < dev_.numLinks(); ++l) {
             if (ports_[kindIndex(kind)][l].link)
@@ -326,6 +332,26 @@ ChainSwitch::ejectFromNoc(LinkId l, const HmcPacketPtr &pkt)
 }
 
 void
+ChainSwitch::ejectRoutedFromNoc(LinkId l, const HmcPacketPtr &pkt)
+{
+    const ChainRouteDecision d = decide(l, *pkt);
+    if (d.hop == ChainHop::Local)
+        panic("ChainSwitch::ejectRoutedFromNoc: response routed Local");
+    // Unconditional admission past the pass-through queue cap: the
+    // NoC's switch allocation already committed this ejection, and the
+    // overhang stays bounded by the hosts' outstanding-tag pools (the
+    // only source of responses).  No pass-through latency: an origin
+    // ejection models the same direct NoC-to-link hand-off as the
+    // single-host path, just behind a per-packet route decision.
+    Port &p = port(d.hop, l);
+    p.q.push_back(Pending{now(), pkt, false});
+    p.qFlits += pkt->flits();
+    routedEjects_.inc();
+    commit(d, pkt);
+    pump(p);
+}
+
+void
 ChainSwitch::reportOwnStats(std::map<std::string, double> &out) const
 {
     out[statName("fwd_requests")] =
@@ -342,6 +368,9 @@ ChainSwitch::reportOwnStats(std::map<std::string, double> &out) const
     out[statName("route_up")] = static_cast<double>(routeUp_.value());
     out[statName("route_down")] = static_cast<double>(routeDown_.value());
     out[statName("route_wrap")] = static_cast<double>(routeWrap_.value());
+    out[statName("route_host")] = static_cast<double>(routeHost_.value());
+    out[statName("routed_ejects")] =
+        static_cast<double>(routedEjects_.value());
     out[statName("adaptive_deviations")] =
         static_cast<double>(adaptiveDeviations_.value());
     out[statName("misroutes")] = static_cast<double>(misroutes_.value());
@@ -359,6 +388,8 @@ ChainSwitch::resetOwnStats()
     routeUp_.reset();
     routeDown_.reset();
     routeWrap_.reset();
+    routeHost_.reset();
+    routedEjects_.reset();
     adaptiveDeviations_.reset();
     misroutes_.reset();
 }

@@ -21,9 +21,13 @@
  *
  * Port classes (see ChainRouteTable): Up = this cube's own links toward
  * the host, Down = the next cube's links, Wrap = the ring-closing
- * links.  On ring cubes whose response route is not Up, the cube's NoC
- * link-ejection endpoints are rewired through ejectFromNoc() so locally
- * generated responses leave on the routed port directly.
+ * links, Host = dedicated host-attachment links at a multi-host entry
+ * cube.  On single-host ring cubes whose response route is not Up, the
+ * cube's NoC link-ejection endpoints are rewired through ejectFromNoc()
+ * so locally generated responses leave on the routed port directly; in
+ * a multi-host fabric every cube's ejection goes through
+ * ejectRoutedFromNoc() instead, which routes each response toward its
+ * issuing host's entry cube per packet.
  */
 
 #ifndef HMCSIM_CHAIN_CHAIN_SWITCH_H_
@@ -81,6 +85,18 @@ class ChainSwitch : public Component, public ChainLoadProvider
     /** Transmit a locally ejected response (tokens already reserved). */
     void ejectFromNoc(LinkId l, const HmcPacketPtr &pkt);
 
+    /**
+     * Multi-host ejection: accept a locally generated response from
+     * the NoC and queue it on the per-packet routed output port (its
+     * issuing host's return direction).  Unlike ejectFromNoc the
+     * output port is not known at switch-allocation time, so admission
+     * is unconditional and the output queue is allowed to exceed the
+     * pass-through depth; the overhang is bounded end-to-end by the
+     * hosts' tag pools.  Origin ejections pay no pass-through latency
+     * and count no chain hop, mirroring the single-host eject path.
+     */
+    void ejectRoutedFromNoc(LinkId l, const HmcPacketPtr &pkt);
+
     /** Hook the transit-energy probe (ChainForwardFlit events). */
     void setPowerProbe(PowerProbe *probe) { probe_ = probe; }
 
@@ -121,6 +137,10 @@ class ChainSwitch : public Component, public ChainLoadProvider
     struct Pending {
         Tick readyAt = 0;
         HmcPacketPtr pkt;
+        /** False for origin ejections (multi-host routed eject):
+         *  transmitting them is not a pass-through forward, so no hop
+         *  count, forward counters or transit energy. */
+        bool countHop = true;
     };
 
     struct Port {
@@ -135,7 +155,7 @@ class ChainSwitch : public Component, public ChainLoadProvider
         HmcPacketPtr holHead;
     };
 
-    static constexpr std::size_t kPortKinds = 3;  // Up, Down, Wrap
+    static constexpr std::size_t kPortKinds = 4;  // Up, Down, Wrap, Host
 
     HmcDevice &dev_;
     const ChainRouteTable &routes_;
@@ -157,11 +177,16 @@ class ChainSwitch : public Component, public ChainLoadProvider
     Counter routeUp_;
     Counter routeDown_;
     Counter routeWrap_;
+    Counter routeHost_;
+    /** Locally generated responses ejected through the routed
+     *  multi-host path. */
+    Counter routedEjects_;
 
     Port &port(ChainHop kind, LinkId l);
     ChainRouteDecision decide(LinkId l, const HmcPacket &pkt) const;
     void commit(const ChainRouteDecision &d, const HmcPacketPtr &pkt);
     bool enqueue(ChainHop kind, LinkId l, const HmcPacketPtr &pkt);
+    void scheduleKick(Port &p, Tick at);
     void pump(Port &p);
     void drainInRx(ChainHop kind, LinkId l);
     void drainAllInRx();

@@ -7,10 +7,11 @@
 namespace hmcsim {
 
 CubeNetwork::CubeNetwork(Kernel &kernel, Component *parent, std::string name,
-                         const HmcConfig &cfg)
+                         const HmcConfig &cfg,
+                         std::vector<CubeId> host_entries)
     : Component(kernel, parent, std::move(name)), cfg_(cfg),
       routes_(chainTopologyFromString(cfg_.chain.topology),
-              cfg_.chain.numCubes),
+              cfg_.chain.numCubes, std::move(host_entries)),
       mode_(chainRoutingFromString(cfg_.chain.routing))
 {
     cfg_.validate();
@@ -25,6 +26,7 @@ CubeNetwork::CubeNetwork(Kernel &kernel, Component *parent, std::string name,
         cubes_.push_back(std::make_unique<HmcDevice>(
             kernel, this, "hmc" + std::to_string(c), cfg_, c));
     }
+    hostLinks_.resize(routes_.numHosts());
 
     if (n > 1 && routes_.topology() != ChainTopology::Star)
         wireChain();
@@ -35,6 +37,7 @@ CubeNetwork::wireChain()
 {
     const std::uint32_t n = numCubes();
     const bool ring = routes_.topology() == ChainTopology::Ring;
+    const bool multi_host = routes_.numHosts() > 1;
 
     if (ring) {
         const SerdesLink::Params lp = linkParamsFrom(cfg_, 0xABCDEFull);
@@ -47,18 +50,6 @@ CubeNetwork::wireChain()
             // the cube on the downstream side of the hop (cube N-1).
             if (PowerModel *pm = cubes_[n - 1]->powerModel())
                 wrapLinks_.back()->setPowerProbe(pm);
-        }
-        // Thermal throttling must not leave the wrap hop at full
-        // speed while every cube-owned hop is stretched: follow the
-        // deeper of the two endpoint cubes' throttle levels.
-        for (CubeId c : {CubeId{0}, static_cast<CubeId>(n - 1)}) {
-            if (PowerModel *pm = cubes_[c]->powerModel()) {
-                HmcDevice *dev = cubes_[c].get();
-                pm->setThrottleApplier([this, dev](double s) {
-                    dev->applyThrottle(s);
-                    applyWrapThrottle();
-                });
-            }
         }
     }
 
@@ -105,9 +96,32 @@ CubeNetwork::wireChain()
                             LinkDir::CubeToHost, /*consume_rx=*/true);
         }
 
-        // Ring cubes on the far side eject local responses down/around
-        // instead of retracing the request path.
-        if (routes_.towardHost(c) != ChainHop::Up) {
+        if (multi_host) {
+            // Responses can head for any host's entry cube, so every
+            // cube's local ejection becomes a per-packet route through
+            // the switch.  The NoC's switch allocation cannot see the
+            // packet, so admission is unconditional; boundedness comes
+            // from the hosts' tag pools (see ejectRoutedFromNoc).
+            HmcDevice *dev = cubes_[c].get();
+            for (LinkId l = 0; l < cfg_.numLinks; ++l) {
+                Network::EndpointOps ops;
+                ops.tryReserve = [](std::uint32_t) { return true; };
+                ops.deliver = [sw, l](const NocMessage &msg) {
+                    auto pkt =
+                        std::static_pointer_cast<HmcPacket>(msg.payload);
+                    sw->ejectRoutedFromNoc(l, pkt);
+                };
+                ops.onInjectSpace = [dev, sw, l] {
+                    dev->kickLinkRx(l);
+                    sw->onLocalInjectSpace(l);
+                };
+                dev->network().rewireEndpoint(dev->linkEndpoint(l),
+                                              std::move(ops));
+            }
+        } else if (routes_.towardHost(c) != ChainHop::Up) {
+            // Single-host ring cubes on the far side eject local
+            // responses down/around instead of retracing the request
+            // path.
             HmcDevice *dev = cubes_[c].get();
             for (LinkId l = 0; l < cfg_.numLinks; ++l) {
                 Network::EndpointOps ops;
@@ -129,7 +143,39 @@ CubeNetwork::wireChain()
         }
     }
 
+    wireHostLinks();
     combineTokenCallbacks();
+    installThrottleAppliers();
+}
+
+void
+CubeNetwork::wireHostLinks()
+{
+    for (HostId h = 0; h < routes_.numHosts(); ++h) {
+        const CubeId entry = routes_.hostEntry(h);
+        if (routes_.attachHop(entry) != ChainHop::Host)
+            continue;  // the cube-0 host drives cube 0's own links
+        // Decorrelate the CRC error stream per host like chained
+        // cubes decorrelate theirs.
+        const SerdesLink::Params lp =
+            linkParamsFrom(cfg_, 0xB05Cull + h * 104729ull);
+        ChainSwitch *sw = switches_[entry].get();
+        for (LinkId l = 0; l < cfg_.numLinks; ++l) {
+            hostLinks_[h].push_back(std::make_unique<SerdesLink>(
+                kernel(), this,
+                "host" + std::to_string(h) + "_link" + std::to_string(l),
+                l, lp));
+            SerdesLink *lk = hostLinks_[h].back().get();
+            // Host-link SerDes energy lands on the entry cube, which
+            // physically hosts the attachment PHY.
+            if (PowerModel *pm = cubes_[entry]->powerModel())
+                lk->setPowerProbe(pm);
+            // The switch transmits responses to the host and drains
+            // the request-direction RX (local injects + forwards).
+            sw->setPort(ChainHop::Host, l, lk, LinkDir::CubeToHost,
+                        /*consume_rx=*/true);
+        }
+    }
 }
 
 void
@@ -178,18 +224,74 @@ CubeNetwork::combineTokenCallbacks()
             swN->pumpAll();
         });
     }
+    for (HostId h = 0; h < hostLinks_.size(); ++h) {
+        if (hostLinks_[h].empty())
+            continue;
+        ChainSwitch *sw = switches_[routes_.hostEntry(h)].get();
+        for (auto &lk : hostLinks_[h]) {
+            // CubeToHost: the entry switch's Host-port transmit.  The
+            // HostToCube sender is the polling host controller, which
+            // needs no callback.
+            lk->setOnTokensFree(LinkDir::CubeToHost,
+                                [sw] { sw->pumpAll(); });
+        }
+    }
 }
 
 void
-CubeNetwork::applyWrapThrottle()
+CubeNetwork::installThrottleAppliers()
 {
-    double slowdown = 1.0;
-    for (const HmcDevice *dev : {cubes_.front().get(), cubes_.back().get()}) {
-        if (const PowerModel *pm = dev->powerModel())
-            slowdown = std::max(slowdown, pm->slowdown());
+    // Thermal throttling must not leave network-owned links (ring wrap
+    // hops, dedicated host attachments) at full speed while every
+    // cube-owned hop is stretched.  Any cube whose throttle level
+    // feeds such a link re-applies the aux-link throttles whenever its
+    // own level changes.
+    std::vector<CubeId> aux_cubes;
+    if (!wrapLinks_.empty()) {
+        aux_cubes.push_back(0);
+        aux_cubes.push_back(numCubes() - 1);
     }
-    for (auto &lk : wrapLinks_)
-        lk->setThrottle(slowdown);
+    for (HostId h = 0; h < hostLinks_.size(); ++h) {
+        if (!hostLinks_[h].empty())
+            aux_cubes.push_back(routes_.hostEntry(h));
+    }
+    std::sort(aux_cubes.begin(), aux_cubes.end());
+    aux_cubes.erase(std::unique(aux_cubes.begin(), aux_cubes.end()),
+                    aux_cubes.end());
+    for (CubeId c : aux_cubes) {
+        if (PowerModel *pm = cubes_[c]->powerModel()) {
+            HmcDevice *dev = cubes_[c].get();
+            pm->setThrottleApplier([this, dev](double s) {
+                dev->applyThrottle(s);
+                applyAuxLinkThrottle();
+            });
+        }
+    }
+}
+
+void
+CubeNetwork::applyAuxLinkThrottle()
+{
+    if (!wrapLinks_.empty()) {
+        // The wrap hop follows the deeper of its two endpoint cubes.
+        double slowdown = 1.0;
+        for (const HmcDevice *dev :
+             {cubes_.front().get(), cubes_.back().get()}) {
+            if (const PowerModel *pm = dev->powerModel())
+                slowdown = std::max(slowdown, pm->slowdown());
+        }
+        for (auto &lk : wrapLinks_)
+            lk->setThrottle(slowdown);
+    }
+    for (HostId h = 0; h < hostLinks_.size(); ++h) {
+        if (hostLinks_[h].empty())
+            continue;
+        const PowerModel *pm =
+            cubes_[routes_.hostEntry(h)]->powerModel();
+        const double slowdown = pm ? std::max(1.0, pm->slowdown()) : 1.0;
+        for (auto &lk : hostLinks_[h])
+            lk->setThrottle(slowdown);
+    }
 }
 
 HmcDevice &
@@ -209,20 +311,27 @@ CubeNetwork::switchAt(CubeId c)
 }
 
 SerdesLink &
-CubeNetwork::hostLink(LinkId l)
+CubeNetwork::hostLink(LinkId l, HostId h)
 {
     if (l >= cfg_.numLinks)
         panic("CubeNetwork::hostLink: link out of range");
+    if (h >= routes_.numHosts())
+        panic("CubeNetwork::hostLink: host out of range");
     if (routes_.topology() == ChainTopology::Star)
         return cube(l % numCubes()).link(l);
-    return cube(0).link(l);
+    const CubeId entry = routes_.hostEntry(h);
+    if (routes_.attachHop(entry) == ChainHop::Host)
+        return *hostLinks_[h][l];
+    return cube(entry).link(l);
 }
 
 CubeId
-CubeNetwork::hostLinkCube(LinkId l) const
+CubeNetwork::hostLinkCube(LinkId l, HostId h) const
 {
     if (l >= cfg_.numLinks)
         panic("CubeNetwork::hostLinkCube: link out of range");
+    if (h >= routes_.numHosts())
+        panic("CubeNetwork::hostLinkCube: host out of range");
     if (routes_.topology() == ChainTopology::Star)
         return l % numCubes();
     return kCubeAll;
@@ -242,6 +351,29 @@ CubeNetwork::totalRequestsServed() const
     for (const auto &c : cubes_)
         total += c->totalRequestsServed();
     return total;
+}
+
+std::uint64_t
+CubeNetwork::totalForwardedFlits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sw : switches_)
+        total += sw->forwardedFlits();
+    return total;
+}
+
+std::uint64_t
+CubeNetwork::bisectionFlitsSent(LinkDir dir) const
+{
+    const std::uint32_t n = numCubes();
+    if (n < 2 || routes_.topology() == ChainTopology::Star)
+        return 0;
+    std::uint64_t flits = 0;
+    for (LinkId l = 0; l < cfg_.numLinks; ++l)
+        flits += cubes_[n / 2]->link(l).flitsSent(dir);
+    for (const auto &lk : wrapLinks_)
+        flits += lk->flitsSent(dir);
+    return flits;
 }
 
 }  // namespace hmcsim

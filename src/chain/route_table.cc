@@ -1,5 +1,7 @@
 #include "chain/route_table.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace hmcsim {
@@ -12,18 +14,37 @@ toString(ChainHop h)
       case ChainHop::Up: return "up";
       case ChainHop::Down: return "down";
       case ChainHop::Wrap: return "wrap";
+      case ChainHop::Host: return "host";
     }
     return "?";
 }
 
-ChainRouteTable::ChainRouteTable(ChainTopology topo, std::uint32_t num_cubes)
-    : topo_(topo), numCubes_(num_cubes)
+ChainRouteTable::ChainRouteTable(ChainTopology topo, std::uint32_t num_cubes,
+                                 std::vector<CubeId> host_entries)
+    : topo_(topo), numCubes_(num_cubes),
+      hostEntries_(std::move(host_entries))
 {
     if (num_cubes == 0)
         fatal("chain route table: need at least one cube");
+    if (hostEntries_.empty())
+        hostEntries_.push_back(0);
+    for (CubeId e : hostEntries_) {
+        if (e >= numCubes_)
+            fatal("chain route table: host entry cube " +
+                  std::to_string(e) + " beyond num_cubes");
+        if (std::count(hostEntries_.begin(), hostEntries_.end(), e) != 1)
+            fatal("chain route table: two hosts share entry cube " +
+                  std::to_string(e));
+    }
+    if (hostEntries_.size() > 1 && topo_ == ChainTopology::Star)
+        fatal("chain route table: star topologies cannot route "
+              "responses between cubes; multi-host needs daisy or ring");
+
     const std::uint32_t n = numCubes_;
+    entryHost_.assign(n, kHostNone);
+    for (HostId h = 0; h < hostEntries_.size(); ++h)
+        entryHost_[hostEntries_[h]] = h;
     next_.resize(static_cast<std::size_t>(n) * n, ChainHop::Local);
-    towardHost_.resize(n, ChainHop::Up);
 
     for (CubeId at = 0; at < n; ++at) {
         for (CubeId dest = 0; dest < n; ++dest) {
@@ -57,19 +78,56 @@ ChainRouteTable::ChainRouteTable(ChainTopology topo, std::uint32_t num_cubes)
         }
     }
 
-    // Responses head for the host behind cube 0.
-    for (CubeId at = 0; at < n; ++at) {
-        if (at == 0 || topo_ != ChainTopology::Ring) {
-            towardHost_[at] = ChainHop::Up;
-            continue;
+    // Responses head for the entry cube of the host that issued them
+    // and eject on its attachment port there.  Ties break toward the
+    // counter-clockwise (Up) side, matching the legacy toward-cube-0
+    // table when host 0 sits at entry 0.
+    towardEntry_.resize(static_cast<std::size_t>(hostEntries_.size()) * n,
+                        ChainHop::Up);
+    for (HostId h = 0; h < hostEntries_.size(); ++h) {
+        const CubeId e = hostEntries_[h];
+        for (CubeId at = 0; at < n; ++at) {
+            ChainHop hop;
+            if (at == e) {
+                hop = attachHop(e);
+            } else if (topo_ != ChainTopology::Ring) {
+                hop = at > e ? ChainHop::Up : ChainHop::Down;
+            } else {
+                const std::uint32_t up_hops = ccwDistance(at, e);
+                const std::uint32_t down_hops = cwDistance(at, e);
+                hop = up_hops <= down_hops ? ccwHop(at) : cwHop(at);
+            }
+            towardEntry_[h * n + at] = hop;
         }
-        const std::uint32_t up_hops = at;          // counter-clockwise
-        const std::uint32_t down_hops = n - at;    // via the wrap link
-        if (up_hops <= down_hops)
-            towardHost_[at] = ChainHop::Up;
-        else
-            towardHost_[at] = at == n - 1 ? ChainHop::Wrap : ChainHop::Down;
     }
+}
+
+CubeId
+ChainRouteTable::hostEntry(HostId h) const
+{
+    if (h >= hostEntries_.size())
+        panic("ChainRouteTable::hostEntry: host out of range");
+    return hostEntries_[h];
+}
+
+HostId
+ChainRouteTable::hostAt(CubeId entry_cube) const
+{
+    if (entry_cube >= entryHost_.size() ||
+        entryHost_[entry_cube] == kHostNone)
+        panic("ChainRouteTable: no host attached at cube " +
+              std::to_string(entry_cube));
+    return entryHost_[entry_cube];
+}
+
+ChainHop
+ChainRouteTable::attachHop(CubeId entry_cube) const
+{
+    hostAt(entry_cube);  // must be a registered entry
+    // The cube-0 host drives cube 0's own links (the classic chain
+    // head); every other entry cube gets dedicated host links because
+    // its own links are busy being the chain hop to the previous cube.
+    return entry_cube == 0 ? ChainHop::Up : ChainHop::Host;
 }
 
 ChainHop
@@ -84,11 +142,19 @@ ChainRouteTable::next(CubeId at, CubeId dest) const
 }
 
 ChainHop
+ChainRouteTable::towardEntry(CubeId at, CubeId entry_cube) const
+{
+    if (at >= numCubes_)
+        panic("ChainRouteTable::towardEntry: cube out of range");
+    return towardEntry_[hostAt(entry_cube) * numCubes_ + at];
+}
+
+ChainHop
 ChainRouteTable::towardHost(CubeId at) const
 {
     if (at >= numCubes_)
         panic("ChainRouteTable::towardHost: cube out of range");
-    return towardHost_[at];
+    return towardEntry_[at];  // host 0's slice starts at offset 0
 }
 
 CubeId
@@ -114,6 +180,9 @@ ChainRouteTable::neighbor(CubeId at, ChainHop h) const
         return at + 1;
       case ChainHop::Wrap:
         return at == 0 ? numCubes_ - 1 : 0;
+      case ChainHop::Host:
+        panic("ChainRouteTable::neighbor: Host ports face a host "
+              "controller, not a cube");
     }
     panic("ChainRouteTable: invalid hop");
 }
@@ -150,7 +219,8 @@ ChainRouteTable::ccwHop(CubeId at) const
 }
 
 std::uint32_t
-ChainRouteTable::walk(CubeId start, CubeId dest, bool to_host) const
+ChainRouteTable::walk(CubeId start, CubeId dest, HostId h,
+                      bool to_host) const
 {
     // Star cubes are all host-attached: zero pass-through forwards in
     // either direction.
@@ -158,18 +228,19 @@ ChainRouteTable::walk(CubeId start, CubeId dest, bool to_host) const
         return 0;
     // Follow the static tables, counting pass-through forwards.  The
     // tables are loop-free by construction; the bound is a tripwire.
+    const CubeId entry = hostEntry(h);
     std::uint32_t hops = 0;
     CubeId at = start;
     while (hops <= numCubes_) {
         if (to_host) {
-            if (at == 0)
-                return hops;  // cube 0 delivers straight to the host
-            at = neighbor(at, towardHost_[at]);
+            if (at == entry)
+                return hops;  // the entry cube delivers to the host
+            at = neighbor(at, towardEntry_[h * numCubes_ + at]);
         } else {
-            const ChainHop h = next_[at * numCubes_ + dest];
-            if (h == ChainHop::Local)
+            const ChainHop hop = next_[at * numCubes_ + dest];
+            if (hop == ChainHop::Local)
                 return hops;
-            at = neighbor(at, h);
+            at = neighbor(at, hop);
         }
         ++hops;
     }
@@ -177,20 +248,20 @@ ChainRouteTable::walk(CubeId start, CubeId dest, bool to_host) const
 }
 
 std::uint32_t
-ChainRouteTable::requestHops(CubeId dest) const
+ChainRouteTable::requestHops(CubeId dest, HostId h) const
 {
     if (dest >= numCubes_)
         panic("ChainRouteTable::requestHops: cube out of range");
-    // Requests enter the network at cube 0.
-    return walk(0, dest, false);
+    // Requests enter the network at the host's entry cube.
+    return walk(hostEntry(h), dest, h, false);
 }
 
 std::uint32_t
-ChainRouteTable::responseHops(CubeId dest) const
+ChainRouteTable::responseHops(CubeId dest, HostId h) const
 {
     if (dest >= numCubes_)
         panic("ChainRouteTable::responseHops: cube out of range");
-    return walk(dest, 0, true);
+    return walk(dest, hostEntry(h), h, true);
 }
 
 std::uint32_t

@@ -2,12 +2,15 @@
  * @file
  * Static per-cube routing for multi-cube chains (the HMC CUB field).
  *
- * Every cube's pass-through switch owns up to three port classes:
+ * Every cube's pass-through switch owns up to four port classes:
  *
  *   Up    this cube's own SerDes links, toward the host (or the
  *         previous cube in the chain)
  *   Down  the next cube's SerDes links, away from the host
  *   Wrap  the ring-closing links between cube N-1 and cube 0
+ *   Host  dedicated host-attachment links at a non-zero entry cube
+ *         (multi-host fabrics); the primary host behind cube 0 keeps
+ *         using the Up links, exactly like the single-host chain
  *
  * The table answers, for any (current cube, destination cube) pair,
  * which port class the packet leaves on -- or Local when it has
@@ -15,6 +18,13 @@
  * ever route Down (requests) / Up (responses); rings take the
  * shortest direction with ties broken clockwise (Down); stars never
  * forward at all (every cube is host-attached).
+ *
+ * With multiple host controllers (host.num_hosts > 1) the table also
+ * knows each host's entry cube.  Responses no longer head for "the
+ * host behind cube 0" but for the entry cube of the host that issued
+ * the request (towardEntry); at the entry cube they leave on that
+ * host's attachment port (attachHop).  A single host at entry cube 0
+ * reproduces the legacy towardHost table bit for bit.
  */
 
 #ifndef HMCSIM_CHAIN_ROUTE_TABLE_H_
@@ -39,6 +49,8 @@ enum class ChainHop : unsigned {
     Down,
     /** Out the ring-closing link (cube N-1 <-> cube 0). */
     Wrap,
+    /** Out a dedicated host-attachment link (multi-host entry cube). */
+    Host,
 };
 
 std::string toString(ChainHop h);
@@ -46,22 +58,49 @@ std::string toString(ChainHop h);
 class ChainRouteTable
 {
   public:
-    ChainRouteTable(ChainTopology topo, std::uint32_t num_cubes);
+    /**
+     * @param host_entries entry cube of each host controller, indexed
+     *        by HostId; empty means the classic single host at cube 0.
+     *        Entries must be distinct; more than one host requires a
+     *        daisy or ring topology (stars cannot forward responses
+     *        between cubes).
+     */
+    ChainRouteTable(ChainTopology topo, std::uint32_t num_cubes,
+                    std::vector<CubeId> host_entries = {});
 
     ChainTopology topology() const { return topo_; }
     std::uint32_t numCubes() const { return numCubes_; }
 
+    std::uint32_t
+    numHosts() const
+    {
+        return static_cast<std::uint32_t>(hostEntries_.size());
+    }
+
+    /** Entry cube of host @p h. */
+    CubeId hostEntry(HostId h) const;
+
+    /** Port class host @p entry_cube's attachment uses: Up for the
+     *  cube-0 primary host, Host for a dedicated-link host.  @p
+     *  entry_cube must be a registered entry. */
+    ChainHop attachHop(CubeId entry_cube) const;
+
     /** Port a request for @p dest leaves cube @p at on. */
     ChainHop next(CubeId at, CubeId dest) const;
 
-    /** Port a response leaves cube @p at on (destination: host). */
+    /** Port a response leaves cube @p at on, heading for the host
+     *  attached at @p entry_cube.  At the entry cube itself this is
+     *  the attachment port (attachHop). */
+    ChainHop towardEntry(CubeId at, CubeId entry_cube) const;
+
+    /** Legacy alias: towardEntry for host 0's entry cube. */
     ChainHop towardHost(CubeId at) const;
 
     /** Pass-through forwards a request pays from host entry to @p dest. */
-    std::uint32_t requestHops(CubeId dest) const;
+    std::uint32_t requestHops(CubeId dest, HostId h = 0) const;
 
     /** Pass-through forwards the matching response pays back. */
-    std::uint32_t responseHops(CubeId dest) const;
+    std::uint32_t responseHops(CubeId dest, HostId h = 0) const;
 
     /**
      * Static bisection bandwidth of the cube-to-cube fabric in units
@@ -74,6 +113,7 @@ class ChainRouteTable
     /**
      * Cube on the far side of hop @p h from cube @p at.  Panics for
      * (0, Up): cube 0's Up port faces the host, which has no cube id.
+     * Panics for Host hops: the far side is a host controller.
      */
     CubeId neighbor(CubeId at, ChainHop h) const;
 
@@ -92,11 +132,22 @@ class ChainRouteTable
   private:
     ChainTopology topo_;
     std::uint32_t numCubes_;
+    /** Entry cube per host; {0} for the classic single host. */
+    std::vector<CubeId> hostEntries_;
+    /** Reverse map, sized numCubes: host attached at each cube, or
+     *  kHostNone.  Keeps towardEntry() O(1) on the per-hop path. */
+    std::vector<HostId> entryHost_;
     /** next_[at * numCubes_ + dest] */
     std::vector<ChainHop> next_;
-    std::vector<ChainHop> towardHost_;
+    /** towardEntry_[h * numCubes_ + at] */
+    std::vector<ChainHop> towardEntry_;
 
-    std::uint32_t walk(CubeId start, CubeId dest, bool to_host) const;
+    /** Index of the host attached at @p entry_cube; panics when no
+     *  host is registered there. */
+    HostId hostAt(CubeId entry_cube) const;
+
+    std::uint32_t walk(CubeId start, CubeId dest, HostId h,
+                       bool to_host) const;
 };
 
 }  // namespace hmcsim

@@ -29,7 +29,8 @@ StaticChainRouting::route(CubeId at, const ChainPacketView &pkt, LinkId,
                           const ChainLoadProvider &) const
 {
     ChainRouteDecision d;
-    d.hop = pkt.toHost ? routes_.towardHost(at) : routes_.next(at, pkt.dest);
+    d.hop = pkt.toHost ? routes_.towardEntry(at, pkt.dest)
+                       : routes_.next(at, pkt.dest);
     return d;
 }
 
@@ -47,8 +48,9 @@ AdaptiveChainRouting::followLock(CubeId at, const ChainPacketView &pkt) const
     // congested port it was steered around.
     ChainRouteDecision d;
     d.dirLock = pkt.dirLock;
-    if (pkt.toHost && at == 0) {
-        d.hop = ChainHop::Up;  // arrived over the host-attached cube
+    if (pkt.toHost && at == pkt.dest) {
+        // Arrived at the issuing host's entry cube: eject there.
+        d.hop = routes_.attachHop(pkt.dest);
         return d;
     }
     d.hop = pkt.dirLock == kChainDirCw ? routes_.cwHop(at)
@@ -61,20 +63,22 @@ AdaptiveChainRouting::route(CubeId at, const ChainPacketView &pkt,
                             LinkId lane,
                             const ChainLoadProvider &loads) const
 {
-    const CubeId dest = pkt.toHost ? 0 : pkt.dest;
+    const CubeId dest = pkt.dest;
     ChainRouteDecision d;
     if (!pkt.toHost && at == dest) {
         d.hop = ChainHop::Local;
         return d;
     }
-    if (pkt.toHost && at == 0) {
-        // Already at the host-attached cube: the only way out is Up,
-        // whatever direction the response arrived from.
-        d.hop = ChainHop::Up;
+    if (pkt.toHost && at == dest) {
+        // Already at the issuing host's entry cube: the only way out
+        // is its attachment port, whatever direction the response
+        // arrived from.
+        d.hop = routes_.attachHop(dest);
         return d;
     }
-    const ChainHop preferred =
-        pkt.toHost ? routes_.towardHost(at) : routes_.next(at, pkt.dest);
+    const ChainHop preferred = pkt.toHost
+        ? routes_.towardEntry(at, dest)
+        : routes_.next(at, pkt.dest);
     // Only rings have more than one path between two cubes; daisy
     // chains and stars fall through to the static table.
     if (routes_.topology() != ChainTopology::Ring) {

@@ -80,9 +80,10 @@ class ChainLoadProvider
 
 /** The routing-relevant slice of a packet's state. */
 struct ChainPacketView {
-    /** Destination cube of a request (ignored when toHost). */
+    /** Destination cube: the CUB field of a request, or the issuing
+     *  host's entry cube for a response (toHost). */
     CubeId dest = 0;
-    /** True for responses transiting toward the host (cube 0). */
+    /** True for responses transiting toward their issuing host. */
     bool toHost = false;
     /** Non-minimal deviations this packet already took. */
     std::uint8_t misroutes = 0;

@@ -27,6 +27,7 @@ using CubeId = std::uint32_t;
 using QuadrantId = std::uint32_t;
 using LinkId = std::uint32_t;
 using PortId = std::uint32_t;
+using HostId = std::uint32_t;
 using NodeId = std::uint32_t;
 using TagId = std::uint32_t;
 using PacketId = std::uint64_t;
@@ -36,6 +37,12 @@ constexpr NodeId kNodeInvalid = std::numeric_limits<NodeId>::max();
 
 /** Sentinel cube id: "reaches every cube" (host link routing). */
 constexpr CubeId kCubeAll = std::numeric_limits<CubeId>::max();
+
+/** Sentinel entry cube: "spread this host around the topology". */
+constexpr CubeId kEntryCubeAuto = std::numeric_limits<CubeId>::max();
+
+/** Sentinel host id: "no host here". */
+constexpr HostId kHostNone = std::numeric_limits<HostId>::max();
 
 /** Sentinel tag. */
 constexpr TagId kTagInvalid = std::numeric_limits<TagId>::max();

@@ -79,6 +79,7 @@ HmcPacket::makeResponse() const
     r.dataBytes = dataBytes;
     r.vault = vault;
     r.cube = cube;
+    r.host = host;
     r.reqHops = reqHops;
     r.createdAt = createdAt;
     r.linkTxAt = linkTxAt;

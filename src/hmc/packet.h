@@ -50,6 +50,10 @@ struct HmcPacket {
     /** Destination cube (the CUB field); 0 without chaining. */
     CubeId cube = 0;
 
+    /** Issuing host controller; responses return to this host's
+     *  chain entry cube (0 in the classic single-host system). */
+    HostId host = 0;
+
     /** Inter-cube pass-through forwards taken by the request. */
     std::uint32_t reqHops = 0;
 

@@ -35,6 +35,26 @@ ExperimentResult::offeredPerNs() const
     return totalOfferedRequests / ticksToNs(windowTicks);
 }
 
+double
+ExperimentResult::chainTransitGBs() const
+{
+    if (windowTicks == 0)
+        return 0.0;
+    return bytesPerTickToGBs(
+        static_cast<double>(totalChainTransitFlits) * kFlitBytes,
+        windowTicks);
+}
+
+double
+ExperimentResult::chainBisectionTrafficGBs() const
+{
+    if (windowTicks == 0)
+        return 0.0;
+    return bytesPerTickToGBs(
+        static_cast<double>(chainBisectionFlits) * kFlitBytes,
+        windowTicks);
+}
+
 ExperimentResult
 collectResult(System &sys, Tick window_ticks)
 {
@@ -43,55 +63,75 @@ collectResult(System &sys, Tick window_ticks)
     SampleStats hops;
     std::unique_ptr<Histogram> merged_lat;
     bool lat_hist_complete = true;
-    for (PortId p = 0; p < sys.fpga().numPorts(); ++p) {
-        const Port &port = sys.port(p);
-        double offered = 0.0;
-        if (const auto *wp = dynamic_cast<const WorkloadPort *>(&port)) {
-            offered = wp->offeredRequests();
-            r.totalOfferedRequests += offered;
-        }
-        const Monitor &m = port.monitor();
-        if (m.accesses() == 0)
-            continue;
-        PortStats ps;
-        ps.port = p;
-        ps.offeredRequests = offered;
-        ps.reads = m.reads();
-        ps.writes = m.writes();
-        ps.wireBytes = m.wireBytes();
-        ps.avgReadNs = m.readLatencyNs().mean();
-        ps.minReadNs = m.readLatencyNs().min();
-        ps.maxReadNs = m.readLatencyNs().max();
-        ps.stddevReadNs = m.readLatencyNs().stddev();
-        ps.bandwidthGBs = bytesPerTickToGBs(
-            static_cast<double>(ps.wireBytes), window_ticks);
-        r.totalReads += ps.reads;
-        r.totalWrites += ps.writes;
-        r.totalWireBytes += ps.wireBytes;
-        r.mergedRead.merge(m.readLatencyNs());
-        hops.merge(m.chainHops());
-        if (r.chainHopCounts.empty())
-            r.chainHopCounts.assign(m.chainHopHistogram().bins(), 0);
-        for (std::size_t i = 0; i < r.chainHopCounts.size(); ++i)
-            r.chainHopCounts[i] += m.chainHopHistogram().count(i);
-        // p99 needs every port that recorded reads to carry a
-        // same-shaped latency histogram; a partial set would skew the
-        // tail silently.  Write-only ports contribute no read samples
-        // and cannot disqualify the merge.
-        if (const Histogram *h = m.histogram()) {
-            if (!merged_lat)
-                merged_lat = std::make_unique<Histogram>(
-                    h->lo(), h->hi(), h->bins());
-            if (h->lo() == merged_lat->lo() &&
-                h->hi() == merged_lat->hi() &&
-                h->bins() == merged_lat->bins())
-                merged_lat->merge(*h);
-            else
+    for (HostId h = 0; h < sys.numHosts(); ++h) {
+        HostStats hs;
+        hs.host = h;
+        hs.entryCube = sys.hostEntryCube(h);
+        SampleStats host_read;
+        for (PortId p = 0; p < sys.fpga(h).numPorts(); ++p) {
+            const Port &port = sys.portAt(h, p);
+            double offered = 0.0;
+            if (const auto *wp =
+                    dynamic_cast<const WorkloadPort *>(&port)) {
+                offered = wp->offeredRequests();
+                r.totalOfferedRequests += offered;
+                hs.offeredRequests += offered;
+            }
+            const Monitor &m = port.monitor();
+            if (m.accesses() == 0)
+                continue;
+            PortStats ps;
+            ps.host = h;
+            ps.port = p;
+            ps.offeredRequests = offered;
+            ps.reads = m.reads();
+            ps.writes = m.writes();
+            ps.wireBytes = m.wireBytes();
+            ps.avgReadNs = m.readLatencyNs().mean();
+            ps.minReadNs = m.readLatencyNs().min();
+            ps.maxReadNs = m.readLatencyNs().max();
+            ps.stddevReadNs = m.readLatencyNs().stddev();
+            ps.bandwidthGBs = bytesPerTickToGBs(
+                static_cast<double>(ps.wireBytes), window_ticks);
+            r.totalReads += ps.reads;
+            r.totalWrites += ps.writes;
+            r.totalWireBytes += ps.wireBytes;
+            hs.reads += ps.reads;
+            hs.writes += ps.writes;
+            hs.wireBytes += ps.wireBytes;
+            host_read.merge(m.readLatencyNs());
+            r.mergedRead.merge(m.readLatencyNs());
+            hops.merge(m.chainHops());
+            if (r.chainHopCounts.empty())
+                r.chainHopCounts.assign(m.chainHopHistogram().bins(), 0);
+            for (std::size_t i = 0; i < r.chainHopCounts.size(); ++i)
+                r.chainHopCounts[i] += m.chainHopHistogram().count(i);
+            // p99 needs every port that recorded reads to carry a
+            // same-shaped latency histogram; a partial set would skew
+            // the tail silently.  Write-only ports contribute no read
+            // samples and cannot disqualify the merge.
+            if (const Histogram *hist = m.histogram()) {
+                if (!merged_lat)
+                    merged_lat = std::make_unique<Histogram>(
+                        hist->lo(), hist->hi(), hist->bins());
+                if (hist->lo() == merged_lat->lo() &&
+                    hist->hi() == merged_lat->hi() &&
+                    hist->bins() == merged_lat->bins())
+                    merged_lat->merge(*hist);
+                else
+                    lat_hist_complete = false;
+            } else if (ps.reads != 0) {
                 lat_hist_complete = false;
-        } else if (ps.reads != 0) {
-            lat_hist_complete = false;
+            }
+            r.ports.push_back(ps);
         }
-        r.ports.push_back(ps);
+        const HmcHostController &ctrl = sys.fpga(h).controller();
+        hs.requestsSent = ctrl.requestsSent();
+        hs.responsesDelivered = ctrl.responsesDelivered();
+        hs.bandwidthGBs = bytesPerTickToGBs(
+            static_cast<double>(hs.wireBytes), window_ticks);
+        hs.avgReadNs = host_read.mean();
+        r.hosts.push_back(hs);
     }
     if (merged_lat && lat_hist_complete)
         r.p99ReadLatencyNs = merged_lat->percentile(99.0);
@@ -99,18 +139,27 @@ collectResult(System &sys, Tick window_ticks)
         static_cast<double>(r.totalWireBytes), window_ticks);
     r.avgChainHops = hops.mean();
 
-    const HmcHostController &ctrl = sys.fpga().controller();
     for (CubeId c = 0; c < sys.numCubes(); ++c) {
         CubeStats cs;
         cs.cube = c;
         cs.requestsServed = sys.device(c).totalRequestsServed();
-        if (sys.numCubes() > 1) {
-            cs.requestsSent = ctrl.requestsSentToCube(c);
-            cs.peakOutstanding = ctrl.peakOutstandingToCube(c);
-        } else {
-            cs.requestsSent = ctrl.requestsSent();
+        for (HostId h = 0; h < sys.numHosts(); ++h) {
+            const HmcHostController &ctrl = sys.fpga(h).controller();
+            if (sys.numCubes() > 1) {
+                cs.requestsSent += ctrl.requestsSentToCube(c);
+                cs.peakOutstanding += ctrl.peakOutstandingToCube(c);
+            } else {
+                cs.requestsSent += ctrl.requestsSent();
+            }
         }
         if (CubeNetwork *chain = sys.chain()) {
+            if (c == 0) {
+                r.totalChainTransitFlits = chain->totalForwardedFlits();
+                r.chainBisectionGBs = chain->bisectionBandwidthGBs();
+                r.chainBisectionFlits = std::max(
+                    chain->bisectionFlitsSent(LinkDir::HostToCube),
+                    chain->bisectionFlitsSent(LinkDir::CubeToHost));
+            }
             cs.requestHops = chain->routes().requestHops(c);
             if (const ChainSwitch *sw = chain->switchAt(c)) {
                 cs.misroutes = sw->misroutes();
@@ -223,15 +272,22 @@ runWorkload(const SystemConfig &cfg, const WorkloadRunSpec &spec)
     if (spec.activePorts == 0 || spec.activePorts > cfg.host.numPorts)
         fatal("runWorkload: active port count out of range");
     System sys(cfg);
-    for (PortId p = 0; p < spec.activePorts; ++p) {
-        WorkloadSpec w = spec.workload;
-        if (w.seed == 0)
-            w.seed = mixSeeds(spec.seed, p);
-        sys.configureWorkload(p, w);
-        if (spec.latencyHistBins != 0)
-            sys.port(p).monitor().enableHistogram(spec.latencyHistLoNs,
-                                                  spec.latencyHistHiNs,
-                                                  spec.latencyHistBins);
+    // Multi-host systems replicate the workload onto every host with
+    // host-decorrelated seeds; host 0 keeps the exact single-host
+    // streams.
+    for (HostId h = 0; h < sys.numHosts(); ++h) {
+        for (PortId p = 0; p < spec.activePorts; ++p) {
+            WorkloadSpec w = spec.workload;
+            if (w.seed == 0)
+                w.seed = mixSeeds(spec.seed, p);
+            if (h > 0)
+                w.seed = mixSeeds(w.seed, kHostSeedStream + h);
+            sys.configureWorkloadAt(h, p, w);
+            if (spec.latencyHistBins != 0)
+                sys.portAt(h, p).monitor().enableHistogram(
+                    spec.latencyHistLoNs, spec.latencyHistHiNs,
+                    spec.latencyHistBins);
+        }
     }
     sys.run(spec.warmup);
     return sys.measure(spec.window);

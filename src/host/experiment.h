@@ -23,6 +23,8 @@ class System;
 
 /** Per-port slice of an experiment result. */
 struct PortStats {
+    /** Host fabric this port belongs to (0 in single-host systems). */
+    HostId host = 0;
     PortId port = 0;
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
@@ -38,13 +40,37 @@ struct PortStats {
     double offeredRequests = 0.0;
 };
 
+/** Per-host slice of a multi-host experiment result. */
+struct HostStats {
+    HostId host = 0;
+    /** Chain entry cube this host's controller attaches at. */
+    CubeId entryCube = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t wireBytes = 0;
+    std::uint64_t requestsSent = 0;
+    std::uint64_t responsesDelivered = 0;
+    /** This host's bandwidth share (paper formula), GB/s. */
+    double bandwidthGBs = 0.0;
+    double avgReadNs = 0.0;
+    /** Open-loop offered requests summed over this host's ports. */
+    double offeredRequests = 0.0;
+};
+
 /** Per-cube slice of a multi-cube experiment result. */
 struct CubeStats {
     CubeId cube = 0;
     std::uint64_t requestsServed = 0;
+    /** Requests issued toward this cube, summed over all hosts. */
     std::uint64_t requestsSent = 0;
+    /** Peak outstanding toward this cube, summed over the hosts'
+     *  controllers.  Each controller tracks its own peak, so in
+     *  multi-host runs this is an upper bound on the simultaneous
+     *  peak (the per-host maxima need not coincide in time). */
     std::uint32_t peakOutstanding = 0;
-    /** Pass-through forwards to reach this cube (static route). */
+    /** Pass-through forwards to reach this cube on the static route
+     *  from HOST 0's entry; other hosts' distances differ in
+     *  multi-host fabrics (ChainRouteTable::requestHops(c, h)). */
     std::uint32_t requestHops = 0;
     /** Non-minimal adaptive forwards this cube's switch committed. */
     std::uint64_t misroutes = 0;
@@ -56,7 +82,11 @@ struct CubeStats {
 
 struct ExperimentResult {
     Tick windowTicks = 0;
+    /** Every active port of every host (PortStats::host tells whose). */
     std::vector<PortStats> ports;
+
+    /** One entry per host controller (a single entry classically). */
+    std::vector<HostStats> hosts;
 
     /** One entry per cube (a single entry without chaining). */
     std::vector<CubeStats> cubes;
@@ -77,6 +107,25 @@ struct ExperimentResult {
 
     /** Head-of-line-blocked RX drains across all switches. */
     std::uint64_t totalRxHolStalls = 0;
+
+    /** Pass-through flits forwarded by all switches over the window
+     *  (the transit volume crossing the cube-to-cube fabric). */
+    std::uint64_t totalChainTransitFlits = 0;
+
+    /** Static bisection bandwidth of the chain fabric, GB/s (0 for
+     *  the classic single-cube system). */
+    double chainBisectionGBs = 0.0;
+
+    /** Flits that crossed the fabric's bisection cut over the window,
+     *  busier direction (see CubeNetwork::bisectionFlitsSent). */
+    std::uint64_t chainBisectionFlits = 0;
+
+    /** Transit bandwidth over the window, GB/s. */
+    double chainTransitGBs() const;
+
+    /** Bisection-cut traffic (busier direction) over the window,
+     *  GB/s; divide by chainBisectionGBs for the utilization. */
+    double chainBisectionTrafficGBs() const;
 
     std::uint64_t totalReads = 0;
     std::uint64_t totalWrites = 0;

@@ -101,6 +101,7 @@ HmcHostController::tickRequests()
         const std::size_t winner = portArb_.grant(req);
         HmcPacketPtr pkt = ports_[winner]->popRequest();
         pkt->link = l;
+        pkt->host = attach_.hostId;
         if (multiCube()) {
             pkt->cube = attach_.map->decodeCube(pkt->addr);
             ++outstanding_[pkt->cube];
@@ -142,6 +143,11 @@ HmcHostController::tickResponses()
         desFlitBudget_ -= pkt->flits();
         --desPacketBudget_;
         exhausted = 0;
+        if (pkt->host != attach_.hostId)
+            panic("HmcHostController: host " +
+                  std::to_string(attach_.hostId) +
+                  " received a response issued by host " +
+                  std::to_string(pkt->host));
         if (pkt->port >= ports_.size())
             panic("HmcHostController: response for unknown port");
         if (multiCube()) {

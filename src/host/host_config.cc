@@ -30,12 +30,41 @@ HostConfig::validate() const
         fatal("host: negative fixed latency");
     if (workloadPorts > numPorts)
         fatal("host: more workload ports than ports");
+    if (numHosts == 0)
+        fatal("host: need at least one host controller");
+    if (!entryCubes.empty() && entryCubes.size() != numHosts)
+        fatal("host: entry cube list must match num_hosts");
     workload.validate();
     for (const PortWorkload &pw : portWorkloads) {
         if (pw.port >= numPorts)
             fatal("host: workload port out of range");
         pw.spec.validate();
     }
+}
+
+std::vector<CubeId>
+HostConfig::resolvedEntryCubes(std::uint32_t num_cubes) const
+{
+    std::vector<CubeId> entries =
+        entryCubes.empty() ? std::vector<CubeId>(numHosts, kEntryCubeAuto)
+                           : entryCubes;
+    for (HostId h = 0; h < entries.size(); ++h) {
+        if (entries[h] == kEntryCubeAuto)
+            entries[h] = static_cast<CubeId>(
+                (static_cast<std::uint64_t>(h) * num_cubes) / numHosts);
+        if (entries[h] >= num_cubes)
+            fatal("host: host" + std::to_string(h) + " entry cube " +
+                  std::to_string(entries[h]) + " beyond hmc.num_cubes");
+    }
+    for (HostId h = 0; h < entries.size(); ++h) {
+        for (HostId g = h + 1; g < entries.size(); ++g) {
+            if (entries[h] == entries[g])
+                fatal("host: hosts " + std::to_string(h) + " and " +
+                      std::to_string(g) + " share entry cube " +
+                      std::to_string(entries[h]));
+        }
+    }
+    return entries;
 }
 
 HostConfig
@@ -73,6 +102,30 @@ HostConfig::fromConfig(const Config &cfg)
         cfg.getU64("host.stream_drain_flits_per_cycle",
                    c.streamDrainFlitsPerCycle));
     c.seed = cfg.getU64("host.seed", c.seed);
+    c.numHosts = static_cast<std::uint32_t>(
+        cfg.getU64("host.num_hosts", c.numHosts));
+    bool any_entry = false;
+    std::vector<CubeId> entries;
+    for (HostId h = 0; h < c.numHosts; ++h) {
+        const std::string key =
+            "host.host" + std::to_string(h) + ".entry_cube";
+        entries.push_back(static_cast<CubeId>(
+            cfg.getU64(key, kEntryCubeAuto)));
+        any_entry = any_entry || cfg.has(key);
+    }
+    if (any_entry)
+        c.entryCubes = std::move(entries);
+    // Mirror the per-port workload validation: a pin for a host that
+    // does not exist (e.g. 1-indexed host ids) must not be dropped
+    // silently.
+    for (HostId h = c.numHosts; h < c.numHosts + 8; ++h) {
+        const std::string key =
+            "host.host" + std::to_string(h) + ".entry_cube";
+        if (cfg.has(key))
+            fatal("host: " + key + " pins host " + std::to_string(h) +
+                  " but host.num_hosts is " +
+                  std::to_string(c.numHosts));
+    }
     c.workloadPorts = static_cast<std::uint32_t>(
         cfg.getU64("host.workload_ports", c.workloadPorts));
     c.workload = WorkloadSpec::fromConfig(cfg, "host.", c.workload);
@@ -108,6 +161,12 @@ HostConfig::toConfig(Config &cfg) const
     cfg.setU64("host.stream_drain_flits_per_cycle",
                streamDrainFlitsPerCycle);
     cfg.setU64("host.seed", seed);
+    cfg.setU64("host.num_hosts", numHosts);
+    for (HostId h = 0; h < entryCubes.size(); ++h) {
+        if (entryCubes[h] != kEntryCubeAuto)
+            cfg.setU64("host.host" + std::to_string(h) + ".entry_cube",
+                       entryCubes[h]);
+    }
     cfg.setU64("host.workload_ports", workloadPorts);
     workload.toConfig(cfg, "host.");
     for (const PortWorkload &pw : portWorkloads) {

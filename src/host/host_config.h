@@ -19,6 +19,13 @@
 
 namespace hmcsim {
 
+/**
+ * SplitMix stream offset decorrelating per-host seed derivations from
+ * the per-port streams (which mix small port ids): host H>0 draws from
+ * mixSeeds(seed, kHostSeedStream + H).
+ */
+constexpr std::uint64_t kHostSeedStream = 0x486F5374ull;  // "HoSt"
+
 /** One config-driven port workload (resolved from host.port<N>.*). */
 struct PortWorkload {
     PortId port = 0;
@@ -70,6 +77,30 @@ struct HostConfig {
     /** Base RNG seed for the per-port address generators; per-port
      *  seeds are derived with the SplitMix64 mixer (mixSeeds). */
     std::uint64_t seed = 12345;
+
+    /**
+     * Host controllers driving the cube network (host.num_hosts).
+     * Each host replicates the full FPGA fabric -- numPorts ports, tag
+     * pools, its own controller -- and attaches at its own chain entry
+     * cube.  1 keeps the classic single-host system bit-identical.
+     */
+    std::uint32_t numHosts = 1;
+
+    /**
+     * Entry cube per host (host.host<H>.entry_cube), sized numHosts.
+     * kEntryCubeAuto spreads unset hosts evenly around the topology:
+     * host H enters at cube H * num_cubes / num_hosts.  Entry cubes
+     * must be distinct; more than one host needs a daisy or ring
+     * topology.  Empty means all-auto.
+     */
+    std::vector<CubeId> entryCubes;
+
+    /**
+     * Resolve entryCubes against a concrete cube count: substitute the
+     * even spread for kEntryCubeAuto entries and validate bounds and
+     * distinctness.  Returned vector is sized numHosts.
+     */
+    std::vector<CubeId> resolvedEntryCubes(std::uint32_t num_cubes) const;
 
     /**
      * Config-driven workloads: ports [0, workloadPorts) are configured

@@ -1,6 +1,7 @@
 #include "host/system.h"
 
 #include "common/log.h"
+#include "common/rng.h"
 
 namespace hmcsim {
 
@@ -9,6 +10,30 @@ SystemConfig::validate() const
 {
     hmc.validate();
     host.validate();
+    if (host.numHosts > 1) {
+        if (hmc.chain.numCubes < host.numHosts)
+            fatal("system: " + std::to_string(host.numHosts) +
+                  " hosts need at least as many cubes "
+                  "(hmc.num_cubes = " +
+                  std::to_string(hmc.chain.numCubes) + ")");
+        if (chainTopologyFromString(hmc.chain.topology) ==
+            ChainTopology::Star)
+            fatal("system: star topologies cannot route responses "
+                  "between cubes; multi-host needs daisy or ring");
+    }
+    if (chainTopologyFromString(hmc.chain.topology) ==
+        ChainTopology::Star) {
+        // Star links rotate over the cubes (link l serves cube l % N);
+        // there is no entry-cube attachment to pin, so an explicit
+        // entry would be silently ignored -- reject it instead.
+        for (CubeId e : host.entryCubes) {
+            if (e != kEntryCubeAuto)
+                fatal("system: star topologies have no entry cubes to "
+                      "pin (host links rotate over all cubes)");
+        }
+    }
+    // Resolves the even spread and checks bounds / distinctness.
+    host.resolvedEntryCubes(hmc.chain.numCubes);
 }
 
 SystemConfig
@@ -41,6 +66,7 @@ class RootComponent : public Component
 System::System(const SystemConfig &cfg) : cfg_(cfg)
 {
     cfg_.validate();
+    entryCubes_ = cfg_.host.resolvedEntryCubes(cfg_.hmc.chain.numCubes);
     root_ = std::make_unique<RootComponent>(kernel_);
     if (cfg_.hmc.chain.numCubes == 1) {
         // Classic single-cube construction, kept verbatim so default
@@ -49,24 +75,56 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
                                             cfg_.hmc);
     } else {
         chain_ = std::make_unique<CubeNetwork>(kernel_, root_.get(),
-                                               "chain", cfg_.hmc);
+                                               "chain", cfg_.hmc,
+                                               entryCubes_);
     }
-    fpga_ = std::make_unique<Fpga>(kernel_, root_.get(), "fpga", cfg_.host,
-                                   makeAttach());
-    fpga_->start();
+    const bool multi_host = cfg_.host.numHosts > 1;
+    for (HostId h = 0; h < cfg_.host.numHosts; ++h) {
+        // The single-host fabric keeps its historic "fpga" component
+        // name (and thus stat namespace); multi-host fabrics get one
+        // "host<H>" namespace each so no two controllers' counters
+        // can ever collapse into one stat key.
+        const std::string name =
+            multi_host ? "host" + std::to_string(h) : "fpga";
+        hosts_.push_back(std::make_unique<Fpga>(kernel_, root_.get(),
+                                                name, hostConfigFor(h),
+                                                makeAttach(h)));
+    }
+    for (auto &host : hosts_)
+        host->start();
     for (CubeId c = 0; c < numCubes(); ++c) {
         if (PowerModel *pm = device(c).powerModel())
             pm->start();
     }
-    // Config-driven workloads (host.workload_ports / host.port<N>.*).
-    for (const PortWorkload &pw : cfg_.host.portWorkloads)
-        fpga_->configureWorkload(pw.port, pw.spec);
+    // Config-driven workloads (host.workload_ports / host.port<N>.*),
+    // replicated onto every host; explicit workload seeds are
+    // re-mixed per host so the fabrics issue decorrelated streams
+    // (seed-0 specs already decorrelate through the per-host
+    // HostConfig seed).
+    for (HostId h = 0; h < numHosts(); ++h) {
+        for (const PortWorkload &pw : cfg_.host.portWorkloads) {
+            WorkloadSpec spec = pw.spec;
+            if (h > 0 && spec.seed != 0)
+                spec.seed = mixSeeds(spec.seed, kHostSeedStream + h);
+            hosts_[h]->configureWorkload(pw.port, spec);
+        }
+    }
+}
+
+HostConfig
+System::hostConfigFor(HostId h) const
+{
+    HostConfig hc = cfg_.host;
+    if (h > 0)
+        hc.seed = mixSeeds(hc.seed, kHostSeedStream + h);
+    return hc;
 }
 
 HostAttach
-System::makeAttach()
+System::makeAttach(HostId h)
 {
     HostAttach a;
+    a.hostId = h;
     a.numCubes = numCubes();
     a.totalCapacityBytes = cfg_.hmc.totalCapacityBytes();
     a.map = &addressMap();
@@ -79,8 +137,8 @@ System::makeAttach()
         return a;
     }
     for (LinkId l = 0; l < chain_->numHostLinks(); ++l) {
-        a.links.push_back(&chain_->hostLink(l));
-        a.linkCube.push_back(chain_->hostLinkCube(l));
+        a.links.push_back(&chain_->hostLink(l, h));
+        a.linkCube.push_back(chain_->hostLinkCube(l, h));
     }
     // Entry spreading needs interchangeable entry links; a star link
     // reaches exactly one cube, so star keeps the static rotation.
@@ -103,6 +161,22 @@ System::device(CubeId c)
     return chain_->cube(c);
 }
 
+Fpga &
+System::fpga(HostId h)
+{
+    if (h >= hosts_.size())
+        panic("System::fpga: host out of range");
+    return *hosts_[h];
+}
+
+CubeId
+System::hostEntryCube(HostId h) const
+{
+    if (h >= entryCubes_.size())
+        panic("System::hostEntryCube: host out of range");
+    return entryCubes_[h];
+}
+
 const AddressMap &
 System::addressMap() const
 {
@@ -118,9 +192,16 @@ System::run(Tick duration)
 bool
 System::runUntilIdle(Tick max_duration)
 {
+    const auto all_idle = [this] {
+        for (const auto &host : hosts_) {
+            if (!host->allPortsIdle())
+                return false;
+        }
+        return true;
+    };
     const Tick deadline = kernel_.now() + max_duration;
-    kernel_.runUntil([this] { return fpga_->allPortsIdle(); }, deadline);
-    return fpga_->allPortsIdle();
+    kernel_.runUntil(all_idle, deadline);
+    return all_idle();
 }
 
 void

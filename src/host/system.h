@@ -20,6 +20,14 @@
  * (host.workload_ports=N, host.workload=zipf, host.port0.workload=...,
  * see host/workload/workload_spec.h); such ports are configured and
  * activated at System construction.
+ *
+ * Multi-host fabrics: host.num_hosts builds N independent FPGA hosts
+ * (each with its own ports, controller, tag pools) attached at
+ * distinct chain entry cubes (host.host<H>.entry_cube, default spread
+ * evenly).  Config-driven workloads are replicated onto every host
+ * with decorrelated seeds; the single-port configure* helpers target
+ * host 0, configureWorkloadAt() targets any host.  num_hosts=1 is
+ * bit-identical to the classic single-host build.
  */
 
 #ifndef HMCSIM_HOST_SYSTEM_H_
@@ -27,6 +35,7 @@
 
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "chain/cube_network.h"
 #include "hmc/hmc_device.h"
@@ -68,41 +77,65 @@ class System
     /** The cube chain; null in the classic single-cube system. */
     CubeNetwork *chain() { return chain_.get(); }
 
-    Fpga &fpga() { return *fpga_; }
+    // ----- host controllers -----
+
+    std::uint32_t
+    numHosts() const
+    {
+        return static_cast<std::uint32_t>(hosts_.size());
+    }
+
+    /** Host @p h's FPGA fabric; the classic accessor is fpga(). */
+    Fpga &fpga(HostId h = 0);
+
+    /** Chain entry cube of host @p h (0 in the classic system). */
+    CubeId hostEntryCube(HostId h) const;
+
     const AddressMap &addressMap() const;
 
-    Port &port(PortId p) { return fpga_->port(p); }
+    /** Port @p p of host 0 (the classic single-host accessor). */
+    Port &port(PortId p) { return fpga().port(p); }
+
+    /** Port @p p of host @p h. */
+    Port &portAt(HostId h, PortId p) { return fpga(h).port(p); }
 
     WorkloadPort &
     configureWorkloadPort(PortId p, WorkloadPort::Params params)
     {
-        return fpga_->configureWorkloadPort(p, std::move(params));
+        return fpga().configureWorkloadPort(p, std::move(params));
     }
 
     WorkloadPort &
     configureWorkload(PortId p, const WorkloadSpec &spec)
     {
-        return fpga_->configureWorkload(p, spec);
+        return fpga().configureWorkload(p, spec);
+    }
+
+    /** Configure one port of one specific host. */
+    WorkloadPort &
+    configureWorkloadAt(HostId h, PortId p, const WorkloadSpec &spec)
+    {
+        return fpga(h).configureWorkload(p, spec);
     }
 
     WorkloadPort &
     configureGupsPort(PortId p, const GupsPortSpec &params)
     {
-        return fpga_->configureGupsPort(p, params);
+        return fpga().configureGupsPort(p, params);
     }
 
     WorkloadPort &
     configureStreamPort(PortId p, const StreamPortSpec &params)
     {
-        return fpga_->configureStreamPort(p, params);
+        return fpga().configureStreamPort(p, params);
     }
 
     /** Advance simulated time by @p duration. */
     void run(Tick duration);
 
     /**
-     * Run until every port is idle (trace replay finished) or
-     * @p max_duration elapses.
+     * Run until every port of every host is idle (trace replay
+     * finished) or @p max_duration elapses.
      * @return true if the system went idle
      */
     bool runUntilIdle(Tick max_duration);
@@ -124,9 +157,14 @@ class System
      *  construction) and chain_ (multi-cube network) is set. */
     std::unique_ptr<HmcDevice> cube_;
     std::unique_ptr<CubeNetwork> chain_;
-    std::unique_ptr<Fpga> fpga_;
+    /** One FPGA fabric per host controller; hosts_[0] is the classic
+     *  "fpga" (its component name stays "fpga" when numHosts == 1). */
+    std::vector<std::unique_ptr<Fpga>> hosts_;
+    /** Resolved entry cube per host. */
+    std::vector<CubeId> entryCubes_;
 
-    HostAttach makeAttach();
+    HostAttach makeAttach(HostId h);
+    HostConfig hostConfigFor(HostId h) const;
 };
 
 }  // namespace hmcsim

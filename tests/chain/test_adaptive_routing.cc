@@ -52,6 +52,7 @@ class FakeLoads : public ChainLoadProvider
           case ChainHop::Down: return down;
           case ChainHop::Wrap: return wrap;
           case ChainHop::Local:
+          case ChainHop::Host:
             break;
         }
         return ChainPortLoad{};

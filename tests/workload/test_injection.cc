@@ -184,6 +184,46 @@ TEST(Injection, OpenLoopFiniteSourceStopsOffering)
     EXPECT_GE(r.totalOfferedRequests, 200.0);
 }
 
+TEST(OpenLoop, TwoHostsAtMatchedLoadEachObeyLittlesLaw)
+{
+    // Two host fabrics on a dual-host ring, each offering the same
+    // open-loop rate on one port.  Below saturation each host must
+    // accept (essentially) its own offered load, and each host's
+    // outstanding-population estimate recomputed from its measured
+    // data bandwidth and latency must match rate * latency -- the
+    // per-host version of the single-host cross-check above.
+    const double rate = 0.01;
+    SystemConfig cfg;
+    cfg.hmc.chain.numCubes = 4;
+    cfg.hmc.chain.topology = "ring";
+    cfg.host.numHosts = 2;
+    WorkloadRunSpec spec = openGups(rate);
+    const ExperimentResult r = runWorkload(cfg, spec);
+
+    ASSERT_EQ(r.hosts.size(), 2u);
+    const double window_ns = static_cast<double>(r.windowTicks) * 1e-3;
+    for (const HostStats &hs : r.hosts) {
+        const double offered_per_ns = hs.offeredRequests / window_ns;
+        const double accepted_per_ns =
+            static_cast<double>(hs.reads + hs.writes) / window_ns;
+        EXPECT_NEAR(offered_per_ns, rate, 0.1 * rate) << hs.host;
+        EXPECT_NEAR(accepted_per_ns, offered_per_ns,
+                    0.05 * offered_per_ns)
+            << hs.host;
+
+        const double data_gbs =
+            static_cast<double>(hs.reads) * 32.0 / window_ns;
+        const double est =
+            estimateOutstanding(data_gbs, hs.avgReadNs, 32);
+        const double expected = rate * hs.avgReadNs;
+        EXPECT_NEAR(est, expected, 0.05 * expected) << hs.host;
+    }
+    // Matched load: the hosts' accepted shares stay balanced.
+    EXPECT_NEAR(static_cast<double>(r.hosts[0].reads),
+                static_cast<double>(r.hosts[1].reads),
+                0.05 * static_cast<double>(r.hosts[0].reads));
+}
+
 TEST(Injection, OpenLoopRatesScaleAcrossPorts)
 {
     WorkloadRunSpec spec = openGups(0.01);
