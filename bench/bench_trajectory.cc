@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Simulator performance trajectory: how fast is the simulator itself,
+ * and how fast are the paper-figure workloads it reproduces?
+ *
+ * Writes one JSON document (default BENCH_events_per_sec.json, see
+ * --out) with:
+ *   - events_per_sec     headline kernel events per wall second, best
+ *                        of N repetitions of the 9-port GUPS scenario
+ *   - scenarios[]        per-scenario events/sec (classic single cube
+ *                        and a 4-cube ring chain)
+ *   - profile            the same scenario with obs.profile=1: class
+ *                        attribution and observed profiling overhead
+ *   - figures_of_merit   fig. 6/8 summary numbers so a perf change
+ *                        that shifts simulated results is visible in
+ *                        the same file
+ *
+ * scripts/bench_trajectory.sh wraps this binary and can gate on a
+ * >30% events/sec regression against a baseline JSON.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "bench_util.h"
+#include "host/experiment.h"
+#include "host/system.h"
+#include "obs/profile.h"
+#include "sim/kernel.h"
+
+using namespace hmcsim;
+using namespace hmcsim::bench;
+
+namespace {
+
+/** One measured run window. */
+struct PerfPoint {
+    std::string name;
+    std::uint64_t events = 0;
+    double wallSec = 0.0;
+    Tick simTicks = 0;
+
+    double
+    eventsPerSec() const
+    {
+        return wallSec > 0.0 ? static_cast<double>(events) / wallSec
+                             : 0.0;
+    }
+};
+
+/** Configure @p numPorts read-only GUPS ports spanning 16 vaults. */
+void
+configureGupsPorts(System &sys, std::uint32_t numPorts,
+                   std::uint32_t requestBytes)
+{
+    for (PortId p = 0; p < numPorts; ++p) {
+        GupsPortSpec gp;
+        gp.gen.pattern = sys.addressMap().pattern(16, 16);
+        gp.gen.requestBytes = requestBytes;
+        gp.gen.seed = 0x9e3779b9u + p;
+        sys.configureGupsPort(p, gp);
+    }
+}
+
+/** Run one scenario: warm up, then measure events vs wall clock. */
+PerfPoint
+measureScenario(const std::string &name, const SystemConfig &cfg,
+                Tick warmup, Tick window)
+{
+    System sys(cfg);
+    configureGupsPorts(sys, cfg.host.numPorts, 32);
+    sys.run(warmup);
+
+    PerfPoint pt;
+    pt.name = name;
+    pt.simTicks = window;
+    const std::uint64_t before = sys.kernel().eventsExecuted();
+    const WallTimer timer;
+    sys.run(window);
+    pt.wallSec = timer.seconds();
+    pt.events = sys.kernel().eventsExecuted() - before;
+    return pt;
+}
+
+std::string
+q(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Strip --out=FILE before handing the rest to the shared parser.
+    std::string outPath = "BENCH_events_per_sec.json";
+    if (const char *env = std::getenv("HMCSIM_BENCH_TRAJECTORY_OUT"))
+        outPath = env;
+    std::vector<char *> passArgv;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (i > 0 && arg.rfind("--out=", 0) == 0)
+            outPath = arg.substr(6);
+        else
+            passArgv.push_back(argv[i]);
+    }
+    bench::parseBenchArgs(static_cast<int>(passArgv.size()),
+                          passArgv.data());
+
+    const bool fast = fastMode();
+    const Tick warmup = scaled(fast ? 2 : 5) * kMicrosecond;
+    const Tick window = scaled(fast ? 8 : 30) * kMicrosecond;
+    const int reps = fast ? 2 : 3;
+
+    std::cout << "perf trajectory: measuring simulator events/sec"
+              << (fast ? " (fast mode)" : "") << "\n";
+
+    // ----- headline scenario: classic single-cube, 9-port GUPS -----
+    // Best-of-N absorbs scheduler noise; every repetition builds a
+    // fresh System so construction cost is excluded from the window.
+    std::vector<PerfPoint> scenarios;
+    PerfPoint classic;
+    for (int r = 0; r < reps; ++r) {
+        const PerfPoint pt = measureScenario(
+            "classic_gups_9port_32B", SystemConfig{}, warmup, window);
+        if (r == 0 || pt.eventsPerSec() > classic.eventsPerSec())
+            classic = pt;
+    }
+    scenarios.push_back(classic);
+    std::cout << "  " << classic.name << ": "
+              << static_cast<std::uint64_t>(classic.eventsPerSec())
+              << " events/sec (" << classic.events << " events, "
+              << classic.wallSec << " s)\n";
+
+    // ----- chain scenario: 4-cube ring, same firmware -----
+    {
+        SystemConfig cfg;
+        cfg.hmc.chain.numCubes = 4;
+        cfg.hmc.chain.topology = "ring";
+        PerfPoint chain;
+        for (int r = 0; r < reps; ++r) {
+            const PerfPoint pt = measureScenario("chain4_ring_gups",
+                                                 cfg, warmup, window);
+            if (r == 0 || pt.eventsPerSec() > chain.eventsPerSec())
+                chain = pt;
+        }
+        scenarios.push_back(chain);
+        std::cout << "  " << chain.name << ": "
+                  << static_cast<std::uint64_t>(chain.eventsPerSec())
+                  << " events/sec\n";
+    }
+
+    // ----- self-profiled run: class attribution + overhead -----
+    SelfProfiler profiled;
+    double profiledEps = 0.0;
+    {
+        SystemConfig cfg;
+        cfg.obs.profile = true;
+        System sys(cfg);
+        configureGupsPorts(sys, cfg.host.numPorts, 32);
+        sys.run(warmup);
+        const std::uint64_t before = sys.kernel().eventsExecuted();
+        const WallTimer timer;
+        sys.run(window);
+        const double sec = timer.seconds();
+        const std::uint64_t ev = sys.kernel().eventsExecuted() - before;
+        profiledEps = sec > 0.0 ? static_cast<double>(ev) / sec : 0.0;
+        if (const SelfProfiler *p = sys.obs()->profiler())
+            profiled = *p;
+    }
+
+    // ----- figures of merit: fig. 6 / fig. 8 summary numbers -----
+    const Tick fomWarmup = scaled(fast ? 3 : 10) * kMicrosecond;
+    const Tick fomWindow = scaled(fast ? 8 : 25) * kMicrosecond;
+    GupsSpec g6;
+    g6.requestBytes = 128;
+    g6.warmup = fomWarmup;
+    g6.window = fomWindow;
+    const ExperimentResult r6 = runGups(SystemConfig{}, g6);
+
+    StreamBatchSpec g8;
+    g8.batchSize = 350;
+    g8.requestBytes = 32;
+    g8.warmup = fomWarmup;
+    g8.window = fomWindow;
+    const ExperimentResult r8 = runStreamBatch(SystemConfig{}, g8);
+
+    // ----- emit the JSON document -----
+    std::ofstream out(outPath);
+    if (!out) {
+        std::cerr << "bench_trajectory: cannot open " << outPath << "\n";
+        return 1;
+    }
+    // Headline key first so shell tooling can grab the first
+    // "events_per_sec" occurrence without a JSON parser.
+    out << "{\n";
+    out << "  \"bench\": \"hmcsim_perf_trajectory\",\n";
+    out << "  \"schema_version\": 1,\n";
+    out << "  \"events_per_sec\": " << jsonNumber(classic.eventsPerSec())
+        << ",\n";
+    out << "  \"fast_mode\": " << (fast ? "true" : "false") << ",\n";
+    out << "  \"window_scale\": " << jsonNumber(windowScale()) << ",\n";
+    out << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const PerfPoint &pt = scenarios[i];
+        out << "    {\n";
+        out << "      \"name\": " << q(pt.name) << ",\n";
+        out << "      \"events\": " << pt.events << ",\n";
+        out << "      \"wall_sec\": " << jsonNumber(pt.wallSec) << ",\n";
+        out << "      \"sim_us\": "
+            << jsonNumber(static_cast<double>(pt.simTicks) /
+                          kMicrosecond)
+            << ",\n";
+        out << "      \"events_per_sec\": "
+            << jsonNumber(pt.eventsPerSec()) << "\n";
+        out << "    }" << (i + 1 < scenarios.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"profile\": {\n";
+    out << "    \"events_per_sec\": " << jsonNumber(profiledEps) << ",\n";
+    out << "    \"overhead_pct\": "
+        << jsonNumber(classic.eventsPerSec() > 0.0
+                          ? 100.0 * (1.0 - profiledEps /
+                                               classic.eventsPerSec())
+                          : 0.0)
+        << ",\n";
+    out << "    \"class_seconds\": {";
+    {
+        bool first = true;
+        for (const auto &[cls, sec] : profiled.classSeconds()) {
+            out << (first ? "\n" : ",\n") << "      " << q(cls) << ": "
+                << jsonNumber(sec);
+            first = false;
+        }
+        if (!first)
+            out << "\n    ";
+    }
+    out << "}\n";
+    out << "  },\n";
+    out << "  \"figures_of_merit\": {\n";
+    out << "    \"fig06_16vaults_128B_bandwidth_gbs\": "
+        << jsonNumber(r6.bandwidthGBs) << ",\n";
+    out << "    \"fig06_16vaults_128B_latency_ns\": "
+        << jsonNumber(r6.avgReadLatencyNs) << ",\n";
+    out << "    \"fig08_saturated_latency_us_32B\": "
+        << jsonNumber(r8.avgReadLatencyNs / 1000.0) << "\n";
+    out << "  }\n";
+    out << "}\n";
+    out.close();
+
+    std::cout << "trajectory written to " << outPath << "\n";
+    return 0;
+}

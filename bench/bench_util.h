@@ -10,9 +10,11 @@
  *   HMCSIM_BENCH_WORKLOAD=w  restrict workload-sweeping binaries to a
  *                            comma-separated list of source types
  *
+ *   HMCSIM_BENCH_JSON=1      emit result tables as JSON (see --json)
+ *
  * Every figure binary accepts the same flags via parseBenchArgs()
  * (flags override the environment): --fast, --scale=X, --csv-dir=DIR,
- * --workload=LIST, --help.
+ * --workload=LIST, --json, --help.
  */
 
 #ifndef HMCSIM_BENCH_BENCH_UTIL_H_
@@ -24,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/report.h"
 #include "common/strutil.h"
 #include "common/types.h"
 
@@ -64,6 +67,16 @@ struct BenchOptions {
     /** Comma-separated workload filter ("gups,zipf"); empty = all.
      *  Honoured by the binaries that sweep traffic sources. */
     std::string workload;
+    /** Emit the paper-vs-measured result tables as one JSON document
+     *  instead of the aligned text report. */
+    bool jsonReport = false;
+
+    /** Report format matching the --json flag. */
+    Report::Format
+    reportFormat() const
+    {
+        return jsonReport ? Report::Format::Json : Report::Format::Text;
+    }
 
     /** True when @p name passes the workload filter. */
     bool
@@ -94,12 +107,14 @@ parseBenchArgs(int argc, char **argv)
         o.csvDir = d;
     if (const char *w = std::getenv("HMCSIM_BENCH_WORKLOAD"))
         o.workload = w;
+    if (const char *j = std::getenv("HMCSIM_BENCH_JSON"))
+        o.jsonReport = std::string(j) != "0";
 
     const std::string name = argc > 0 ? argv[0] : "bench";
     const auto usage = [&name](std::ostream &os) {
         os << "usage: " << name
            << " [--fast] [--scale=X] [--csv-dir=DIR]"
-              " [--workload=a,b,...]\n";
+              " [--workload=a,b,...] [--json]\n";
     };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -136,6 +151,9 @@ parseBenchArgs(int argc, char **argv)
         } else if (matches("--workload")) {
             o.workload = value("--workload");
             setenv("HMCSIM_BENCH_WORKLOAD", o.workload.c_str(), 1);
+        } else if (arg == "--json") {
+            o.jsonReport = true;
+            setenv("HMCSIM_BENCH_JSON", "1", 1);
         } else if (arg == "--help" || arg == "-h") {
             usage(std::cout);
             std::exit(0);

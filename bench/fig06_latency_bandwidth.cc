@@ -38,13 +38,13 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
-    (void)opts;
     const SystemConfig cfg;
     const Tick warmup = scaled(fastMode() ? 5 : 15) * kMicrosecond;
     const Tick window = scaled(fastMode() ? 10 : 40) * kMicrosecond;
 
-    std::cout << "Fig. 6: latency vs bandwidth per access pattern "
-                 "(9-port GUPS, read only)\n";
+    if (!opts.jsonReport)
+        std::cout << "Fig. 6: latency vs bandwidth per access pattern "
+                     "(9-port GUPS, read only)\n";
     bench::CsvOutput csv_out("fig06_latency_bandwidth");
     CsvWriter csv(csv_out.stream(),
                   {"pattern", "request_bytes", "bandwidth_gbs",
@@ -72,7 +72,7 @@ main(int argc, char **argv)
     }
     csv.finish();
 
-    Report rep(std::cout);
+    Report rep(std::cout, opts.reportFormat());
     rep.section("Fig. 6 paper-vs-measured");
     rep.compare("lowest BW: 1 bank, 32 B",
                 paper::kFig6MinBandwidthGBs,

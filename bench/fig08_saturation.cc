@@ -24,13 +24,13 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
-    (void)opts;
     const SystemConfig cfg;
     const Tick warmup = scaled(3) * kMicrosecond;
     const Tick window = scaled(fastMode() ? 8 : 20) * kMicrosecond;
     const int step = fastMode() ? 50 : 15;
 
-    std::cout << "Fig. 8: latency vs requests in a stream (1..350)\n";
+    if (!opts.jsonReport)
+        std::cout << "Fig. 8: latency vs requests in a stream (1..350)\n";
     bench::CsvOutput csv_out("fig08_saturation");
     CsvWriter csv(csv_out.stream(),
                   {"num_requests", "request_bytes", "avg_latency_us"});
@@ -52,7 +52,7 @@ main(int argc, char **argv)
     }
     csv.finish();
 
-    Report rep(std::cout);
+    Report rep(std::cout, opts.reportFormat());
     rep.section("Fig. 8 paper-vs-measured");
     for (std::uint32_t bytes : kSizes) {
         // Knee: first n whose latency reaches 95% of the final level.

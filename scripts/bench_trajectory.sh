@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Run the simulator perf-trajectory bench and (optionally) gate on an
+# events/sec regression against a baseline JSON.
+#
+# Usage:
+#   scripts/bench_trajectory.sh [--build DIR] [--out FILE] [--fast]
+#                               [--check [BASELINE]] [--tolerance PCT]
+#
+#   --build DIR       build directory containing bench_trajectory
+#                     (default: build; the target is built if missing)
+#   --out FILE        where to write the new trajectory point
+#                     (default: BENCH_events_per_sec.json in the repo
+#                     root -- the committed trajectory file)
+#   --fast            pass --fast to the bench (CI smoke scale)
+#   --check [FILE]    after the run, compare events_per_sec against
+#                     FILE (default: the committed
+#                     BENCH_events_per_sec.json before this run) and
+#                     exit 1 if it regressed by more than the
+#                     tolerance
+#   --tolerance PCT   allowed events/sec drop, percent (default 30)
+#
+# The headline "events_per_sec" key is emitted first in the JSON
+# precisely so this script can read it with grep/awk and no JSON
+# parser.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+out_file="$repo_root/BENCH_events_per_sec.json"
+baseline=""
+do_check=0
+tolerance=30
+fast_flag=()
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --build)     build_dir="$2"; shift 2 ;;
+        --build=*)   build_dir="${1#*=}"; shift ;;
+        --out)       out_file="$2"; shift 2 ;;
+        --out=*)     out_file="${1#*=}"; shift ;;
+        --fast)      fast_flag=(--fast); shift ;;
+        --tolerance) tolerance="$2"; shift 2 ;;
+        --tolerance=*) tolerance="${1#*=}"; shift ;;
+        --check)
+            do_check=1
+            if [ $# -gt 1 ] && [ "${2#--}" = "$2" ]; then
+                baseline="$2"; shift
+            fi
+            shift ;;
+        --check=*)   do_check=1; baseline="${1#*=}"; shift ;;
+        -h|--help)
+            sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+        *)
+            echo "bench_trajectory.sh: unknown argument '$1'" >&2
+            exit 2 ;;
+    esac
+done
+
+extract_eps() {
+    # First "events_per_sec" occurrence is the headline number.
+    grep -m1 -o '"events_per_sec": *[0-9.eE+-]*' "$1" \
+        | awk '{print $2}'
+}
+
+# Default baseline: the committed trajectory point, captured before we
+# overwrite it.
+if [ "$do_check" -eq 1 ] && [ -z "$baseline" ]; then
+    if [ -f "$out_file" ]; then
+        baseline="$(mktemp)"
+        trap 'rm -f "$baseline"' EXIT
+        cp "$out_file" "$baseline"
+    else
+        echo "bench_trajectory.sh: no baseline to check against" \
+             "(missing $out_file); recording only" >&2
+        do_check=0
+    fi
+fi
+
+bench="$build_dir/bench_trajectory"
+if [ ! -x "$bench" ]; then
+    echo "building bench_trajectory in $build_dir..."
+    cmake -B "$build_dir" -S "$repo_root" >/dev/null
+    cmake --build "$build_dir" --target bench_trajectory -j >/dev/null
+fi
+
+"$bench" "${fast_flag[@]}" --out="$out_file"
+
+new_eps="$(extract_eps "$out_file")"
+if [ -z "$new_eps" ]; then
+    echo "bench_trajectory.sh: no events_per_sec in $out_file" >&2
+    exit 1
+fi
+echo "events/sec: $new_eps"
+
+if [ "$do_check" -eq 1 ]; then
+    base_eps="$(extract_eps "$baseline")"
+    if [ -z "$base_eps" ]; then
+        echo "bench_trajectory.sh: no events_per_sec in baseline" \
+             "$baseline; skipping check" >&2
+        exit 0
+    fi
+    echo "baseline:   $base_eps (tolerance ${tolerance}%)"
+    if ! awk -v new="$new_eps" -v base="$base_eps" -v tol="$tolerance" \
+        'BEGIN { exit !(new >= base * (1.0 - tol / 100.0)) }'; then
+        pct="$(awk -v new="$new_eps" -v base="$base_eps" \
+            'BEGIN { printf "%.1f", 100.0 * (1.0 - new / base) }')"
+        echo "FAIL: events/sec regressed ${pct}% (>${tolerance}%)" >&2
+        exit 1
+    fi
+    echo "perf check passed"
+fi

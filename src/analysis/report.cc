@@ -1,20 +1,99 @@
 #include "analysis/report.h"
 
+#include <cmath>
 #include <iomanip>
+#include <sstream>
 
 #include "common/strutil.h"
 
 namespace hmcsim {
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                std::ostringstream esc;
+                esc << "\\u" << std::hex << std::setw(4)
+                    << std::setfill('0') << static_cast<int>(c);
+                out += esc.str();
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    std::ostringstream os;
+    os << std::setprecision(12) << v;
+    return os.str();
+}
+
+Report::~Report()
+{
+    finish();
+}
+
+void
+Report::finish()
+{
+    if (!json() || finished_)
+        return;
+    finished_ = true;
+    out_ << "{\n  \"sections\": [";
+    for (std::size_t s = 0; s < sections_.size(); ++s) {
+        const Section &sec = sections_[s];
+        out_ << (s ? ",\n" : "\n") << "    {\"title\": \""
+             << jsonEscape(sec.title) << "\", \"rows\": [";
+        for (std::size_t r = 0; r < sec.rows.size(); ++r) {
+            out_ << (r ? ",\n" : "\n") << "      " << sec.rows[r];
+        }
+        out_ << (sec.rows.empty() ? "]}" : "\n    ]}");
+    }
+    out_ << (sections_.empty() ? "]\n}\n" : "\n  ]\n}\n");
+}
+
+void
+Report::addRow(std::string row)
+{
+    if (sections_.empty())
+        sections_.push_back(Section{});
+    sections_.back().rows.push_back(std::move(row));
+}
+
 void
 Report::section(const std::string &title)
 {
+    if (json()) {
+        sections_.push_back(Section{title, {}});
+        return;
+    }
     out_ << "\n==== " << title << " ====\n";
 }
 
 void
 Report::note(const std::string &text)
 {
+    if (json()) {
+        addRow("{\"type\": \"note\", \"text\": \"" + jsonEscape(text) +
+               "\"}");
+        return;
+    }
     out_ << "  " << text << '\n';
 }
 
@@ -24,6 +103,15 @@ Report::compare(const std::string &name, double paper_value,
 {
     const double ratio =
         paper_value != 0.0 ? measured / paper_value : 0.0;
+    if (json()) {
+        addRow("{\"type\": \"compare\", \"name\": \"" + jsonEscape(name) +
+               "\", \"paper\": " + jsonNumber(paper_value) +
+               ", \"measured\": " + jsonNumber(measured) +
+               ", \"ratio\": " + jsonNumber(ratio) + ", \"unit\": \"" +
+               jsonEscape(unit) + "\", \"approximate\": " +
+               (approximate ? "true" : "false") + "}");
+        return;
+    }
     out_ << "  " << std::left << std::setw(36) << name << " paper"
          << (approximate ? "~" : "=") << std::right << std::setw(10)
          << formatDouble(paper_value, 2) << ' ' << std::setw(8) << unit
@@ -35,6 +123,12 @@ void
 Report::measured(const std::string &name, double value,
                  const std::string &unit)
 {
+    if (json()) {
+        addRow("{\"type\": \"measured\", \"name\": \"" + jsonEscape(name) +
+               "\", \"value\": " + jsonNumber(value) + ", \"unit\": \"" +
+               jsonEscape(unit) + "\"}");
+        return;
+    }
     out_ << "  " << std::left << std::setw(36) << name
          << " measured=" << std::right << std::setw(10)
          << formatDouble(value, 2) << ' ' << unit << '\n';
@@ -43,6 +137,13 @@ Report::measured(const std::string &name, double value,
 void
 Report::power(double energy_pj, double temp_c, double throttle_pct)
 {
+    if (json()) {
+        addRow("{\"type\": \"power\", \"energy_pj\": " +
+               jsonNumber(energy_pj) + ", \"temp_c\": " +
+               jsonNumber(temp_c) + ", \"throttle_pct\": " +
+               jsonNumber(throttle_pct) + "}");
+        return;
+    }
     out_ << "  " << std::left << std::setw(36) << "power/thermal"
          << " energy_pj=" << formatDouble(energy_pj, 0)
          << "  temp_c=" << formatDouble(temp_c, 1)
@@ -53,6 +154,14 @@ void
 Report::perCube(std::uint32_t cube, std::uint64_t served,
                 std::uint32_t request_hops, double share_pct)
 {
+    if (json()) {
+        addRow("{\"type\": \"per_cube\", \"cube\": " +
+               std::to_string(cube) + ", \"served\": " +
+               std::to_string(served) + ", \"request_hops\": " +
+               std::to_string(request_hops) + ", \"share_pct\": " +
+               jsonNumber(share_pct) + "}");
+        return;
+    }
     out_ << "  " << std::left << std::setw(36)
          << ("cube " + std::to_string(cube))
          << " served=" << std::right << std::setw(10) << served
@@ -65,6 +174,15 @@ Report::perHost(std::uint32_t host, std::uint32_t entry_cube,
                 std::uint64_t accepted, double bandwidth_gbs,
                 double avg_read_ns)
 {
+    if (json()) {
+        addRow("{\"type\": \"per_host\", \"host\": " +
+               std::to_string(host) + ", \"entry_cube\": " +
+               std::to_string(entry_cube) + ", \"accepted\": " +
+               std::to_string(accepted) + ", \"bandwidth_gbs\": " +
+               jsonNumber(bandwidth_gbs) + ", \"avg_read_ns\": " +
+               jsonNumber(avg_read_ns) + "}");
+        return;
+    }
     out_ << "  " << std::left << std::setw(36)
          << ("host " + std::to_string(host) + " @ cube " +
              std::to_string(entry_cube))

@@ -2,6 +2,14 @@
  * @file
  * Formatting helpers for the benchmark harnesses: section banners and
  * paper-vs-measured comparison lines with ratios.
+ *
+ * Two output formats behind the same call surface:
+ *  - Text (default): the classic aligned human-readable lines,
+ *    emitted immediately;
+ *  - Json: every row is buffered as a typed object and the whole
+ *    report is written as one JSON document when finish() runs (or at
+ *    destruction), mirroring the CSV result tables for machine
+ *    consumption.
  */
 
 #ifndef HMCSIM_ANALYSIS_REPORT_H_
@@ -10,15 +18,29 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace hmcsim {
 
 class Report
 {
   public:
-    explicit Report(std::ostream &out) : out_(out) {}
+    enum class Format { Text, Json };
 
-    /** "==== title ====" banner. */
+    explicit Report(std::ostream &out, Format fmt = Format::Text)
+        : out_(out), fmt_(fmt)
+    {
+    }
+
+    /** JSON mode flushes the buffered document if finish() never ran. */
+    ~Report();
+
+    Report(const Report &) = delete;
+    Report &operator=(const Report &) = delete;
+
+    Format format() const { return fmt_; }
+
+    /** "==== title ====" banner / a new JSON section object. */
     void section(const std::string &title);
 
     /** Free-form note line. */
@@ -58,9 +80,33 @@ class Report
                  std::uint64_t accepted, double bandwidth_gbs,
                  double avg_read_ns);
 
+    /** Emit the buffered JSON document; idempotent, no-op in Text. */
+    void finish();
+
   private:
+    struct Section {
+        std::string title;
+        /** Pre-serialized JSON row objects. */
+        std::vector<std::string> rows;
+    };
+
     std::ostream &out_;
+    Format fmt_ = Format::Text;
+    std::vector<Section> sections_;
+    bool finished_ = false;
+
+    bool json() const { return fmt_ == Format::Json; }
+
+    /** Append one serialized row to the current (possibly implicit,
+     *  untitled) section. */
+    void addRow(std::string row);
 };
+
+/** Backslash-escape @p s for inclusion in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** JSON number literal for @p v; non-finite values become null. */
+std::string jsonNumber(double v);
 
 }  // namespace hmcsim
 

@@ -1,6 +1,8 @@
 #include "chain/chain_switch.h"
 
 #include "common/log.h"
+#include "obs/observability.h"
+#include "sim/kernel.h"
 
 namespace hmcsim {
 
@@ -31,6 +33,20 @@ ChainSwitch::ChainSwitch(Kernel &kernel, HmcDevice &dev, std::string name,
 {
     for (auto &kind : ports_)
         kind.resize(dev_.numLinks());
+    if (Observability *o = kernel.obs()) {
+        tracer_ = o->fullTracer();
+        prof_ = o->profiler();
+        obsMetrics_.bind(o->metricsRegistry(), path());
+        obsMetrics_.counter("fwd_requests", &fwdRequests_);
+        obsMetrics_.counter("fwd_responses", &fwdResponses_);
+        obsMetrics_.counter("fwd_flits", &fwdFlits_);
+        obsMetrics_.counter("local_injects", &localInjects_);
+        obsMetrics_.counter("queue_full_stalls", &queueFullStalls_);
+        obsMetrics_.counter("rx_hol_stalls", &rxHolStalls_);
+        obsMetrics_.counter("adaptive_deviations", &adaptiveDeviations_);
+        obsMetrics_.counter("misroutes", &misroutes_);
+        obsMetrics_.counter("routed_ejects", &routedEjects_);
+    }
 }
 
 ChainSwitch::Port &
@@ -114,6 +130,9 @@ ChainSwitch::commit(const ChainRouteDecision &d, const HmcPacketPtr &pkt)
         ++pkt->chainMisroutes;
     }
     pkt->chainDirLock = d.dirLock;
+    if (tracer_ && tracer_->wants(*pkt))
+        tracer_->record(now(), *pkt, TraceStage::ChainForward, cubeId(),
+                        static_cast<std::uint32_t>(d.hop));
 }
 
 bool
@@ -251,6 +270,7 @@ ChainSwitch::noteRxHolStall(Port &p, LinkDir in_dir, LinkId l)
 void
 ChainSwitch::drainInRx(ChainHop kind, LinkId l)
 {
+    ProfileScope ps(prof_, "chain");
     Port &p = port(kind, l);
     const LinkDir in_dir = p.outDir == LinkDir::HostToCube
         ? LinkDir::CubeToHost

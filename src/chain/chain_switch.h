@@ -41,8 +41,12 @@
 #include "chain/routing_policy.h"
 #include "hmc/hmc_device.h"
 #include "hmc/serdes_link.h"
+#include "obs/metrics.h"
 
 namespace hmcsim {
+
+class PacketTracer;
+class SelfProfiler;
 
 class ChainSwitch : public Component, public ChainLoadProvider
 {
@@ -181,6 +185,10 @@ class ChainSwitch : public Component, public ChainLoadProvider
     /** Locally generated responses ejected through the routed
      *  multi-host path. */
     Counter routedEjects_;
+
+    MetricSet obsMetrics_;
+    PacketTracer *tracer_ = nullptr;
+    SelfProfiler *prof_ = nullptr;
 
     Port &port(ChainHop kind, LinkId l);
     ChainRouteDecision decide(LinkId l, const HmcPacket &pkt) const;

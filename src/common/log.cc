@@ -83,10 +83,29 @@ fatal(const std::string &msg)
     throw FatalError(msg);
 }
 
+namespace {
+PanicHook g_panicHook = nullptr;
+}  // namespace
+
+PanicHook
+setPanicHook(PanicHook hook)
+{
+    PanicHook prev = g_panicHook;
+    g_panicHook = hook;
+    return prev;
+}
+
 void
 panic(const std::string &msg)
 {
     Logger::emit(LogLevel::Error, "panic: " + msg);
+    if (g_panicHook) {
+        // Disarm before running: a hook that panics must not recurse.
+        PanicHook hook = g_panicHook;
+        g_panicHook = nullptr;
+        hook();
+        g_panicHook = hook;
+    }
     throw PanicError(msg);
 }
 

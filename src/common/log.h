@@ -74,6 +74,15 @@ class PanicError : public std::logic_error
 /** Internal invariant violation: a simulator bug. Throws PanicError. */
 [[noreturn]] void panic(const std::string &msg);
 
+/**
+ * Hook invoked (once, before the exception is thrown) on every panic().
+ * Used by the observability layer to dump the packet-trace flight
+ * recorder as a crash diagnostic.  Passing nullptr clears it; the
+ * previous hook is returned so scoped owners can restore it.
+ */
+using PanicHook = void (*)();
+PanicHook setPanicHook(PanicHook hook);
+
 }  // namespace hmcsim
 
 #endif  // HMCSIM_COMMON_LOG_H_

@@ -77,6 +77,8 @@ RateStat::begin(Tick now)
 void
 RateStat::end(Tick now)
 {
+    if (!open_)
+        return;
     end_ = now;
     open_ = false;
 }

@@ -77,14 +77,21 @@ class RateStat
   public:
     RateStat() = default;
 
-    /** Start (or restart) the measurement window at @p now. */
+    /** Start the measurement window at @p now.  Calling begin() on an
+     *  already-open window is a defined restart: the byte count and
+     *  both window edges are cleared. */
     void begin(Tick now);
 
     /** Record @p bytes transferred. */
     void add(std::uint64_t bytes) { bytes_ += bytes; }
 
-    /** Close the window at @p now. */
+    /** Close the window at @p now.  Without a prior begin() this is a
+     *  no-op: the previously closed window (or the empty initial
+     *  state) is preserved instead of fabricating a [0, now] window. */
     void end(Tick now);
+
+    /** True between begin() and the matching end(). */
+    bool open() const { return open_; }
 
     std::uint64_t bytes() const { return bytes_; }
     Tick window() const;

@@ -87,6 +87,7 @@ HmcPacket::makeResponse() const
     r.cubeArriveAt = cubeArriveAt;
     r.vaultArriveAt = vaultArriveAt;
     r.dataReadyAt = dataReadyAt;
+    r.traceId = traceId != 0 ? traceId : id;
     return r;
 }
 

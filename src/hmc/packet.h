@@ -77,6 +77,13 @@ struct HmcPacket {
     Tick respInjectAt = 0;    ///< response entered the internal NoC
     Tick hostArriveAt = 0;    ///< response drained by the host controller
 
+    /**
+     * Lifecycle identity for the packet tracer: a response inherits
+     * its request's id here, so the whole inject->eject lifecycle
+     * shares one trace lane.  0 = this packet's own id.
+     */
+    PacketId traceId = 0;
+
     /** Flits on the wire, including one flit of header/tail. */
     std::uint32_t flits() const { return flitsFor(cmd, dataBytes); }
 

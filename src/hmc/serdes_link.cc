@@ -2,6 +2,8 @@
 
 #include "common/log.h"
 #include "common/units.h"
+#include "obs/observability.h"
+#include "sim/kernel.h"
 
 namespace hmcsim {
 
@@ -24,6 +26,22 @@ SerdesLink::SerdesLink(Kernel &kernel, Component *parent, std::string name,
 {
     if (flitPeriod_ == 0)
         fatal("SerdesLink: link too fast for tick resolution");
+    if (Observability *o = kernel.obs()) {
+        tracer_ = o->fullTracer();
+        prof_ = o->profiler();
+        obsMetrics_.bind(o->metricsRegistry(), path());
+        obsMetrics_.counter("down_packets", &dirs_[0].packets);
+        obsMetrics_.counter("up_packets", &dirs_[1].packets);
+        obsMetrics_.counter("down_flits", &dirs_[0].flits);
+        obsMetrics_.counter("up_flits", &dirs_[1].flits);
+        obsMetrics_.counter("crc_retries", &retries_);
+        obsMetrics_.gauge("down_tokens_in_use", [this] {
+            return static_cast<double>(dirs_[0].tokens.inFlight());
+        });
+        obsMetrics_.gauge("up_tokens_in_use", [this] {
+            return static_cast<double>(dirs_[1].tokens.inFlight());
+        });
+    }
 }
 
 double
@@ -59,6 +77,9 @@ SerdesLink::send(LinkDir d, const HmcPacketPtr &pkt)
     // First transmission only: chained hops re-send the same packet.
     if (d == LinkDir::HostToCube && pkt->linkTxAt == 0)
         pkt->linkTxAt = now();
+    if (tracer_ && tracer_->wants(*pkt))
+        tracer_->record(now(), *pkt, TraceStage::LinkTx, kTraceNoWhere,
+                        id_);
     transmit(d, pkt, now());
 }
 
@@ -73,6 +94,7 @@ SerdesLink::setThrottle(double slowdown)
 void
 SerdesLink::transmit(LinkDir d, const HmcPacketPtr &pkt, Tick earliest)
 {
+    ProfileScope ps(prof_, "serdes");
     Direction &dd = dir(d);
     // Thermal duty-cycling: respect the idle gap the previous packet
     // imposed.  Unthrottled operation never touches throttleFreeAt, so
@@ -119,6 +141,9 @@ SerdesLink::arrive(LinkDir d, const HmcPacketPtr &pkt)
         if (pkt->chainIngressAt == 0)
             pkt->chainIngressAt = now();
     }
+    if (tracer_ && tracer_->wants(*pkt))
+        tracer_->record(now(), *pkt, TraceStage::LinkRx, kTraceNoWhere,
+                        id_);
     dd.rxQ.push_back(pkt);
     if (dd.onRxAvailable)
         dd.onRxAvailable();

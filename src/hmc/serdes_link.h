@@ -18,10 +18,14 @@
 #include "hmc/flow_control.h"
 #include "hmc/packet.h"
 #include "noc/channel.h"
+#include "obs/metrics.h"
 #include "power/power_probe.h"
 #include "sim/component.h"
 
 namespace hmcsim {
+
+class PacketTracer;
+class SelfProfiler;
 
 /** Traffic direction over one link. */
 enum class LinkDir : unsigned {
@@ -175,6 +179,9 @@ class SerdesLink : public Component
     Direction dirs_[2];
     Rng rng_;
     Counter retries_;
+    MetricSet obsMetrics_;
+    PacketTracer *tracer_ = nullptr;
+    SelfProfiler *prof_ = nullptr;
     PowerProbe *probe_ = nullptr;
     double slowdown_ = 1.0;
     LinkEndpointMode mode_ = LinkEndpointMode::Host;

@@ -4,6 +4,8 @@
 
 #include "common/log.h"
 #include "common/units.h"
+#include "obs/observability.h"
+#include "sim/kernel.h"
 
 namespace hmcsim {
 
@@ -19,6 +21,24 @@ VaultController::VaultController(Kernel &kernel, Component *parent,
       mem_(kernel, this, "mem", timing, num_banks),
       refresh_(params.trefi, num_banks), banks_(num_banks)
 {
+    if (Observability *o = kernel.obs()) {
+        tracer_ = o->fullTracer();
+        prof_ = o->profiler();
+        obsMetrics_.bind(o->metricsRegistry(), path());
+        obsMetrics_.counter("requests_served", &served_);
+        obsMetrics_.counter("read_bytes", &readBytes_);
+        obsMetrics_.counter("write_bytes", &writeBytes_);
+        obsMetrics_.sampler("service_latency_ns", &serviceNs_);
+        obsMetrics_.gauge("input_queue_now", [this] {
+            return static_cast<double>(inputQ_.size());
+        });
+        obsMetrics_.gauge("bank_queue_now", [this] {
+            return static_cast<double>(bankQOccupancy_);
+        });
+        obsMetrics_.gauge("resp_queue_flits_now", [this] {
+            return static_cast<double>(respUsedFlits_);
+        });
+    }
 }
 
 void
@@ -54,6 +74,9 @@ VaultController::deliverRequest(const NocMessage &msg)
     if (!pkt || !pkt->isRequest())
         panic("VaultController: delivered message is not a request");
     pkt->vaultArriveAt = now();
+    if (tracer_ && tracer_->wants(*pkt))
+        tracer_->record(now(), *pkt, TraceStage::VaultEnqueue, pkt->cube,
+                        vault_);
     const Tick ready = now() + params_.frontendLatency;
     inputQ_.emplace_back(ready, pkt);
     kernel().scheduleAt(ready, [this] { processInput(); });
@@ -62,6 +85,7 @@ VaultController::deliverRequest(const NocMessage &msg)
 void
 VaultController::processInput()
 {
+    ProfileScope ps(prof_, "vault");
     while (!inputQ_.empty()) {
         const auto &[ready, pkt] = inputQ_.front();
         if (ready > now())
@@ -188,6 +212,10 @@ VaultController::trySchedule(BankId b)
 void
 VaultController::finishRequest(const HmcPacketPtr &pkt)
 {
+    ProfileScope ps(prof_, "vault");
+    if (tracer_ && tracer_->wants(*pkt))
+        tracer_->record(now(), *pkt, TraceStage::DramDone, pkt->cube,
+                        vault_);
     served_.inc();
     if (pkt->cmd == HmcCmd::Read)
         readBytes_.inc(pkt->dataBytes);
@@ -213,6 +241,9 @@ VaultController::tryInjectResponses()
             break;
         resp->respInjectAt = now();
         serviceNs_.add(ticksToNs(now() - resp->vaultArriveAt));
+        if (tracer_ && tracer_->wants(*resp))
+            tracer_->record(now(), *resp, TraceStage::RespInject,
+                            resp->cube, vault_);
         NocMessage msg;
         msg.id = resp->id;
         msg.src = endpoint_;

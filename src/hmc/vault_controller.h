@@ -26,8 +26,12 @@
 #include "hmc/hmc_config.h"
 #include "hmc/packet.h"
 #include "noc/network.h"
+#include "obs/metrics.h"
 
 namespace hmcsim {
+
+class PacketTracer;
+class SelfProfiler;
 
 class VaultController : public Component
 {
@@ -142,6 +146,10 @@ class VaultController : public Component
     Counter readBytes_;
     Counter writeBytes_;
     SampleStats serviceNs_;
+
+    MetricSet obsMetrics_;
+    PacketTracer *tracer_ = nullptr;
+    SelfProfiler *prof_ = nullptr;
 
     Tick nextPlanAllowed_ = 0;
     bool planRetryPending_ = false;

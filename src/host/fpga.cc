@@ -1,6 +1,8 @@
 #include "host/fpga.h"
 
 #include "common/log.h"
+#include "obs/observability.h"
+#include "sim/kernel.h"
 
 namespace hmcsim {
 
@@ -11,6 +13,8 @@ Fpga::Fpga(Kernel &kernel, Component *parent, std::string name,
       clock_(ClockDomain::fromMhz("fpga", cfg.fpgaMhz))
 {
     cfg_.validate();
+    if (Observability *o = kernel.obs())
+        prof_ = o->profiler();
     ctrl_ = std::make_unique<HmcHostController>(kernel, this, "controller",
                                                 cfg_, attach_);
     for (PortId p = 0; p < cfg_.numPorts; ++p) {
@@ -118,6 +122,7 @@ Fpga::tickAll()
 {
     if (!running_)
         return;
+    ProfileScope ps(prof_, "host.tick");
     for (auto &p : ports_)
         p->tick();
     ctrl_->tick();

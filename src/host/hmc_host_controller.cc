@@ -1,8 +1,11 @@
 #include "host/hmc_host_controller.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/log.h"
+#include "obs/observability.h"
+#include "sim/kernel.h"
 
 namespace hmcsim {
 
@@ -23,6 +26,15 @@ HmcHostController::HmcHostController(Kernel &kernel, Component *parent,
     for (SerdesLink *lk : attach_.links) {
         if (lk->endpointMode() != LinkEndpointMode::Host)
             panic("HmcHostController: wired to a pass-through link");
+    }
+    if (Observability *o = kernel.obs()) {
+        obsMetrics_.bind(o->metricsRegistry(), path());
+        obsMetrics_.counter("requests_sent", &requestsSent_);
+        obsMetrics_.counter("responses_delivered", &responsesDelivered_);
+        obsMetrics_.gauge("outstanding_now", [this] {
+            return static_cast<double>(std::accumulate(
+                outstanding_.begin(), outstanding_.end(), 0u));
+        });
     }
 }
 

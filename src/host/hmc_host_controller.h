@@ -23,6 +23,7 @@
 #include "host/host_config.h"
 #include "host/port.h"
 #include "noc/arbiter.h"
+#include "obs/metrics.h"
 
 namespace hmcsim {
 
@@ -101,6 +102,7 @@ class HmcHostController : public Component
     std::size_t rxNextLink_ = 0;
     Counter requestsSent_;
     Counter responsesDelivered_;
+    MetricSet obsMetrics_;
 
     // Per-cube CUB-field bookkeeping (sized numCubes).
     std::vector<Counter> sentPerCube_;

@@ -53,6 +53,18 @@ Monitor::enableHistogram(double lo_ns, double hi_ns, std::size_t bins)
 }
 
 void
+Monitor::registerMetrics(MetricSet &set) const
+{
+    set.counter("reads", &reads_);
+    set.counter("writes", &writes_);
+    set.counter("wire_bytes", &wireBytes_);
+    set.sampler("read_latency_ns", &readNs_);
+    set.sampler("write_latency_ns", &writeNs_);
+    set.sampler("chain_hops", &hops_);
+    set.histogram("chain_hop_hist", &hopHist_);
+}
+
+void
 Monitor::reset()
 {
     reads_.reset();

@@ -20,6 +20,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "hmc/packet.h"
+#include "obs/metrics.h"
 
 namespace hmcsim {
 
@@ -71,6 +72,10 @@ class Monitor
     /** Timestamp snapshot of the slowest read seen (if packets were
      *  supplied); all-zero when none recorded. */
     const HmcPacket &worstRead() const { return worst_; }
+
+    /** Register this monitor's stats into a bound MetricSet (the
+     *  owning port calls this at construction). */
+    void registerMetrics(MetricSet &set) const;
 
     void reset();
 

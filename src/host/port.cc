@@ -2,6 +2,8 @@
 
 #include "common/log.h"
 #include "common/units.h"
+#include "obs/observability.h"
+#include "sim/kernel.h"
 
 namespace hmcsim {
 
@@ -10,6 +12,13 @@ Port::Port(Kernel &kernel, Component *parent, std::string name, PortId id,
     : Component(kernel, parent, std::move(name)), id_(id),
       fifoDepth_(cfg.portFifoDepth), monitor_(cfg.fixedLatencyNs)
 {
+    if (Observability *o = kernel.obs()) {
+        tracer_ = o->fullTracer();
+        lifeTracer_ = o->tracer();
+        obsMetrics_.bind(o->metricsRegistry(), path());
+        obsMetrics_.counter("issued", &issued_);
+        monitor_.registerMetrics(obsMetrics_);
+    }
 }
 
 std::uint32_t
@@ -45,8 +54,23 @@ Port::pushRequest(const HmcPacketPtr &pkt)
         panic("Port::pushRequest: FIFO overflow");
     pkt->createdAt = now();
     pkt->port = id_;
+    if (tracer_ && tracer_->wants(*pkt))
+        tracer_->record(now(), *pkt, TraceStage::Inject, kTraceNoWhere,
+                        id_);
     fifo_.push_back(pkt);
     issued_.inc();
+}
+
+void
+Port::traceComplete(const HmcPacket &pkt) const
+{
+    if (!lifeTracer_ || !lifeTracer_->wants(pkt))
+        return;
+    if (lifeTracer_->mode() == TraceMode::Summary)
+        lifeTracer_->recordLifecycle(pkt, id_);
+    else
+        lifeTracer_->record(now(), pkt, TraceStage::Eject, kTraceNoWhere,
+                            id_);
 }
 
 std::uint64_t

@@ -17,9 +17,12 @@
 #include "host/host_config.h"
 #include "host/monitor.h"
 #include "hmc/packet.h"
+#include "obs/metrics.h"
 #include "sim/component.h"
 
 namespace hmcsim {
+
+class PacketTracer;
 
 class Port : public Component
 {
@@ -64,6 +67,14 @@ class Port : public Component
     /** Stamp creation time and enqueue toward the controller. */
     void pushRequest(const HmcPacketPtr &pkt);
 
+    /**
+     * Trace hook for the response completion path: in summary mode
+     * reconstructs the whole lifecycle from the packet's timestamps,
+     * in full mode records the final Eject event.  A no-op (two null
+     * checks) when tracing is off.
+     */
+    void traceComplete(const HmcPacket &pkt) const;
+
     /** Wire bytes of a full transaction (request + response). */
     static std::uint64_t transactionBytes(const HmcPacket &resp);
 
@@ -73,6 +84,11 @@ class Port : public Component
     std::deque<HmcPacketPtr> fifo_;
     Monitor monitor_;
     Counter issued_;
+    MetricSet obsMetrics_;
+    /** Full-mode tracer (per-event hooks); null otherwise. */
+    PacketTracer *tracer_ = nullptr;
+    /** Any-mode tracer (completion-path lifecycle); null when off. */
+    PacketTracer *lifeTracer_ = nullptr;
 };
 
 }  // namespace hmcsim

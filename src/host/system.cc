@@ -10,6 +10,7 @@ SystemConfig::validate() const
 {
     hmc.validate();
     host.validate();
+    obs.validate();
     if (host.numHosts > 1) {
         if (hmc.chain.numCubes < host.numHosts)
             fatal("system: " + std::to_string(host.numHosts) +
@@ -42,6 +43,7 @@ SystemConfig::fromConfig(const Config &cfg)
     SystemConfig c;
     c.hmc = HmcConfig::fromConfig(cfg);
     c.host = HostConfig::fromConfig(cfg);
+    c.obs = ObsConfig::fromConfig(cfg);
     return c;
 }
 
@@ -50,6 +52,7 @@ SystemConfig::toConfig(Config &cfg) const
 {
     hmc.toConfig(cfg);
     host.toConfig(cfg);
+    obs.toConfig(cfg);
 }
 
 namespace {
@@ -67,6 +70,14 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
 {
     cfg_.validate();
     entryCubes_ = cfg_.host.resolvedEntryCubes(cfg_.hmc.chain.numCubes);
+    // Published on the kernel before the tree is built so components
+    // can register metrics / cache tracer pointers in their ctors.
+    // With all obs.* knobs off the layer is never constructed and
+    // kernel().obs() stays null everywhere.
+    if (cfg_.obs.anyEnabled()) {
+        obs_ = std::make_unique<Observability>(cfg_.obs);
+        kernel_.setObservability(obs_.get());
+    }
     root_ = std::make_unique<RootComponent>(kernel_);
     if (cfg_.hmc.chain.numCubes == 1) {
         // Classic single-cube construction, kept verbatim so default
@@ -109,6 +120,8 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
             hosts_[h]->configureWorkload(pw.port, spec);
         }
     }
+    if (obs_)
+        obs_->startSampler(kernel_);
 }
 
 HostConfig
@@ -186,7 +199,14 @@ System::addressMap() const
 void
 System::run(Tick duration)
 {
-    kernel_.run(kernel_.now() + duration);
+    SelfProfiler *prof = obs_ ? obs_->profiler() : nullptr;
+    if (!prof) {
+        kernel_.run(kernel_.now() + duration);
+        return;
+    }
+    const WallTimer timer;
+    const std::uint64_t events = kernel_.run(kernel_.now() + duration);
+    prof->addRun(timer.seconds(), events);
 }
 
 bool

@@ -42,6 +42,7 @@
 #include "host/experiment.h"
 #include "host/fpga.h"
 #include "host/host_config.h"
+#include "obs/observability.h"
 
 namespace hmcsim {
 
@@ -49,10 +50,11 @@ namespace hmcsim {
 struct SystemConfig {
     HmcConfig hmc;
     HostConfig host;
+    ObsConfig obs;
 
     void validate() const;
 
-    /** Read "hmc.*" and "host.*" keys over the defaults. */
+    /** Read "hmc.*", "host.*" and "obs.*" keys over the defaults. */
     static SystemConfig fromConfig(const Config &cfg);
     void toConfig(Config &cfg) const;
 };
@@ -149,9 +151,16 @@ class System
     /** Dump the full stat tree (path -> value). */
     std::map<std::string, double> stats() const;
 
+    /** Observability layer, or null when every obs.* knob is off. */
+    Observability *obs() { return obs_.get(); }
+    const Observability *obs() const { return obs_.get(); }
+
   private:
     SystemConfig cfg_;
     Kernel kernel_;
+    /** Declared before the component tree: components cache pointers
+     *  into the observability layer, so it must outlive them. */
+    std::unique_ptr<Observability> obs_;
     std::unique_ptr<Component> root_;
     /** Exactly one of cube_ (single-cube, bit-identical legacy
      *  construction) and chain_ (multi-cube network) is set. */

@@ -25,6 +25,11 @@ WorkloadPort::WorkloadPort(Kernel &kernel, Component *parent,
         fatal("WorkloadPort: no traffic source");
     inject_.validate();
     batchRemaining_ = inject_.batchSize;
+    if (obsMetrics_.bound()) {
+        obsMetrics_.gauge("outstanding_now", [this] {
+            return static_cast<double>(outstanding_);
+        });
+    }
 }
 
 bool
@@ -159,6 +164,7 @@ void
 WorkloadPort::complete(const HmcPacketPtr &pkt)
 {
     pkt->hostArriveAt = now();
+    traceComplete(*pkt);
     if (outstanding_ == 0)
         panic("WorkloadPort: response with nothing in flight");
     --outstanding_;

@@ -1,0 +1,90 @@
+#include "obs/observability.h"
+
+#include <fstream>
+#include <iostream>
+
+#include "common/log.h"
+#include "common/units.h"
+
+namespace hmcsim {
+
+namespace {
+
+/** Most recently constructed Observability with an armed tracer; the
+ *  panic hook is a plain function pointer, so the instance is reached
+ *  through this file-scope slot. */
+Observability *g_crashDumpTarget = nullptr;
+
+void
+crashDumpHook()
+{
+    if (g_crashDumpTarget)
+        g_crashDumpTarget->dumpTrace(std::cerr);
+}
+
+constexpr std::size_t kCrashDumpEvents = 64;
+
+}  // namespace
+
+Observability::Observability(const ObsConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    if (cfg_.traceMode() != TraceMode::Off) {
+        tracer_ = std::make_unique<PacketTracer>(
+            cfg_.traceMode(), cfg_.traceSampleEvery,
+            static_cast<std::size_t>(cfg_.traceBufferEvents));
+        g_crashDumpTarget = this;
+        prevHook_ = setPanicHook(&crashDumpHook);
+        hookInstalled_ = true;
+    }
+    if (cfg_.profile)
+        profiler_ = std::make_unique<SelfProfiler>();
+}
+
+Observability::~Observability()
+{
+    if (hookInstalled_ && g_crashDumpTarget == this) {
+        setPanicHook(prevHook_);
+        g_crashDumpTarget = nullptr;
+    }
+    if (tracer_ && !cfg_.traceJsonPath.empty())
+        dumpTraceToFile(cfg_.traceJsonPath);
+}
+
+void
+Observability::startSampler(Kernel &kernel)
+{
+    if (cfg_.sampleIntervalNs == 0 || sampler_)
+        return;
+    sampler_ = std::make_unique<TimeSeriesSampler>(
+        kernel, registry_, cfg_.sampleIntervalNs * kNanosecond,
+        cfg_.sampleCsvPath);
+    sampler_->start();
+}
+
+void
+Observability::dumpTrace(std::ostream &os) const
+{
+    if (!tracer_)
+        return;
+    // Crash-dump context gets the readable tail; full JSON goes to
+    // files.  Callers with an ostream want the human-readable form.
+    tracer_->dumpLastEvents(os, kCrashDumpEvents);
+}
+
+void
+Observability::dumpTraceToFile(const std::string &path) const
+{
+    if (!tracer_)
+        return;
+    std::ofstream f(path);
+    if (!f) {
+        warn("obs: cannot write trace json '" + path + "'");
+        return;
+    }
+    tracer_->dumpChromeJson(f);
+    inform("obs: wrote " + std::to_string(tracer_->events().size()) +
+           " trace events to " + path);
+}
+
+}  // namespace hmcsim

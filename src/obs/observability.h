@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Observability: the per-System bundle of the metrics registry, the
+ * packet-lifetime tracer, the self-profiler and the time-series
+ * sampler, wired to components through Kernel::obs().
+ *
+ * System constructs one (only when any `obs.*` feature is enabled) and
+ * publishes it on the kernel before building the component tree, so
+ * every component can register metrics / cache tracer pointers in its
+ * constructor.  With everything at defaults Kernel::obs() stays null
+ * and the whole layer costs nothing.
+ *
+ * On destruction: if `obs.trace_json` names a file, the flight
+ * recorder is dumped there in Chrome trace_event format.  While alive,
+ * a panic() anywhere dumps the last recorded events to stderr.
+ */
+
+#ifndef HMCSIM_OBS_OBSERVABILITY_H_
+#define HMCSIM_OBS_OBSERVABILITY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/obs_config.h"
+#include "obs/profile.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+
+namespace hmcsim {
+
+class Kernel;
+
+class Observability
+{
+  public:
+    explicit Observability(const ObsConfig &cfg);
+    ~Observability();
+
+    Observability(const Observability &) = delete;
+    Observability &operator=(const Observability &) = delete;
+
+    const ObsConfig &config() const { return cfg_; }
+
+    /** The queryable stat tree; empty unless metrics are enabled. */
+    MetricsRegistry &registry() { return registry_; }
+    const MetricsRegistry &registry() const { return registry_; }
+
+    /** Registry to register into, or null when metrics are off --
+     *  components pass this straight to MetricSet::bind. */
+    MetricsRegistry *
+    metricsRegistry()
+    {
+        return cfg_.metricsEnabled() ? &registry_ : nullptr;
+    }
+
+    /** Tracer for completion-path lifecycle hooks (summary + full). */
+    PacketTracer *tracer() { return tracer_.get(); }
+
+    /** Tracer for per-event hooks; non-null only in full mode. */
+    PacketTracer *
+    fullTracer()
+    {
+        return tracer_ && tracer_->mode() == TraceMode::Full
+                   ? tracer_.get()
+                   : nullptr;
+    }
+
+    /** Self-profiler, or null when obs.profile is off. */
+    SelfProfiler *profiler() { return profiler_.get(); }
+
+    /** Start the periodic sampler (no-op when sampling is off). */
+    void startSampler(Kernel &kernel);
+
+    const TimeSeriesSampler *sampler() const { return sampler_.get(); }
+
+    /** Human-readable tail of the trace buffer (crash diagnostics);
+     *  for the Chrome JSON form use tracer()->dumpChromeJson(). */
+    void dumpTrace(std::ostream &os) const;
+
+    /** Write Chrome trace_event JSON to @p path; warns and continues
+     *  on I/O failure. */
+    void dumpTraceToFile(const std::string &path) const;
+
+  private:
+    ObsConfig cfg_;
+    MetricsRegistry registry_;
+    std::unique_ptr<PacketTracer> tracer_;
+    std::unique_ptr<SelfProfiler> profiler_;
+    std::unique_ptr<TimeSeriesSampler> sampler_;
+    PanicHook prevHook_ = nullptr;
+    bool hookInstalled_ = false;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_OBS_OBSERVABILITY_H_

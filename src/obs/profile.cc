@@ -1,0 +1,30 @@
+#include "obs/profile.h"
+
+#include <iomanip>
+
+namespace hmcsim {
+
+void
+SelfProfiler::report(std::ostream &os) const
+{
+    os << "self-profile: " << events_ << " events in " << std::fixed
+       << std::setprecision(3) << wallSec_ << " s ("
+       << std::setprecision(0) << eventsPerSec() << " events/s)\n";
+    double attributed = 0.0;
+    for (const auto &[cls, sec] : classSec_)
+        attributed += sec;
+    for (const auto &[cls, sec] : classSec_) {
+        const double pct =
+            wallSec_ > 0.0 ? 100.0 * sec / wallSec_ : 0.0;
+        os << "  " << std::left << std::setw(16) << cls << std::right
+           << std::setprecision(3) << sec << " s  (" << std::setprecision(1)
+           << pct << "% of wall)\n";
+    }
+    if (wallSec_ > 0.0 && !classSec_.empty())
+        os << "  " << std::left << std::setw(16) << "(unattributed)"
+           << std::right << std::setprecision(3)
+           << (wallSec_ - attributed) << " s\n";
+    os.unsetf(std::ios::floatfield);
+}
+
+}  // namespace hmcsim

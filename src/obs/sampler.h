@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Periodic time-series sampler over the metrics registry.
+ *
+ * Every `obs.sample_interval_ns` of simulated time it snapshots the
+ * registry, differences the snapshot against the previous interval,
+ * and appends one CSV row: simulated time plus, per metric, the
+ * interval delta (counters), the current reading (gauges) or the
+ * interval mean (samplers).  Histograms are excluded from rows.
+ *
+ * The column set is frozen at the first fire (sorted registry paths at
+ * that moment), so the CSV stays rectangular even if components are
+ * later replaced.  Sampling events are observation-only: they read
+ * stats and touch no simulation state.
+ */
+
+#ifndef HMCSIM_OBS_SAMPLER_H_
+#define HMCSIM_OBS_SAMPLER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/kernel.h"
+
+namespace hmcsim {
+
+class TimeSeriesSampler
+{
+  public:
+    /**
+     * @param interval sampling period in ticks (> 0)
+     * @param csv_path destination file (opened lazily at start())
+     */
+    TimeSeriesSampler(Kernel &kernel, const MetricsRegistry &registry,
+                      Tick interval, std::string csv_path);
+
+    /** Begin periodic sampling; idempotent. */
+    void start();
+
+    std::uint64_t rowsWritten() const { return rows_; }
+    const std::string &csvPath() const { return path_; }
+
+  private:
+    Kernel &kernel_;
+    const MetricsRegistry &registry_;
+    Tick interval_;
+    std::string path_;
+    std::ofstream out_;
+    bool started_ = false;
+    std::vector<std::string> columns_;
+    MetricsSnapshot prev_;
+    std::uint64_t rows_ = 0;
+
+    void fire();
+    void writeHeader(const MetricsSnapshot &snap);
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_OBS_SAMPLER_H_

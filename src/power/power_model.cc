@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/observability.h"
+#include "sim/kernel.h"
 
 namespace hmcsim {
 
@@ -15,6 +17,15 @@ PowerModel::PowerModel(Kernel &kernel, Component *parent, std::string name,
     cfg_.validate();
     lastStepAt_ = now();
     windowStartAt_ = now();
+    if (Observability *o = kernel.obs()) {
+        obsMetrics_.bind(o->metricsRegistry(), path());
+        obsMetrics_.gauge("avg_power_w", [this] { return avgPowerW(); });
+        obsMetrics_.gauge("window_energy_pj",
+                          [this] { return windowEnergyPj(); });
+        obsMetrics_.gauge("slowdown", [this] { return slowdown(); });
+        obsMetrics_.gauge("throttled_fraction",
+                          [this] { return throttledFraction(); });
+    }
 }
 
 void

@@ -18,6 +18,7 @@
 
 #include <functional>
 
+#include "obs/metrics.h"
 #include "power/energy_model.h"
 #include "power/power_config.h"
 #include "power/throttle_governor.h"
@@ -82,6 +83,7 @@ class PowerModel : public Component, public PowerProbe
     ThrottleGovernor governor_;
     std::function<void(double)> applyThrottle_;
     bool started_ = false;
+    MetricSet obsMetrics_;
 
     Tick lastStepAt_ = 0;
     double lastDramPj_ = 0.0;

@@ -15,6 +15,8 @@
 
 namespace hmcsim {
 
+class Observability;
+
 class Kernel
 {
   public:
@@ -60,10 +62,21 @@ class Kernel
     /** Events executed over the kernel's lifetime. */
     std::uint64_t eventsExecuted() const { return queue_.executedCount(); }
 
+    /**
+     * The observability layer components register into (metrics,
+     * tracing, profiling); null -- the default -- means the layer is
+     * disabled and every hook site reduces to a null check.  Published
+     * by System before the component tree is built; the Observability
+     * object outlives every component registered with it.
+     */
+    Observability *obs() const { return obs_; }
+    void setObservability(Observability *obs) { obs_ = obs; }
+
   private:
     EventQueue queue_;
     Tick now_ = 0;
     bool stopRequested_ = false;
+    Observability *obs_ = nullptr;
 };
 
 }  // namespace hmcsim

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "analysis/report.h"
@@ -78,6 +79,111 @@ TEST(Report, PowerRowZeroWhenUnthrottled)
     Report r(oss);
     r.power(0.0, 45.0, 0.0);
     EXPECT_NE(oss.str().find("throttle_pct=0.0"), std::string::npos);
+}
+
+TEST(ReportJson, EmitsNothingUntilFinish)
+{
+    std::ostringstream oss;
+    Report r(oss, Report::Format::Json);
+    r.section("s");
+    r.measured("x", 1.0, "ns");
+    EXPECT_TRUE(oss.str().empty());
+    r.finish();
+    EXPECT_FALSE(oss.str().empty());
+}
+
+TEST(ReportJson, DocumentStructure)
+{
+    std::ostringstream oss;
+    {
+        Report r(oss, Report::Format::Json);
+        r.section("Fig. 6 paper-vs-measured");
+        r.compare("bandwidth", 23.0, 22.0, "GB/s");
+        r.measured("noc latency", 117.0, "ns");
+        r.note("a \"quoted\" note");
+        r.section("chain");
+        r.perCube(2, 1000, 2, 25.0);
+        r.perHost(1, 3, 500, 11.5, 750.0);
+        r.power(123456.0, 87.5, 42.0);
+        // destructor flushes without an explicit finish()
+    }
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("\"sections\""), std::string::npos);
+    EXPECT_NE(out.find("\"title\": \"Fig. 6 paper-vs-measured\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"type\": \"compare\""), std::string::npos);
+    EXPECT_NE(out.find("\"paper\": 23"), std::string::npos);
+    EXPECT_NE(out.find("\"measured\": 22"), std::string::npos);
+    EXPECT_NE(out.find("\"unit\": \"GB/s\""), std::string::npos);
+    EXPECT_NE(out.find("\"approximate\": false"), std::string::npos);
+    EXPECT_NE(out.find("\"type\": \"measured\""), std::string::npos);
+    // Strings are escaped, not raw.
+    EXPECT_NE(out.find("a \\\"quoted\\\" note"), std::string::npos);
+    EXPECT_NE(out.find("\"type\": \"per_cube\""), std::string::npos);
+    EXPECT_NE(out.find("\"type\": \"per_host\""), std::string::npos);
+    EXPECT_NE(out.find("\"type\": \"power\""), std::string::npos);
+    // No text-mode banner artifacts.
+    EXPECT_EQ(out.find("===="), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness check).
+    long depth = 0;
+    bool in_str = false;
+    char prev = '\0';
+    for (const char c : out) {
+        if (in_str) {
+            if (c == '"' && prev != '\\')
+                in_str = false;
+            // Two consecutive escapes ("\\") must not hide the quote.
+            prev = (prev == '\\' && c == '\\') ? '\0' : c;
+            continue;
+        }
+        if (c == '"')
+            in_str = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']')
+            --depth;
+        EXPECT_GE(depth, 0);
+        prev = c;
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_FALSE(in_str);
+}
+
+TEST(ReportJson, FinishIsIdempotent)
+{
+    std::ostringstream oss;
+    Report r(oss, Report::Format::Json);
+    r.measured("x", 1.0, "ns");
+    r.finish();
+    const std::string once = oss.str();
+    r.finish();
+    EXPECT_EQ(oss.str(), once);
+}
+
+TEST(ReportJson, RowsBeforeAnySectionGetImplicitSection)
+{
+    std::ostringstream oss;
+    Report r(oss, Report::Format::Json);
+    r.measured("x", 1.0, "ns");
+    r.finish();
+    EXPECT_NE(oss.str().find("\"title\": \"\""), std::string::npos);
+}
+
+TEST(ReportJson, NonFiniteValuesBecomeNull)
+{
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()),
+              "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(jsonNumber(2.5), "2.5");
+}
+
+TEST(ReportJson, EscapeControlCharacters)
+{
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("tab\there"), "tab\\there");
+    EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
 }
 
 }  // namespace

@@ -119,5 +119,42 @@ TEST(RateStat, EmptyWindowIsZero)
     EXPECT_DOUBLE_EQ(r.gbPerSec(), 0.0);
 }
 
+TEST(RateStat, EndWithoutBeginIsNoOp)
+{
+    RateStat r;
+    r.add(4096);
+    r.end(1000);  // never opened: must not fabricate a [0, 1000] window
+    EXPECT_FALSE(r.open());
+    EXPECT_EQ(r.window(), 0u);
+    EXPECT_DOUBLE_EQ(r.gbPerSec(), 0.0);
+}
+
+TEST(RateStat, EndTwicePreservesClosedWindow)
+{
+    RateStat r;
+    r.begin(0);
+    r.add(1000);
+    r.end(1000);
+    const double gbs = r.gbPerSec();
+    r.end(5000);  // already closed: second end() must not widen it
+    EXPECT_EQ(r.window(), 1000u);
+    EXPECT_DOUBLE_EQ(r.gbPerSec(), gbs);
+}
+
+TEST(RateStat, ReBeginRestartsOpenWindow)
+{
+    RateStat r;
+    r.begin(0);
+    r.add(999999);
+    EXPECT_TRUE(r.open());
+    r.begin(2000);  // restart discards the half-measured window
+    EXPECT_TRUE(r.open());
+    EXPECT_EQ(r.bytes(), 0u);
+    r.add(1000);
+    r.end(3000);
+    EXPECT_EQ(r.window(), 1000u);
+    EXPECT_DOUBLE_EQ(r.gbPerSec(), 1000.0);
+}
+
 }  // namespace
 }  // namespace hmcsim

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hmc/packet.h"
+#include "obs/trace.h"
+
+namespace hmcsim {
+namespace {
+
+HmcPacket
+makePacket(PacketId id)
+{
+    HmcPacket pkt;
+    pkt.id = id;
+    pkt.cmd = HmcCmd::Read;
+    pkt.dataBytes = 32;
+    return pkt;
+}
+
+/** Scan @p s for brace/bracket balance outside string literals. */
+void
+expectBalancedJson(const std::string &s)
+{
+    long depth = 0;
+    bool in_str = false;
+    char prev = '\0';
+    for (const char c : s) {
+        if (in_str) {
+            if (c == '"' && prev != '\\')
+                in_str = false;
+            prev = (prev == '\\' && c == '\\') ? '\0' : c;
+            continue;
+        }
+        if (c == '"')
+            in_str = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']')
+            --depth;
+        ASSERT_GE(depth, 0);
+        prev = c;
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_FALSE(in_str);
+}
+
+TEST(PacketTracer, RecordsInChronologicalOrder)
+{
+    PacketTracer tr(TraceMode::Full, 1, 16);
+    const HmcPacket pkt = makePacket(1);
+    tr.record(100, pkt, TraceStage::Inject, kTraceNoWhere, 0);
+    tr.record(200, pkt, TraceStage::LinkTx, kTraceNoWhere, 0);
+    tr.record(300, pkt, TraceStage::VaultEnqueue, 0, 5);
+
+    const std::vector<TraceEvent> ev = tr.events();
+    ASSERT_EQ(ev.size(), 3u);
+    EXPECT_EQ(ev[0].stage, TraceStage::Inject);
+    EXPECT_EQ(ev[1].stage, TraceStage::LinkTx);
+    EXPECT_EQ(ev[2].stage, TraceStage::VaultEnqueue);
+    EXPECT_EQ(ev[2].tick, 300u);
+    EXPECT_EQ(ev[2].where, 5u);
+    EXPECT_EQ(tr.eventsRecorded(), 3u);
+}
+
+TEST(PacketTracer, RingBufferKeepsLastN)
+{
+    PacketTracer tr(TraceMode::Full, 1, 4);
+    for (PacketId i = 0; i < 10; ++i)
+        tr.record(i * 10, makePacket(i), TraceStage::Inject);
+
+    const std::vector<TraceEvent> ev = tr.events();
+    ASSERT_EQ(ev.size(), 4u);
+    // Oldest surviving event first; the last 4 of 10 survive.
+    EXPECT_EQ(ev.front().packet, 6u);
+    EXPECT_EQ(ev.back().packet, 9u);
+    EXPECT_EQ(tr.eventsRecorded(), 10u);
+}
+
+TEST(PacketTracer, SampleEveryFiltersPacketIds)
+{
+    PacketTracer tr(TraceMode::Full, 4, 64);
+    EXPECT_TRUE(tr.wants(0));
+    EXPECT_FALSE(tr.wants(1));
+    EXPECT_FALSE(tr.wants(3));
+    EXPECT_TRUE(tr.wants(4));
+    EXPECT_TRUE(tr.wants(8));
+
+    PacketTracer all(TraceMode::Full, 1, 64);
+    EXPECT_TRUE(all.wants(17));
+}
+
+TEST(PacketTracer, LifecycleFromTimestampsSkipsUnstamped)
+{
+    PacketTracer tr(TraceMode::Summary, 1, 64);
+    HmcPacket pkt = makePacket(3);
+    pkt.createdAt = 1000;
+    pkt.linkTxAt = 2000;
+    pkt.vaultArriveAt = 3000;
+    pkt.dataReadyAt = 4000;
+    pkt.respInjectAt = 4500;
+    pkt.hostArriveAt = 6000;
+    // chainIngressAt stays 0 (single cube): stage must be skipped.
+    tr.recordLifecycle(pkt, /*port=*/2);
+
+    const std::vector<TraceEvent> ev = tr.events();
+    ASSERT_GE(ev.size(), 2u);
+    EXPECT_EQ(ev.front().stage, TraceStage::Inject);
+    EXPECT_EQ(ev.front().tick, 1000u);
+    EXPECT_EQ(ev.back().stage, TraceStage::Eject);
+    EXPECT_EQ(ev.back().tick, 6000u);
+    for (const TraceEvent &e : ev)
+        EXPECT_NE(e.stage, TraceStage::ChainIngress);
+    // Ticks are non-decreasing within the lifecycle.
+    for (std::size_t i = 1; i < ev.size(); ++i)
+        EXPECT_LE(ev[i - 1].tick, ev[i].tick);
+}
+
+TEST(PacketTracer, ChromeJsonIsWellFormed)
+{
+    PacketTracer tr(TraceMode::Full, 1, 64);
+    for (PacketId id = 0; id < 3; ++id) {
+        HmcPacket pkt = makePacket(id);
+        pkt.cube = id % 2;
+        tr.record(1000 + id, pkt, TraceStage::Inject, kTraceNoWhere, 0);
+        tr.record(2000 + id, pkt, TraceStage::VaultEnqueue, pkt.cube, 4);
+        tr.record(3000 + id, pkt, TraceStage::Eject, kTraceNoWhere, 0);
+    }
+
+    std::ostringstream oss;
+    tr.dumpChromeJson(oss);
+    const std::string out = oss.str();
+
+    // Chrome trace_event schema essentials.
+    EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\""), std::string::npos);
+    EXPECT_NE(out.find("\"pid\""), std::string::npos);
+    EXPECT_NE(out.find("\"tid\""), std::string::npos);
+    EXPECT_NE(out.find("\"ts\""), std::string::npos);
+    EXPECT_NE(out.find("\"name\""), std::string::npos);
+    expectBalancedJson(out);
+}
+
+TEST(PacketTracer, ClearEmptiesBuffer)
+{
+    PacketTracer tr(TraceMode::Full, 1, 8);
+    tr.record(1, makePacket(0), TraceStage::Inject);
+    tr.clear();
+    EXPECT_TRUE(tr.events().empty());
+}
+
+TEST(PacketTracer, DumpLastEventsIsBounded)
+{
+    PacketTracer tr(TraceMode::Full, 1, 32);
+    for (PacketId i = 0; i < 8; ++i)
+        tr.record(i, makePacket(i), TraceStage::Inject);
+    std::ostringstream oss;
+    tr.dumpLastEvents(oss, 3);
+    // Exactly the last 3 packet ids appear.
+    EXPECT_EQ(oss.str().find("pkt=4"), std::string::npos);
+    EXPECT_NE(oss.str().find("pkt=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmcsim
