@@ -14,15 +14,25 @@
  *   - figures_of_merit   fig. 6/8 summary numbers so a perf change
  *                        that shifts simulated results is visible in
  *                        the same file
+ *   - entries[]          append-only trajectory history: one compact
+ *                        point per recorded run (commit, date,
+ *                        events/sec, figures of merit).  Prior
+ *                        entries are carried over verbatim from the
+ *                        existing file; a v1 file (no entries) is
+ *                        migrated by synthesizing its headline as the
+ *                        first entry.
  *
- * scripts/bench_trajectory.sh wraps this binary and can gate on a
- * >30% events/sec regression against a baseline JSON.
+ * --commit=SHA / --date=ISO label the appended entry (also via
+ * HMCSIM_BENCH_TRAJECTORY_{COMMIT,DATE}); scripts/bench_trajectory.sh
+ * fills them from git and the wall clock, and can gate on an
+ * events/sec regression against the last recorded entry.
  */
 
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -93,20 +103,128 @@ q(const std::string &s)
     return "\"" + jsonEscape(s) + "\"";
 }
 
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return "";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Inner text of the document's "entries": [ ... ] array (without the
+ * brackets), or "" when absent.  We only ever parse our own writer's
+ * output, so bracket matching (no strings containing brackets) is
+ * sufficient.
+ */
+std::string
+extractEntriesInner(const std::string &doc)
+{
+    const std::size_t key = doc.find("\"entries\"");
+    if (key == std::string::npos)
+        return "";
+    const std::size_t open = doc.find('[', key);
+    if (open == std::string::npos)
+        return "";
+    int depth = 0;
+    for (std::size_t i = open; i < doc.size(); ++i) {
+        if (doc[i] == '[')
+            ++depth;
+        else if (doc[i] == ']' && --depth == 0) {
+            std::string inner = doc.substr(open + 1, i - open - 1);
+            // Trim whitespace-only content to "".
+            const std::size_t a = inner.find_first_not_of(" \t\r\n");
+            if (a == std::string::npos)
+                return "";
+            const std::size_t b = inner.find_last_not_of(" \t\r\n");
+            return inner.substr(a, b - a + 1);
+        }
+    }
+    return "";
+}
+
+/** First numeric value following "key": in @p doc, or @p fallback. */
+double
+extractNumber(const std::string &doc, const std::string &key,
+              double fallback)
+{
+    const std::size_t k = doc.find("\"" + key + "\"");
+    if (k == std::string::npos)
+        return fallback;
+    const std::size_t colon = doc.find(':', k);
+    if (colon == std::string::npos)
+        return fallback;
+    return std::atof(doc.c_str() + colon + 1);
+}
+
+/**
+ * Migrate a v1 document (headline keys, no entries array) into one
+ * history entry so the trajectory keeps its oldest point.
+ */
+std::string
+synthesizeV1Entry(const std::string &doc)
+{
+    if (doc.find("\"events_per_sec\"") == std::string::npos)
+        return "";
+    std::ostringstream e;
+    e << "    {\n";
+    e << "      \"commit\": \"unknown\",\n";
+    e << "      \"date\": null,\n";
+    e << "      \"events_per_sec\": "
+      << jsonNumber(extractNumber(doc, "events_per_sec", 0.0)) << ",\n";
+    e << "      \"fast_mode\": "
+      << (doc.find("\"fast_mode\": true") != std::string::npos
+              ? "true"
+              : "false")
+      << ",\n";
+    e << "      \"window_scale\": "
+      << jsonNumber(extractNumber(doc, "window_scale", 1.0)) << ",\n";
+    e << "      \"figures_of_merit\": {\n";
+    e << "        \"fig06_16vaults_128B_bandwidth_gbs\": "
+      << jsonNumber(extractNumber(
+             doc, "fig06_16vaults_128B_bandwidth_gbs", 0.0))
+      << ",\n";
+    e << "        \"fig06_16vaults_128B_latency_ns\": "
+      << jsonNumber(
+             extractNumber(doc, "fig06_16vaults_128B_latency_ns", 0.0))
+      << ",\n";
+    e << "        \"fig08_saturated_latency_us_32B\": "
+      << jsonNumber(
+             extractNumber(doc, "fig08_saturated_latency_us_32B", 0.0))
+      << "\n";
+    e << "      }\n";
+    e << "    }";
+    return e.str();
+}
+
 }  // namespace
 
 int
 main(int argc, char **argv)
 {
-    // Strip --out=FILE before handing the rest to the shared parser.
+    // Strip --out/--commit/--date before handing the rest to the
+    // shared parser.
     std::string outPath = "BENCH_events_per_sec.json";
+    std::string commit = "unknown";
+    std::string date;
     if (const char *env = std::getenv("HMCSIM_BENCH_TRAJECTORY_OUT"))
         outPath = env;
+    if (const char *env = std::getenv("HMCSIM_BENCH_TRAJECTORY_COMMIT"))
+        commit = env;
+    if (const char *env = std::getenv("HMCSIM_BENCH_TRAJECTORY_DATE"))
+        date = env;
     std::vector<char *> passArgv;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
         if (i > 0 && arg.rfind("--out=", 0) == 0)
             outPath = arg.substr(6);
+        else if (i > 0 && arg.rfind("--commit=", 0) == 0)
+            commit = arg.substr(9);
+        else if (i > 0 && arg.rfind("--date=", 0) == 0)
+            date = arg.substr(7);
         else
             passArgv.push_back(argv[i]);
     }
@@ -191,6 +309,12 @@ main(int argc, char **argv)
     g8.window = fomWindow;
     const ExperimentResult r8 = runStreamBatch(SystemConfig{}, g8);
 
+    // ----- carry over (or migrate) the trajectory history -----
+    const std::string prior = readWholeFile(outPath);
+    std::string priorEntries = extractEntriesInner(prior);
+    if (priorEntries.empty())
+        priorEntries = synthesizeV1Entry(prior);
+
     // ----- emit the JSON document -----
     std::ofstream out(outPath);
     if (!out) {
@@ -201,7 +325,7 @@ main(int argc, char **argv)
     // "events_per_sec" occurrence without a JSON parser.
     out << "{\n";
     out << "  \"bench\": \"hmcsim_perf_trajectory\",\n";
-    out << "  \"schema_version\": 1,\n";
+    out << "  \"schema_version\": 2,\n";
     out << "  \"events_per_sec\": " << jsonNumber(classic.eventsPerSec())
         << ",\n";
     out << "  \"fast_mode\": " << (fast ? "true" : "false") << ",\n";
@@ -250,7 +374,32 @@ main(int argc, char **argv)
         << jsonNumber(r6.avgReadLatencyNs) << ",\n";
     out << "    \"fig08_saturated_latency_us_32B\": "
         << jsonNumber(r8.avgReadLatencyNs / 1000.0) << "\n";
-    out << "  }\n";
+    out << "  },\n";
+    // Append-only history, kept LAST in the document so the final
+    // "events_per_sec" occurrence in the file is always the latest
+    // recorded entry (what the shell wrapper's --check reads).
+    out << "  \"entries\": [\n";
+    if (!priorEntries.empty())
+        out << "    " << priorEntries << ",\n";
+    out << "    {\n";
+    out << "      \"commit\": " << q(commit) << ",\n";
+    out << "      \"date\": " << (date.empty() ? "null" : q(date))
+        << ",\n";
+    out << "      \"events_per_sec\": "
+        << jsonNumber(classic.eventsPerSec()) << ",\n";
+    out << "      \"fast_mode\": " << (fast ? "true" : "false") << ",\n";
+    out << "      \"window_scale\": " << jsonNumber(windowScale())
+        << ",\n";
+    out << "      \"figures_of_merit\": {\n";
+    out << "        \"fig06_16vaults_128B_bandwidth_gbs\": "
+        << jsonNumber(r6.bandwidthGBs) << ",\n";
+    out << "        \"fig06_16vaults_128B_latency_ns\": "
+        << jsonNumber(r6.avgReadLatencyNs) << ",\n";
+    out << "        \"fig08_saturated_latency_us_32B\": "
+        << jsonNumber(r8.avgReadLatencyNs / 1000.0) << "\n";
+    out << "      }\n";
+    out << "    }\n";
+    out << "  ]\n";
     out << "}\n";
     out.close();
 

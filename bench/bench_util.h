@@ -11,6 +11,10 @@
  *                            comma-separated list of source types
  *
  *   HMCSIM_BENCH_JSON=1      emit result tables as JSON (see --json)
+ *   HMCSIM_BENCH_OBS_ANATOMY=1  turn the latency-anatomy engine on in
+ *                            binaries that call applyObsEnv() -- used
+ *                            by CI to verify obs.anatomy=on leaves
+ *                            every result CSV bit-identical
  *
  * Every figure binary accepts the same flags via parseBenchArgs()
  * (flags override the environment): --fast, --scale=X, --csv-dir=DIR,
@@ -29,6 +33,7 @@
 #include "analysis/report.h"
 #include "common/strutil.h"
 #include "common/types.h"
+#include "obs/obs_config.h"
 
 namespace hmcsim {
 namespace bench {
@@ -54,6 +59,19 @@ inline Tick
 scaled(Tick base)
 {
     return static_cast<Tick>(static_cast<double>(base) * windowScale());
+}
+
+/**
+ * Apply the HMCSIM_BENCH_OBS_ANATOMY knob to a run's obs config.  The
+ * anatomy engine is observation-only, so CI flips this on and checks
+ * the binary's result CSVs stay bit-identical to the off run.
+ */
+inline void
+applyObsEnv(ObsConfig &obs)
+{
+    const char *v = std::getenv("HMCSIM_BENCH_OBS_ANATOMY");
+    if (v != nullptr && std::string(v) != "0")
+        obs.anatomy = true;
 }
 
 /** The paper's four request sizes. */

@@ -38,7 +38,8 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
-    const SystemConfig cfg;
+    SystemConfig cfg;
+    bench::applyObsEnv(cfg.obs);
     const Tick warmup = scaled(fastMode() ? 5 : 15) * kMicrosecond;
     const Tick window = scaled(fastMode() ? 10 : 40) * kMicrosecond;
 

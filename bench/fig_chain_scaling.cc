@@ -39,6 +39,7 @@ chainConfig(std::uint32_t cubes, const std::string &topology)
     cfg.hmc.chain.topology = topology;
     if (topology == "star" && cfg.hmc.numLinks < cubes)
         cfg.hmc.numLinks = cubes;
+    bench::applyObsEnv(cfg.obs);
     return cfg;
 }
 

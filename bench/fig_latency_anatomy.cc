@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Latency anatomy: per-phase waterfall and bottleneck attribution
+ * across topology x routing x workload.
+ *
+ * Four scenarios bracket the design space:
+ *
+ *  - single_gups:          classic 1-cube system, saturated GUPS.
+ *    Expectation: DRAM service + host queueing dominate; chain phases
+ *    are zero.
+ *  - daisy4_uniform_gups:  4-cube daisy chain, uniform GUPS.  Chain
+ *    forwarding appears but stays near its topology floor.
+ *  - ring8_hotspot_static: 8 hosts, one per ring cube, all running a
+ *    write-heavy zipf cube hotspot.  The hot cube's two incoming
+ *    chain links carry the *converged* hot traffic of seven remote
+ *    hosts while each host's entry links carry only their own -- so
+ *    the congestion, and the p99 inflation, lives in chain_fwd_req
+ *    queueing, NOT in dram_service.  Large writes (9-flit requests,
+ *    1-flit responses) keep the overload in the request direction,
+ *    where chain_fwd_req measures it.
+ *  - ring8_hotspot_adaptive: same hotspot under congestion-aware
+ *    routing.  With a single hot destination both ring paths to it
+ *    congest equally, so adaptive detours mostly add hops -- the
+ *    anatomy shows where the adaptive policy spends them.
+ *
+ * The bench emits one CSV row per (scenario, phase) with
+ * count/mean/p50/p99/share, a congestion heatmap CSV for the static
+ * hotspot, and the automated bottleneck verdict per scenario.
+ */
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "host/experiment.h"
+#include "host/system.h"
+#include "obs/observability.h"
+
+using namespace hmcsim;
+using namespace hmcsim::bench;
+
+namespace {
+
+struct Scenario {
+    const char *name;
+    const char *topology;
+    std::uint32_t cubes;
+    const char *routing;
+    const char *workload;  ///< "gups" or "hotspot"
+};
+
+constexpr Scenario kScenarios[] = {
+    {"single_gups", "daisy", 1, "static", "gups"},
+    {"daisy4_uniform_gups", "daisy", 4, "static", "gups"},
+    {"ring8_hotspot_static", "ring", 8, "static", "hotspot"},
+    {"ring8_hotspot_adaptive", "ring", 8, "adaptive", "hotspot"},
+};
+
+SystemConfig
+makeConfig(const Scenario &s)
+{
+    SystemConfig cfg;
+    cfg.hmc.chain.numCubes = s.cubes;
+    cfg.hmc.chain.topology = s.topology;
+    cfg.hmc.chain.routing = s.routing;
+    cfg.obs.anatomy = true;
+    if (std::string(s.workload) == "hotspot") {
+        // One host per cube: remote hot traffic converges on the hot
+        // cube's two incoming chain links (each carrying several
+        // hosts' worth) while each host's entry links carry only its
+        // own.
+        cfg.host.numHosts = s.cubes;
+        cfg.host.tagsPerPort = 128;
+    }
+    return cfg;
+}
+
+WorkloadSpec
+makeWorkload(const Scenario &s)
+{
+    WorkloadSpec w;
+    if (std::string(s.workload) == "hotspot") {
+        // Stay under the host deserializer ceiling (1 packet per FPGA
+        // cycle per host) so the host-side phases do not saturate;
+        // large writes (9-flit requests, 1-flit responses) put the
+        // byte load on the request direction, where the remote hosts'
+        // hot traffic converges on the hot cube's incoming chain
+        // links.
+        w.type = "zipf";
+        w.zipfDomain = "cube";
+        w.zipfTheta = 0.95;
+        w.requestBytes = 128;
+        w.writeFraction = 1.0;
+        w.inject = "open";
+        w.ratePerNs = 0.009;
+        w.burstiness = 8.0;
+    } else {
+        w.type = "gups";
+        w.requestBytes = 64;
+    }
+    return w;
+}
+
+struct ScenarioResult {
+    std::vector<AnatomyWaterfallRow> waterfall;
+    BottleneckVerdict verdict;
+    double e2eP99Ns = 0.0;
+    std::string congestionCsv;
+};
+
+ScenarioResult
+runScenario(const Scenario &s, Tick warmup, Tick window)
+{
+    const SystemConfig cfg = makeConfig(s);
+    System sys(cfg);
+    constexpr std::uint32_t kPorts = 9;
+    for (HostId h = 0; h < sys.numHosts(); ++h) {
+        for (PortId p = 0; p < kPorts; ++p) {
+            WorkloadSpec w = makeWorkload(s);
+            w.seed = mixSeeds(1, p);
+            if (h > 0)
+                w.seed = mixSeeds(w.seed, kHostSeedStream + h);
+            sys.configureWorkloadAt(h, p, w);
+        }
+    }
+    sys.run(warmup);
+    // Warmup transactions would skew the distributions; drop them.
+    sys.obs()->anatomy()->reset();
+    sys.measure(window);
+
+    const AnatomyCollector *a = sys.obs()->anatomy();
+    ScenarioResult r;
+    r.waterfall = a->waterfall();
+    r.verdict = a->verdict();
+    Histogram e2e(a->endToEndHist(false).lo(), a->endToEndHist(false).hi(),
+                  a->endToEndHist(false).bins());
+    e2e.merge(a->endToEndHist(false));
+    e2e.merge(a->endToEndHist(true));
+    r.e2eP99Ns = e2e.percentile(99.0);
+    if (const CongestionRecorder *c = sys.obs()->congestion())
+        r.congestionCsv = c->toCsv();
+    return r;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::parseBenchArgs(argc, argv);
+    const bool fast = fastMode();
+    const Tick warmup = scaled(fast ? 2 : 6) * kMicrosecond;
+    const Tick window = scaled(fast ? 5 : 16) * kMicrosecond;
+
+    if (!opts.jsonReport)
+        std::cout << "latency anatomy: per-phase waterfall and "
+                     "bottleneck attribution\n";
+    bench::CsvOutput csv_out("fig_latency_anatomy");
+    CsvWriter csv(csv_out.stream(),
+                  {"scenario", "topology", "routing", "workload", "phase",
+                   "count", "mean_ns", "p50_ns", "p99_ns",
+                   "share_mean_pct"});
+
+    Report rep(std::cout, opts.reportFormat());
+    std::map<std::string, ScenarioResult> results;
+    for (const Scenario &s : kScenarios) {
+        const ScenarioResult r = runScenario(s, warmup, window);
+        for (const AnatomyWaterfallRow &row : r.waterfall) {
+            csv.row()
+                .cell(s.name)
+                .cell(s.topology)
+                .cell(s.routing)
+                .cell(s.workload)
+                .cell(row.phase)
+                .cell(row.count)
+                .cell(row.meanNs, 1)
+                .cell(row.p50Ns, 1)
+                .cell(row.p99Ns, 1)
+                .cell(row.shareMeanPct, 1);
+        }
+        rep.section(std::string("anatomy: ") + s.name);
+        for (const AnatomyWaterfallRow &row : r.waterfall)
+            rep.anatomyPhase(row.phase, row.count, row.meanNs, row.p50Ns,
+                             row.p99Ns, row.shareMeanPct);
+        rep.measured("end-to-end p99", r.e2eP99Ns, "ns");
+        const BottleneckVerdict &v = r.verdict;
+        rep.verdict(v.dominantMeanPhase, v.dominantMeanSharePct,
+                    v.dominantP99Phase, v.dominantP99SharePct,
+                    v.queueingSharePct, v.serviceSharePct, v.completions,
+                    v.monotonicityViolations, v.residualViolations,
+                    v.summary);
+        results.emplace(s.name, r);
+    }
+    csv.finish();
+
+    // The static hotspot's time-windowed congestion surface (component
+    // occupancies per window) -- the heatmap behind the verdict.
+    {
+        bench::CsvOutput heat_out("fig_congestion_heatmap");
+        heat_out.stream() << results.at("ring8_hotspot_static")
+                                 .congestionCsv;
+    }
+
+    // Cross-scenario attribution: the ring hotspot's tail must come
+    // from chain-forward queueing, not DRAM.
+    rep.section("attribution checks");
+    const auto phaseP99 = [&](const std::string &scen,
+                              const char *phase) {
+        for (const AnatomyWaterfallRow &row : results.at(scen).waterfall)
+            if (row.phase == phase)
+                return row.p99Ns;
+        return 0.0;
+    };
+    const double hot_fwd = phaseP99("ring8_hotspot_static",
+                                    "chain_fwd_req");
+    const double hot_dram = phaseP99("ring8_hotspot_static",
+                                     "dram_service");
+    rep.measured("hotspot chain_fwd_req p99", hot_fwd, "ns");
+    rep.measured("hotspot dram_service p99", hot_dram, "ns");
+    rep.measured("hotspot p99 attribution (fwd/dram)",
+                 hot_dram > 0.0 ? hot_fwd / hot_dram : 0.0, "x");
+    rep.measured("uniform-daisy chain_fwd_req p99",
+                 phaseP99("daisy4_uniform_gups", "chain_fwd_req"), "ns");
+    rep.measured(
+        "adaptive fwd p99 cost (adaptive/static)",
+        hot_fwd > 0.0
+            ? phaseP99("ring8_hotspot_adaptive", "chain_fwd_req") /
+                hot_fwd
+            : 0.0,
+        "x");
+    rep.note("the ring hotspot's p99 inflation is chain-forwarding "
+             "queueing (seven remote hosts' hot traffic converging on "
+             "the hot cube's two incoming chain links), not DRAM "
+             "service");
+    return 0;
+}

@@ -13,15 +13,17 @@
 #                     root -- the committed trajectory file)
 #   --fast            pass --fast to the bench (CI smoke scale)
 #   --check [FILE]    after the run, compare events_per_sec against
-#                     FILE (default: the committed
-#                     BENCH_events_per_sec.json before this run) and
-#                     exit 1 if it regressed by more than the
-#                     tolerance
+#                     the LAST recorded entry of FILE (default: the
+#                     committed BENCH_events_per_sec.json before this
+#                     run) and exit 1 if it regressed by more than
+#                     the tolerance
 #   --tolerance PCT   allowed events/sec drop, percent (default 30)
 #
-# The headline "events_per_sec" key is emitted first in the JSON
-# precisely so this script can read it with grep/awk and no JSON
-# parser.
+# The run is appended to the document's "entries" history, labelled
+# with the current git commit and UTC date.  The headline
+# "events_per_sec" key is emitted first in the JSON precisely so this
+# script can read it with grep/awk and no JSON parser; the entries
+# array is last, so the file's final occurrence is the latest entry.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -49,7 +51,7 @@ while [ $# -gt 0 ]; do
             shift ;;
         --check=*)   do_check=1; baseline="${1#*=}"; shift ;;
         -h|--help)
-            sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+            sed -n '2,26p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
         *)
             echo "bench_trajectory.sh: unknown argument '$1'" >&2
             exit 2 ;;
@@ -60,6 +62,18 @@ extract_eps() {
     # First "events_per_sec" occurrence is the headline number.
     grep -m1 -o '"events_per_sec": *[0-9.eE+-]*' "$1" \
         | awk '{print $2}'
+}
+
+extract_last_entry_eps() {
+    # Latest history entry: in a v2 document the entries array is
+    # last, so its final events_per_sec is the last entry's.  A v1
+    # baseline has no entries array; fall back to the headline.
+    if grep -q '"entries"' "$1"; then
+        grep -o '"events_per_sec": *[0-9.eE+-]*' "$1" \
+            | tail -1 | awk '{print $2}'
+    else
+        extract_eps "$1"
+    fi
 }
 
 # Default baseline: the committed trajectory point, captured before we
@@ -83,7 +97,13 @@ if [ ! -x "$bench" ]; then
     cmake --build "$build_dir" --target bench_trajectory -j >/dev/null
 fi
 
-"$bench" "${fast_flag[@]}" --out="$out_file"
+# Label the appended history entry with the current commit and time.
+commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null \
+          || echo unknown)"
+run_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+"$bench" "${fast_flag[@]}" --out="$out_file" \
+    --commit="$commit" --date="$run_date"
 
 new_eps="$(extract_eps "$out_file")"
 if [ -z "$new_eps" ]; then
@@ -93,13 +113,13 @@ fi
 echo "events/sec: $new_eps"
 
 if [ "$do_check" -eq 1 ]; then
-    base_eps="$(extract_eps "$baseline")"
+    base_eps="$(extract_last_entry_eps "$baseline")"
     if [ -z "$base_eps" ]; then
         echo "bench_trajectory.sh: no events_per_sec in baseline" \
              "$baseline; skipping check" >&2
         exit 0
     fi
-    echo "baseline:   $base_eps (tolerance ${tolerance}%)"
+    echo "baseline:   $base_eps (last entry, tolerance ${tolerance}%)"
     if ! awk -v new="$new_eps" -v base="$base_eps" -v tol="$tolerance" \
         'BEGIN { exit !(new >= base * (1.0 - tol / 100.0)) }'; then
         pct="$(awk -v new="$new_eps" -v base="$base_eps" \

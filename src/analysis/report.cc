@@ -191,4 +191,64 @@ Report::perHost(std::uint32_t host, std::uint32_t entry_cube,
          << "  avg_read_ns=" << formatDouble(avg_read_ns, 0) << '\n';
 }
 
+void
+Report::anatomyPhase(const std::string &phase, std::uint64_t count,
+                     double mean_ns, double p50_ns, double p99_ns,
+                     double share_mean_pct)
+{
+    if (json()) {
+        addRow("{\"type\": \"anatomy_phase\", \"phase\": \"" +
+               jsonEscape(phase) + "\", \"count\": " +
+               std::to_string(count) + ", \"mean_ns\": " +
+               jsonNumber(mean_ns) + ", \"p50_ns\": " +
+               jsonNumber(p50_ns) + ", \"p99_ns\": " +
+               jsonNumber(p99_ns) + ", \"share_mean_pct\": " +
+               jsonNumber(share_mean_pct) + "}");
+        return;
+    }
+    out_ << "  " << std::left << std::setw(20) << phase
+         << " mean=" << std::right << std::setw(9)
+         << formatDouble(mean_ns, 1) << " ns  p50=" << std::setw(9)
+         << formatDouble(p50_ns, 1) << " ns  p99=" << std::setw(9)
+         << formatDouble(p99_ns, 1)
+         << " ns  share=" << formatDouble(share_mean_pct, 1) << "%\n";
+}
+
+void
+Report::verdict(const std::string &dominant_mean_phase,
+                double dominant_mean_share_pct,
+                const std::string &dominant_p99_phase,
+                double dominant_p99_share_pct, double queueing_share_pct,
+                double service_share_pct, std::uint64_t completions,
+                std::uint64_t monotonicity_violations,
+                std::uint64_t residual_violations,
+                const std::string &summary)
+{
+    if (json()) {
+        addRow("{\"type\": \"verdict\", \"dominant_mean_phase\": \"" +
+               jsonEscape(dominant_mean_phase) +
+               "\", \"dominant_mean_share_pct\": " +
+               jsonNumber(dominant_mean_share_pct) +
+               ", \"dominant_p99_phase\": \"" +
+               jsonEscape(dominant_p99_phase) +
+               "\", \"dominant_p99_share_pct\": " +
+               jsonNumber(dominant_p99_share_pct) +
+               ", \"queueing_share_pct\": " +
+               jsonNumber(queueing_share_pct) +
+               ", \"service_share_pct\": " +
+               jsonNumber(service_share_pct) + ", \"completions\": " +
+               std::to_string(completions) +
+               ", \"monotonicity_violations\": " +
+               std::to_string(monotonicity_violations) +
+               ", \"residual_violations\": " +
+               std::to_string(residual_violations) + ", \"summary\": \"" +
+               jsonEscape(summary) + "\"}");
+        return;
+    }
+    out_ << "  verdict: " << summary << '\n'
+         << "  (" << completions << " completions, "
+         << monotonicity_violations << " monotonicity violations, "
+         << residual_violations << " residual violations)\n";
+}
+
 }  // namespace hmcsim

@@ -80,6 +80,28 @@ class Report
                  std::uint64_t accepted, double bandwidth_gbs,
                  double avg_read_ns);
 
+    /**
+     * One latency-anatomy waterfall row: a phase's sample count, mean,
+     * p50/p99 and its share of the summed mean latency.
+     */
+    void anatomyPhase(const std::string &phase, std::uint64_t count,
+                      double mean_ns, double p50_ns, double p99_ns,
+                      double share_mean_pct);
+
+    /**
+     * The automated bottleneck verdict: dominant phases by mean and
+     * stacked-p99 share, the queueing-vs-service split, and the
+     * phase-conservation health counters.
+     */
+    void verdict(const std::string &dominant_mean_phase,
+                 double dominant_mean_share_pct,
+                 const std::string &dominant_p99_phase,
+                 double dominant_p99_share_pct, double queueing_share_pct,
+                 double service_share_pct, std::uint64_t completions,
+                 std::uint64_t monotonicity_violations,
+                 std::uint64_t residual_violations,
+                 const std::string &summary);
+
     /** Emit the buffered JSON document; idempotent, no-op in Text. */
     void finish();
 

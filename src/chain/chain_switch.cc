@@ -46,6 +46,27 @@ ChainSwitch::ChainSwitch(Kernel &kernel, HmcDevice &dev, std::string name,
         obsMetrics_.counter("adaptive_deviations", &adaptiveDeviations_);
         obsMetrics_.counter("misroutes", &misroutes_);
         obsMetrics_.counter("routed_ejects", &routedEjects_);
+        // Occupancy gauges feeding the congestion heatmaps: total
+        // forward-queue flits, plus a per-kind split so a hotspot's
+        // direction is visible.
+        obsMetrics_.gauge("fwd_q_flits_now", [this] {
+            double total = 0.0;
+            for (const auto &kind : ports_)
+                for (const Port &p : kind)
+                    total += p.qFlits;
+            return total;
+        });
+        static constexpr const char *kKindGauge[kPortKinds] = {
+            "up_q_flits_now", "down_q_flits_now", "wrap_q_flits_now",
+            "host_q_flits_now"};
+        for (std::size_t k = 0; k < kPortKinds; ++k) {
+            obsMetrics_.gauge(kKindGauge[k], [this, k] {
+                double total = 0.0;
+                for (const Port &p : ports_[k])
+                    total += p.qFlits;
+                return total;
+            });
+        }
     }
 }
 

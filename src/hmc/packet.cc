@@ -86,6 +86,7 @@ HmcPacket::makeResponse() const
     r.chainIngressAt = chainIngressAt;
     r.cubeArriveAt = cubeArriveAt;
     r.vaultArriveAt = vaultArriveAt;
+    r.dramStartAt = dramStartAt;
     r.dataReadyAt = dataReadyAt;
     r.traceId = traceId != 0 ? traceId : id;
     return r;

@@ -73,8 +73,10 @@ struct HmcPacket {
     Tick chainIngressAt = 0;  ///< received by the *first* cube's link layer
     Tick cubeArriveAt = 0;    ///< received by the destination cube
     Tick vaultArriveAt = 0;   ///< delivered to the vault controller
+    Tick dramStartAt = 0;     ///< DRAM command sequence committed
     Tick dataReadyAt = 0;     ///< DRAM data transferred
     Tick respInjectAt = 0;    ///< response entered the internal NoC
+    Tick respHostLinkAt = 0;  ///< response landed in the host link's RX
     Tick hostArriveAt = 0;    ///< response drained by the host controller
 
     /**

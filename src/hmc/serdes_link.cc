@@ -140,6 +140,11 @@ SerdesLink::arrive(LinkDir d, const HmcPacketPtr &pkt)
         pkt->cubeArriveAt = now();
         if (pkt->chainIngressAt == 0)
             pkt->chainIngressAt = now();
+    } else if (pkt->isResponse()) {
+        // Every return hop overwrites, so the last write is the issuing
+        // host's link RX -- the end of the fabric's share of the
+        // response path (what remains is host-side deserialize/drain).
+        pkt->respHostLinkAt = now();
     }
     if (tracer_ && tracer_->wants(*pkt))
         tracer_->record(now(), *pkt, TraceStage::LinkRx, kTraceNoWhere,

@@ -178,6 +178,7 @@ VaultController::trySchedule(BankId b)
     bank.q.erase(bank.q.begin() + static_cast<std::ptrdiff_t>(idx));
     --bankQOccupancy_;
     bank.busy = true;
+    pkt->dramStartAt = now();
     nextPlanAllowed_ = now() + effectiveRequestCycle();
     lastPlannedBank_ = b;
 

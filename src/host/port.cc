@@ -15,6 +15,7 @@ Port::Port(Kernel &kernel, Component *parent, std::string name, PortId id,
     if (Observability *o = kernel.obs()) {
         tracer_ = o->fullTracer();
         lifeTracer_ = o->tracer();
+        anatomy_ = o->anatomy();
         obsMetrics_.bind(o->metricsRegistry(), path());
         obsMetrics_.counter("issued", &issued_);
         monitor_.registerMetrics(obsMetrics_);
@@ -64,6 +65,8 @@ Port::pushRequest(const HmcPacketPtr &pkt)
 void
 Port::traceComplete(const HmcPacket &pkt) const
 {
+    if (anatomy_)
+        anatomy_->onComplete(pkt);
     if (!lifeTracer_ || !lifeTracer_->wants(pkt))
         return;
     if (lifeTracer_->mode() == TraceMode::Summary)

@@ -22,6 +22,7 @@
 
 namespace hmcsim {
 
+class AnatomyCollector;
 class PacketTracer;
 
 class Port : public Component
@@ -68,10 +69,11 @@ class Port : public Component
     void pushRequest(const HmcPacketPtr &pkt);
 
     /**
-     * Trace hook for the response completion path: in summary mode
+     * Observability hook for the response completion path: feeds the
+     * latency-anatomy collector, then in summary trace mode
      * reconstructs the whole lifecycle from the packet's timestamps,
-     * in full mode records the final Eject event.  A no-op (two null
-     * checks) when tracing is off.
+     * in full mode records the final Eject event.  A no-op (null
+     * checks only) when everything is off.
      */
     void traceComplete(const HmcPacket &pkt) const;
 
@@ -89,6 +91,8 @@ class Port : public Component
     PacketTracer *tracer_ = nullptr;
     /** Any-mode tracer (completion-path lifecycle); null when off. */
     PacketTracer *lifeTracer_ = nullptr;
+    /** Latency-anatomy collector; null when obs.anatomy is off. */
+    AnatomyCollector *anatomy_ = nullptr;
 };
 
 }  // namespace hmcsim

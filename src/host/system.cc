@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "common/units.h"
 
 namespace hmcsim {
 
@@ -120,8 +121,21 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
             hosts_[h]->configureWorkload(pw.port, spec);
         }
     }
-    if (obs_)
+    if (obs_) {
+        if (AnatomyCollector *a = obs_->anatomy()) {
+            // The topology-derived cost of one empty-queue chain hop:
+            // switch pass-through + SerDes + wire, plus per-flit
+            // serialization at the link rate.  The anatomy engine uses
+            // it to split chain forwarding into floor vs queueing.
+            const Tick per_hop_fixed = cfg_.hmc.chain.passThroughLatency +
+                                       cfg_.hmc.serdesLatency +
+                                       cfg_.hmc.linkWireLatency;
+            const Tick per_flit = serializationTicks(
+                kFlitBytes, cfg_.hmc.linkGbps, cfg_.hmc.lanesPerLink);
+            a->setChainHopFloor(per_hop_fixed, per_flit);
+        }
         obs_->startSampler(kernel_);
+    }
 }
 
 HostConfig

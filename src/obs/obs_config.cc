@@ -40,6 +40,10 @@ ObsConfig::validate() const
         fatal("obs: trace_buffer_events must be >= 1");
     if (sampleIntervalNs > 0 && sampleCsvPath.empty())
         fatal("obs: sample_interval_ns needs a sample_csv destination");
+    if (anatomyHistNs == 0)
+        fatal("obs: anatomy_hist_ns must be >= 1");
+    if (anatomyHistBins == 0)
+        fatal("obs: anatomy_hist_bins must be >= 1");
 }
 
 ObsConfig
@@ -57,6 +61,12 @@ ObsConfig::fromConfig(const Config &cfg)
         cfg.getU64("obs.trace_buffer_events", c.traceBufferEvents);
     c.traceJsonPath = cfg.getString("obs.trace_json", c.traceJsonPath);
     c.profile = cfg.getBool("obs.profile", c.profile);
+    c.anatomy = cfg.getBool("obs.anatomy", c.anatomy);
+    c.anatomyWindowNs =
+        cfg.getU64("obs.anatomy_window_ns", c.anatomyWindowNs);
+    c.anatomyHistNs = cfg.getU64("obs.anatomy_hist_ns", c.anatomyHistNs);
+    c.anatomyHistBins =
+        cfg.getU64("obs.anatomy_hist_bins", c.anatomyHistBins);
     c.validate();
     return c;
 }
@@ -72,6 +82,10 @@ ObsConfig::toConfig(Config &cfg) const
     cfg.setU64("obs.trace_buffer_events", traceBufferEvents);
     cfg.set("obs.trace_json", traceJsonPath);
     cfg.setBool("obs.profile", profile);
+    cfg.setBool("obs.anatomy", anatomy);
+    cfg.setU64("obs.anatomy_window_ns", anatomyWindowNs);
+    cfg.setU64("obs.anatomy_hist_ns", anatomyHistNs);
+    cfg.setU64("obs.anatomy_hist_bins", anatomyHistBins);
 }
 
 }  // namespace hmcsim

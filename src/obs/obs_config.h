@@ -17,6 +17,16 @@
  *   obs.trace_json           path    Chrome trace_event JSON dumped at
  *                                    System teardown ("" = no dump)
  *   obs.profile              bool    simulator self-profiling
+ *   obs.anatomy              off|on  latency-anatomy engine: per-phase
+ *                                    waterfall histograms, congestion
+ *                                    heatmap windows, bottleneck verdict
+ *                                    (implies metrics)
+ *   obs.anatomy_window_ns    u64     congestion heatmap window (0 =
+ *                                    follow sample_interval_ns, or
+ *                                    1000 ns when that is off too)
+ *   obs.anatomy_hist_ns      u64     upper edge of the per-phase
+ *                                    latency histograms, ns
+ *   obs.anatomy_hist_bins    u64     bins of the per-phase histograms
  */
 
 #ifndef HMCSIM_OBS_OBS_CONFIG_H_
@@ -52,12 +62,29 @@ struct ObsConfig {
     std::uint64_t traceBufferEvents = 1 << 16;
     std::string traceJsonPath;
     bool profile = false;
+    bool anatomy = false;
+    std::uint64_t anatomyWindowNs = 0;
+    std::uint64_t anatomyHistNs = 32768;
+    std::uint64_t anatomyHistBins = 1024;
 
     TraceMode traceMode() const { return traceModeFromString(trace); }
 
     /** True when the metrics tree must exist (explicitly or because
-     *  the time-series sampler needs it). */
-    bool metricsEnabled() const { return metrics || sampleIntervalNs > 0; }
+     *  the time-series sampler or the anatomy engine needs it). */
+    bool
+    metricsEnabled() const
+    {
+        return metrics || sampleIntervalNs > 0 || anatomy;
+    }
+
+    /** Congestion-heatmap window in ns, defaults resolved. */
+    std::uint64_t
+    anatomyWindowNsEffective() const
+    {
+        if (anatomyWindowNs > 0)
+            return anatomyWindowNs;
+        return sampleIntervalNs > 0 ? sampleIntervalNs : 1000;
+    }
 
     /** True when any obs feature is on (System builds Observability). */
     bool anyEnabled() const

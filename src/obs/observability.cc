@@ -10,7 +10,7 @@ namespace hmcsim {
 
 namespace {
 
-/** Most recently constructed Observability with an armed tracer; the
+/** Most recently constructed Observability with panic-path state; the
  *  panic hook is a plain function pointer, so the instance is reached
  *  through this file-scope slot. */
 Observability *g_crashDumpTarget = nullptr;
@@ -19,7 +19,7 @@ void
 crashDumpHook()
 {
     if (g_crashDumpTarget)
-        g_crashDumpTarget->dumpTrace(std::cerr);
+        g_crashDumpTarget->onPanic();
 }
 
 constexpr std::size_t kCrashDumpEvents = 64;
@@ -29,16 +29,21 @@ constexpr std::size_t kCrashDumpEvents = 64;
 Observability::Observability(const ObsConfig &cfg) : cfg_(cfg)
 {
     cfg_.validate();
-    if (cfg_.traceMode() != TraceMode::Off) {
+    if (cfg_.traceMode() != TraceMode::Off)
         tracer_ = std::make_unique<PacketTracer>(
             cfg_.traceMode(), cfg_.traceSampleEvery,
             static_cast<std::size_t>(cfg_.traceBufferEvents));
+    if (cfg_.profile)
+        profiler_ = std::make_unique<SelfProfiler>();
+    if (cfg_.anatomy)
+        anatomy_ = std::make_unique<AnatomyCollector>(cfg_, &registry_);
+    // Anything the panic path can flush (trace tail, partial
+    // time-series row, trace JSON) arms the hook.
+    if (tracer_ || cfg_.sampleIntervalNs > 0) {
         g_crashDumpTarget = this;
         prevHook_ = setPanicHook(&crashDumpHook);
         hookInstalled_ = true;
     }
-    if (cfg_.profile)
-        profiler_ = std::make_unique<SelfProfiler>();
 }
 
 Observability::~Observability()
@@ -54,12 +59,18 @@ Observability::~Observability()
 void
 Observability::startSampler(Kernel &kernel)
 {
-    if (cfg_.sampleIntervalNs == 0 || sampler_)
-        return;
-    sampler_ = std::make_unique<TimeSeriesSampler>(
-        kernel, registry_, cfg_.sampleIntervalNs * kNanosecond,
-        cfg_.sampleCsvPath);
-    sampler_->start();
+    if (cfg_.sampleIntervalNs > 0 && !sampler_) {
+        sampler_ = std::make_unique<TimeSeriesSampler>(
+            kernel, registry_, cfg_.sampleIntervalNs * kNanosecond,
+            cfg_.sampleCsvPath);
+        sampler_->start();
+    }
+    if (cfg_.anatomy && !congestion_) {
+        congestion_ = std::make_unique<CongestionRecorder>(
+            kernel, registry_,
+            cfg_.anatomyWindowNsEffective() * kNanosecond);
+        congestion_->start();
+    }
 }
 
 void
@@ -82,9 +93,28 @@ Observability::dumpTraceToFile(const std::string &path) const
         warn("obs: cannot write trace json '" + path + "'");
         return;
     }
-    tracer_->dumpChromeJson(f);
+    f << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    bool first = true;
+    tracer_->emitChromeEvents(f, first);
+    if (congestion_)
+        congestion_->emitCounterTracks(f, first);
+    f << "\n]}\n";
     inform("obs: wrote " + std::to_string(tracer_->events().size()) +
            " trace events to " + path);
+}
+
+void
+Observability::onPanic()
+{
+    // Keep this path allocation-light and re-entrancy safe: panic()
+    // raised inside these flushes must not recurse (the hook slot is
+    // cleared first).
+    g_crashDumpTarget = nullptr;
+    dumpTrace(std::cerr);
+    if (sampler_)
+        sampler_->flushNow();
+    if (tracer_ && !cfg_.traceJsonPath.empty())
+        dumpTraceToFile(cfg_.traceJsonPath);
 }
 
 }  // namespace hmcsim

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "common/log.h"
+#include "obs/anatomy.h"
 #include "obs/metrics.h"
 #include "obs/obs_config.h"
 #include "obs/profile.h"
@@ -70,18 +71,35 @@ class Observability
     /** Self-profiler, or null when obs.profile is off. */
     SelfProfiler *profiler() { return profiler_.get(); }
 
-    /** Start the periodic sampler (no-op when sampling is off). */
+    /** Start the periodic observers: the time-series sampler and the
+     *  congestion recorder (each a no-op when its feature is off). */
     void startSampler(Kernel &kernel);
 
     const TimeSeriesSampler *sampler() const { return sampler_.get(); }
+
+    /** Latency-anatomy collector, or null when obs.anatomy is off. */
+    AnatomyCollector *anatomy() { return anatomy_.get(); }
+    const AnatomyCollector *anatomy() const { return anatomy_.get(); }
+
+    /** Congestion recorder; created with the anatomy engine. */
+    CongestionRecorder *congestion() { return congestion_.get(); }
+    const CongestionRecorder *congestion() const
+    {
+        return congestion_.get();
+    }
 
     /** Human-readable tail of the trace buffer (crash diagnostics);
      *  for the Chrome JSON form use tracer()->dumpChromeJson(). */
     void dumpTrace(std::ostream &os) const;
 
-    /** Write Chrome trace_event JSON to @p path; warns and continues
-     *  on I/O failure. */
+    /** Write Chrome trace_event JSON to @p path (packet slices plus
+     *  the congestion counter tracks when the anatomy engine is on);
+     *  warns and continues on I/O failure. */
     void dumpTraceToFile(const std::string &path) const;
+
+    /** Panic-path flush: trace tail to stderr, final time-series row,
+     *  and the trace JSON file if one is configured. */
+    void onPanic();
 
   private:
     ObsConfig cfg_;
@@ -89,6 +107,8 @@ class Observability
     std::unique_ptr<PacketTracer> tracer_;
     std::unique_ptr<SelfProfiler> profiler_;
     std::unique_ptr<TimeSeriesSampler> sampler_;
+    std::unique_ptr<AnatomyCollector> anatomy_;
+    std::unique_ptr<CongestionRecorder> congestion_;
     PanicHook prevHook_ = nullptr;
     bool hookInstalled_ = false;
 };

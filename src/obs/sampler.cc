@@ -45,7 +45,7 @@ TimeSeriesSampler::writeHeader(const MetricsSnapshot &snap)
 }
 
 void
-TimeSeriesSampler::fire()
+TimeSeriesSampler::writeRow()
 {
     const MetricsSnapshot snap = registry_.snapshot();
     const MetricsSnapshot delta = snap.delta(prev_);
@@ -60,7 +60,21 @@ TimeSeriesSampler::fire()
     out_.flush();
     ++rows_;
     prev_ = snap;
+}
+
+void
+TimeSeriesSampler::fire()
+{
+    writeRow();
     kernel_.scheduleIn(interval_, [this] { fire(); });
+}
+
+void
+TimeSeriesSampler::flushNow()
+{
+    if (!started_)
+        return;
+    writeRow();
 }
 
 }  // namespace hmcsim

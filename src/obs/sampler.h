@@ -39,6 +39,14 @@ class TimeSeriesSampler
     /** Begin periodic sampling; idempotent. */
     void start();
 
+    /**
+     * Write one final partial-interval row and flush the CSV without
+     * rescheduling -- the panic path calls this so the time series
+     * ends at the crash instant, not the last whole interval.  No-op
+     * before start().
+     */
+    void flushNow();
+
     std::uint64_t rowsWritten() const { return rows_; }
     const std::string &csvPath() const { return path_; }
 
@@ -54,6 +62,7 @@ class TimeSeriesSampler
     std::uint64_t rows_ = 0;
 
     void fire();
+    void writeRow();
     void writeHeader(const MetricsSnapshot &snap);
 };
 

@@ -123,6 +123,15 @@ PacketTracer::clear()
 void
 PacketTracer::dumpChromeJson(std::ostream &os) const
 {
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    bool first = true;
+    emitChromeEvents(os, first);
+    os << "\n]}\n";
+}
+
+void
+PacketTracer::emitChromeEvents(std::ostream &os, bool &first) const
+{
     // Group the buffer per packet; within a packet events are already
     // chronological because the recorder is single-threaded.
     std::map<PacketId, std::vector<TraceEvent>> perPacket;
@@ -132,9 +141,6 @@ PacketTracer::dumpChromeJson(std::ostream &os) const
     const auto ts = [](Tick t) {
         return static_cast<double>(t) / 1e6;  // ps -> us
     };
-
-    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
-    bool first = true;
     const auto comma = [&] {
         if (!first)
             os << ",\n";
@@ -169,7 +175,6 @@ PacketTracer::dumpChromeJson(std::ostream &os) const
                << ",\"args\":{\"packet\":" << id << "}}";
         }
     }
-    os << "\n]}\n";
 }
 
 void

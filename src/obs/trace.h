@@ -117,6 +117,14 @@ class PacketTracer
      */
     void dumpChromeJson(std::ostream &os) const;
 
+    /**
+     * Emit just the trace_event objects (no document wrapper) so a
+     * caller can merge other event streams -- e.g. congestion counter
+     * tracks -- into one Chrome JSON document.  @p first is the shared
+     * comma-tracking flag across emitters.
+     */
+    void emitChromeEvents(std::ostream &os, bool &first) const;
+
     /** Human-readable dump of the last @p n events (crash diagnosis). */
     void dumpLastEvents(std::ostream &os, std::size_t n) const;
 
