@@ -17,7 +17,7 @@
 #                     committed BENCH_events_per_sec.json before this
 #                     run) and exit 1 if it regressed by more than
 #                     the tolerance
-#   --tolerance PCT   allowed events/sec drop, percent (default 30)
+#   --tolerance PCT   allowed events/sec drop, percent (default 20)
 #
 # The run is appended to the document's "entries" history, labelled
 # with the current git commit and UTC date.  The headline
@@ -31,7 +31,7 @@ build_dir="$repo_root/build"
 out_file="$repo_root/BENCH_events_per_sec.json"
 baseline=""
 do_check=0
-tolerance=30
+tolerance=20
 fast_flag=()
 
 while [ $# -gt 0 ]; do

@@ -1,7 +1,5 @@
 #include "common/histogram.h"
 
-#include <cmath>
-
 #include "common/log.h"
 
 namespace hmcsim {
@@ -15,31 +13,6 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
         panic("Histogram: hi must be > lo");
     width_ = (hi - lo) / static_cast<double>(bins);
     counts_.assign(bins, 0);
-}
-
-std::size_t
-Histogram::binIndex(double x) const
-{
-    // Clamp explicitly before the float arithmetic: NaN fails every
-    // comparison, so an unguarded cast of (NaN - lo_) / width_ to
-    // size_t is undefined behaviour, and a sample epsilon-below lo_
-    // must land in bin 0 rather than ride rounding into bin -1.
-    if (std::isnan(x) || x <= lo_)
-        return 0;
-    const std::size_t last = counts_.size() - 1;
-    const double rel = (x - lo_) / width_;
-    if (rel < 0.0)
-        return 0;
-    if (rel >= static_cast<double>(counts_.size()))
-        return last;
-    return static_cast<std::size_t>(rel);
-}
-
-void
-Histogram::add(double x)
-{
-    ++counts_[binIndex(x)];
-    ++total_;
 }
 
 double

@@ -27,7 +27,13 @@ class Histogram
      */
     Histogram(double lo, double hi, std::size_t bins);
 
-    void add(double x);
+    /** Record one sample (inline: per-transaction hot path). */
+    void
+    add(double x)
+    {
+        ++counts_[binIndex(x)];
+        ++total_;
+    }
 
     std::size_t bins() const { return counts_.size(); }
     double lo() const { return lo_; }
@@ -48,7 +54,20 @@ class Histogram
 
     /** Bin index a sample would land in.  NaN and below-range samples
      *  clamp to bin 0; at/above-range samples clamp to the last bin. */
-    std::size_t binIndex(double x) const;
+    std::size_t
+    binIndex(double x) const
+    {
+        // !(x > lo_) folds the NaN and below/at-range clamps into one
+        // branch (NaN fails every comparison); the division must stay
+        // a division -- a reciprocal multiply rounds differently and
+        // boundary samples would switch bins.
+        if (!(x > lo_))
+            return 0;
+        const double rel = (x - lo_) / width_;
+        if (rel >= static_cast<double>(counts_.size()))
+            return counts_.size() - 1;
+        return static_cast<std::size_t>(rel);
+    }
 
     /**
      * Upper edge of the bin where the cumulative distribution first

@@ -8,18 +8,6 @@
 namespace hmcsim {
 
 void
-SampleStats::add(double x)
-{
-    ++n_;
-    sum_ += x;
-    const double delta = x - mean_;
-    mean_ += delta / static_cast<double>(n_);
-    m2_ += delta * (x - mean_);
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-}
-
-void
 SampleStats::merge(const SampleStats &other)
 {
     if (other.n_ == 0)

@@ -39,8 +39,20 @@ class SampleStats
   public:
     SampleStats() { reset(); }
 
-    /** Record one sample. */
-    void add(double x);
+    /** Record one sample.  Inline: this sits on the per-transaction
+     *  monitoring path.  The arithmetic is exactly Welford's update --
+     *  do not reorder it, results are pinned bit-for-bit by tests. */
+    void
+    add(double x)
+    {
+        ++n_;
+        sum_ += x;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = x < min_ ? x : min_;
+        max_ = x > max_ ? x : max_;
+    }
 
     /** Merge another accumulator into this one (parallel-combine rule). */
     void merge(const SampleStats &other);

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "common/log.h"
+#include "hmc/packet_pool.h"
 
 namespace hmcsim {
 
@@ -14,6 +15,15 @@ PacketId
 nextPacketId()
 {
     return g_next_packet_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+/** Packet + shared_ptr control block in one (recycled) allocation. */
+template <typename... Args>
+HmcPacketPtr
+allocPacket(Args &&...args)
+{
+    return std::allocate_shared<HmcPacket>(PacketPoolAllocator<HmcPacket>{},
+                                           std::forward<Args>(args)...);
 }
 
 }  // namespace
@@ -37,30 +47,6 @@ validateDataBytes(std::uint32_t data_bytes)
     if (data_bytes < 16 || data_bytes > 128)
         fatal("packet payload must be 16..128 bytes (got " +
               std::to_string(data_bytes) + ")");
-}
-
-std::uint32_t
-HmcPacket::dataFlits() const
-{
-    switch (cmd) {
-      case HmcCmd::Write:
-      case HmcCmd::ReadResponse:
-        return (dataBytes + kFlitBytes - 1) / kFlitBytes;
-      case HmcCmd::Read:
-      case HmcCmd::WriteResponse:
-      case HmcCmd::Flow:
-        return 0;
-    }
-    return 0;
-}
-
-std::uint32_t
-HmcPacket::flitsFor(HmcCmd cmd, std::uint32_t data_bytes)
-{
-    HmcPacket tmp;
-    tmp.cmd = cmd;
-    tmp.dataBytes = data_bytes;
-    return 1 + tmp.dataFlits();
 }
 
 HmcPacket
@@ -93,10 +79,16 @@ HmcPacket::makeResponse() const
 }
 
 HmcPacketPtr
+HmcPacket::makeResponsePtr() const
+{
+    return allocPacket(makeResponse());
+}
+
+HmcPacketPtr
 makeReadRequest(Addr addr, std::uint32_t data_bytes, PortId port)
 {
     validateDataBytes(data_bytes);
-    auto p = std::make_shared<HmcPacket>();
+    auto p = allocPacket();
     p->id = nextPacketId();
     p->cmd = HmcCmd::Read;
     p->addr = addr;
@@ -109,7 +101,7 @@ HmcPacketPtr
 makeWriteRequest(Addr addr, std::uint32_t data_bytes, PortId port)
 {
     validateDataBytes(data_bytes);
-    auto p = std::make_shared<HmcPacket>();
+    auto p = allocPacket();
     p->id = nextPacketId();
     p->cmd = HmcCmd::Write;
     p->addr = addr;

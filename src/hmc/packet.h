@@ -106,17 +106,33 @@ struct HmcPacket {
 
     bool hasData() const { return dataFlits() != 0; }
 
+    /** Payload flits for any (command, payload) pair (no overhead). */
+    static constexpr std::uint32_t
+    dataFlitsFor(HmcCmd cmd, std::uint32_t data_bytes)
+    {
+        return (cmd == HmcCmd::Write || cmd == HmcCmd::ReadResponse)
+                   ? (data_bytes + kFlitBytes - 1) / kFlitBytes
+                   : 0;
+    }
+
     /** Payload flits only (no overhead). */
-    std::uint32_t dataFlits() const;
+    std::uint32_t dataFlits() const { return dataFlitsFor(cmd, dataBytes); }
 
     /** Table I flit count for any (command, payload) pair. */
-    static std::uint32_t flitsFor(HmcCmd cmd, std::uint32_t data_bytes);
+    static constexpr std::uint32_t
+    flitsFor(HmcCmd cmd, std::uint32_t data_bytes)
+    {
+        return 1 + dataFlitsFor(cmd, data_bytes);
+    }
 
     /**
      * Construct the response matching this request (copies identity
      * fields).  Panics when called on a non-request.
      */
     HmcPacket makeResponse() const;
+
+    /** makeResponse() in a pool-allocated shared_ptr (the hot path). */
+    std::shared_ptr<HmcPacket> makeResponsePtr() const;
 };
 
 using HmcPacketPtr = std::shared_ptr<HmcPacket>;

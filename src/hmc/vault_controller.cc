@@ -223,7 +223,7 @@ VaultController::finishRequest(const HmcPacketPtr &pkt)
     else
         writeBytes_.inc(pkt->dataBytes);
 
-    auto resp = std::make_shared<HmcPacket>(pkt->makeResponse());
+    auto resp = pkt->makeResponsePtr();
     const std::uint32_t flits = resp->flits();
     respReservedFlits_ -= flits;
     respUsedFlits_ += flits;

@@ -3,6 +3,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "hmc/packet_pool.h"
 
 namespace hmcsim {
 
@@ -12,6 +13,7 @@ SystemConfig::validate() const
     hmc.validate();
     host.validate();
     obs.validate();
+    sim.validate();
     if (host.numHosts > 1) {
         if (hmc.chain.numCubes < host.numHosts)
             fatal("system: " + std::to_string(host.numHosts) +
@@ -45,6 +47,7 @@ SystemConfig::fromConfig(const Config &cfg)
     c.hmc = HmcConfig::fromConfig(cfg);
     c.host = HostConfig::fromConfig(cfg);
     c.obs = ObsConfig::fromConfig(cfg);
+    c.sim = SimConfig::fromConfig(cfg);
     return c;
 }
 
@@ -54,6 +57,7 @@ SystemConfig::toConfig(Config &cfg) const
     hmc.toConfig(cfg);
     host.toConfig(cfg);
     obs.toConfig(cfg);
+    sim.toConfig(cfg);
 }
 
 namespace {
@@ -71,6 +75,12 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
 {
     cfg_.validate();
     entryCubes_ = cfg_.host.resolvedEntryCubes(cfg_.hmc.chain.numCubes);
+    // Engine selection happens before anything can schedule: the queue
+    // implementation and the packet pool trade only wall-clock speed,
+    // never event order (guarded by tests/sim + tests/host identity
+    // tests), so this cannot affect simulation results.
+    kernel_.queue().configure(cfg_.sim);
+    setPacketPoolEnabled(cfg_.sim.packetPool);
     // Published on the kernel before the tree is built so components
     // can register metrics / cache tracer pointers in their ctors.
     // With all obs.* knobs off the layer is never constructed and

@@ -43,6 +43,7 @@
 #include "host/fpga.h"
 #include "host/host_config.h"
 #include "obs/observability.h"
+#include "sim/sim_config.h"
 
 namespace hmcsim {
 
@@ -51,10 +52,12 @@ struct SystemConfig {
     HmcConfig hmc;
     HostConfig host;
     ObsConfig obs;
+    /** Engine implementation knobs (never change simulated behaviour). */
+    SimConfig sim;
 
     void validate() const;
 
-    /** Read "hmc.*", "host.*" and "obs.*" keys over the defaults. */
+    /** Read "hmc.*", "host.*", "obs.*" and "sim.*" keys. */
     static SystemConfig fromConfig(const Config &cfg);
     void toConfig(Config &cfg) const;
 };

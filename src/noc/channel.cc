@@ -15,19 +15,10 @@ Channel::Channel(Kernel &kernel, std::string name, Tick flit_period,
         panic("Channel '" + name_ + "': zero flit period");
 }
 
-Channel::Times
-Channel::reserve(std::uint32_t flits, Tick earliest)
+void
+Channel::panicZeroFlits() const
 {
-    if (flits == 0)
-        panic("Channel '" + name_ + "': zero-flit reservation");
-    Times t;
-    t.start = std::max(earliest, std::max(nextFree_, kernel_.now()));
-    t.serDone = t.start + static_cast<Tick>(flits) * flitPeriod_;
-    t.arrival = t.serDone + wireLatency_;
-    nextFree_ = t.serDone;
-    flitsCarried_.inc(flits);
-    busy_ += t.serDone - t.start;
-    return t;
+    panic("Channel '" + name_ + "': zero-flit reservation");
 }
 
 }  // namespace hmcsim

@@ -41,8 +41,24 @@ class Channel
     /**
      * Reserve the channel for @p flits starting no earlier than
      * @p earliest.  Advances the channel's free time.
+     * Inline: called once per message per hop.
      */
-    Times reserve(std::uint32_t flits, Tick earliest);
+    Times
+    reserve(std::uint32_t flits, Tick earliest)
+    {
+        if (flits == 0)
+            panicZeroFlits();
+        Times t;
+        const Tick now = kernel_.now();
+        t.start = earliest > nextFree_ ? earliest : nextFree_;
+        t.start = t.start > now ? t.start : now;
+        t.serDone = t.start + static_cast<Tick>(flits) * flitPeriod_;
+        t.arrival = t.serDone + wireLatency_;
+        nextFree_ = t.serDone;
+        flitsCarried_.inc(flits);
+        busy_ += t.serDone - t.start;
+        return t;
+    }
 
     /** Earliest time a new transmission could start. */
     Tick nextFree() const { return nextFree_; }
@@ -58,6 +74,9 @@ class Channel
     Tick busyTime() const { return busy_; }
 
   private:
+    /** Cold path of reserve(), kept out of line. */
+    [[noreturn]] void panicZeroFlits() const;
+
     Kernel &kernel_;
     std::string name_;
     Tick flitPeriod_;

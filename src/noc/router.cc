@@ -101,10 +101,13 @@ Router::processInput(std::size_t i)
         if (probe_)
             probe_->record(PowerEvent::NocFlitHop, msg.flits);
         if (in.creditReturn) {
+            // Capture (this, i) rather than copying the CreditFn: a
+            // std::function copy costs a manager call (and possibly an
+            // allocation) per forwarded message.
             const std::uint32_t freed = msg.flits;
-            CreditFn fn = in.creditReturn;
-            kernel().scheduleIn(params_.creditLatency,
-                                [fn, freed] { fn(freed); });
+            kernel().scheduleIn(params_.creditLatency, [this, i, freed] {
+                inputs_[i].creditReturn(freed);
+            });
         }
         in.q.pop_front();
         tryDrain(o);
@@ -131,18 +134,22 @@ Router::tryDrain(std::size_t o)
     }
     out.sending = true;
     const Channel::Times t = out.chan->reserve(head.flits, now());
-    // Copy the message for the in-flight lambdas; the queue entry is
-    // popped when the channel frees.
-    const NocMessage msg = head;
+    // One copy of the message for the in-flight arrival lambda (the
+    // queue entry is popped when the channel frees); the Output lives
+    // behind a unique_ptr, so its address is stable to capture.
+    NocMessage msg = head;
     kernel().scheduleAt(t.serDone, [this, o] { outputSerDone(o); });
     if (out.dstRouter) {
         Router *dst = out.dstRouter;
         const int di = out.dstInput;
-        kernel().scheduleAt(t.arrival,
-                            [dst, di, msg] { dst->acceptMessage(di, msg); });
+        kernel().scheduleAt(t.arrival, [dst, di, msg = std::move(msg)] {
+            dst->acceptMessage(di, msg);
+        });
     } else {
-        auto deliver = out.eject.deliver;
-        kernel().scheduleAt(t.arrival, [deliver, msg] { deliver(msg); });
+        Output *op = outputs_[o].get();
+        kernel().scheduleAt(t.arrival, [op, msg = std::move(msg)] {
+            op->eject.deliver(msg);
+        });
     }
 }
 

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Allocation-free event callable for the simulation hot path.
+ *
+ * std::function<void()> heap-allocates any capture larger than its
+ * small-buffer (16 B on libstdc++) and pays a manager-function call on
+ * every move and destroy -- at ~10^6 scheduled events per wall second
+ * that malloc/free pair dominates the engine.  InlineEvent stores the
+ * capture inline in a fixed buffer sized for the largest real capture
+ * in the codebase (a NoC eject callback carrying a NocMessage plus a
+ * std::function deliver hook) and rejects anything bigger at compile
+ * time, so schedule() never allocates.
+ *
+ * Events are move-only; a move transfers the capture and empties the
+ * source (the queue's sift operations only read the ordering key of a
+ * moved-from entry, never invoke it).  Storage itself is recycled by
+ * the event queue: entries live by value inside bucket/heap vectors
+ * whose capacity is retained across the run, which is the freelist --
+ * after warmup no event path touches the allocator.
+ */
+
+#ifndef HMCSIM_SIM_INLINE_EVENT_H_
+#define HMCSIM_SIM_INLINE_EVENT_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hmcsim {
+
+/**
+ * Inline capture capacity in bytes.  Sized for the largest scheduled
+ * lambda in the tree (Router::tryDrain's router-to-router arrival:
+ * Router* + port int + a 48 B NocMessage).  Growing a capture past
+ * this is a compile error at the schedule() site, not a silent
+ * fallback to heap allocation -- raise the constant deliberately, and
+ * check the queue-entry size the event rides in (sort/move cost on
+ * the calendar hot path scales with it).
+ */
+constexpr std::size_t kInlineEventCapacity = 64;
+
+class InlineEvent
+{
+  public:
+    InlineEvent() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineEvent>>>
+    InlineEvent(F &&fn)  // NOLINT: implicit, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= kInlineEventCapacity,
+                      "event capture exceeds kInlineEventCapacity; "
+                      "raise it in sim/inline_event.h");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned event capture");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "event captures must be nothrow-movable");
+        new (buf_) Fn(std::forward<F>(fn));
+        ops_ = &OpsFor<Fn>::ops;
+    }
+
+    InlineEvent(InlineEvent &&other) noexcept : ops_(other.ops_)
+    {
+        if (ops_) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    InlineEvent &
+    operator=(InlineEvent &&other) noexcept
+    {
+        if (this != &other) {
+            if (ops_)
+                ops_->destroy(buf_);
+            ops_ = other.ops_;
+            if (ops_) {
+                ops_->relocate(buf_, other.buf_);
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InlineEvent(const InlineEvent &) = delete;
+    InlineEvent &operator=(const InlineEvent &) = delete;
+
+    ~InlineEvent()
+    {
+        if (ops_)
+            ops_->destroy(buf_);
+    }
+
+    /** True when a callable is held (mirrors std::function). */
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Invoke the capture.  Undefined on an empty event. */
+    void operator()() { ops_->invoke(buf_); }
+
+  private:
+    struct Ops {
+        void (*invoke)(void *self);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *self);
+    };
+
+    template <typename Fn>
+    struct OpsFor {
+        static void
+        invoke(void *self)
+        {
+            (*static_cast<Fn *>(self))();
+        }
+        static void
+        relocate(void *dst, void *src)
+        {
+            Fn *s = static_cast<Fn *>(src);
+            new (dst) Fn(std::move(*s));
+            s->~Fn();
+        }
+        static void
+        destroy(void *self)
+        {
+            static_cast<Fn *>(self)->~Fn();
+        }
+        static constexpr Ops ops{&invoke, &relocate, &destroy};
+    };
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[kInlineEventCapacity];
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_SIM_INLINE_EVENT_H_

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Packet-pool tests: recycling really happens, the counters balance,
+ * and toggling the pool with packets in flight is safe because each
+ * shared_ptr's control block froze its pooling decision at allocation
+ * time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hmc/packet.h"
+#include "hmc/packet_pool.h"
+
+namespace hmcsim {
+namespace {
+
+/** Restore the pool flag whatever a test does to it. */
+class PoolGuard
+{
+  public:
+    PoolGuard() : was_(packetPoolEnabled()) {}
+    ~PoolGuard() { setPacketPoolEnabled(was_); }
+
+  private:
+    bool was_;
+};
+
+TEST(PacketPool, RawAcquireReleaseRecyclesLifo)
+{
+    PoolGuard guard;
+    setPacketPoolEnabled(true);
+    const std::size_t free0 = packetPoolFreeBlocks();
+    const std::size_t live0 = packetPoolLiveBlocks();
+
+    void *a = packetPoolAcquire(256, alignof(std::max_align_t));
+    EXPECT_EQ(packetPoolLiveBlocks(), live0 + 1);
+    packetPoolRelease(a, 256);
+    EXPECT_EQ(packetPoolLiveBlocks(), live0);
+    EXPECT_EQ(packetPoolFreeBlocks(), free0 + 1);
+
+    // LIFO: the block just released comes straight back.
+    void *b = packetPoolAcquire(256, alignof(std::max_align_t));
+    EXPECT_EQ(b, a);
+    EXPECT_EQ(packetPoolFreeBlocks(), free0);
+    packetPoolRelease(b, 256);
+}
+
+TEST(PacketPool, PacketAllocationsRecycleMemory)
+{
+    PoolGuard guard;
+    setPacketPoolEnabled(true);
+
+    // Warm the bin, then drop the packet: its block must rest on the
+    // freelist and feed the next allocation of the same size class.
+    HmcPacketPtr p = makeReadRequest(0x1000, 32, 0);
+    const HmcPacket *addr = p.get();
+    const std::size_t live = packetPoolLiveBlocks();
+    p.reset();
+    EXPECT_EQ(packetPoolLiveBlocks(), live - 1);
+
+    HmcPacketPtr q = makeReadRequest(0x2000, 32, 1);
+    EXPECT_EQ(q.get(), addr);
+    EXPECT_EQ(q->addr, 0x2000u);
+    EXPECT_EQ(q->port, 1);
+}
+
+TEST(PacketPool, ResponsesComeFromThePool)
+{
+    PoolGuard guard;
+    setPacketPoolEnabled(true);
+
+    HmcPacketPtr req = makeReadRequest(0x4000, 64, 2);
+    const std::size_t live = packetPoolLiveBlocks();
+    HmcPacketPtr resp = req->makeResponsePtr();
+    EXPECT_EQ(packetPoolLiveBlocks(), live + 1);
+    EXPECT_EQ(resp->tag, req->tag);
+    EXPECT_EQ(resp->port, req->port);
+    resp.reset();
+    EXPECT_EQ(packetPoolLiveBlocks(), live);
+}
+
+TEST(PacketPool, CountersBalanceUnderChurn)
+{
+    PoolGuard guard;
+    setPacketPoolEnabled(true);
+    const std::size_t live0 = packetPoolLiveBlocks();
+
+    std::vector<HmcPacketPtr> pkts;
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 64; ++i)
+            pkts.push_back(makeReadRequest(
+                static_cast<Addr>(i) * 64, 32, 0));
+        EXPECT_EQ(packetPoolLiveBlocks(), live0 + pkts.size());
+        pkts.clear();
+        EXPECT_EQ(packetPoolLiveBlocks(), live0);
+    }
+}
+
+TEST(PacketPool, DisabledPoolBypassesFreelist)
+{
+    PoolGuard guard;
+    setPacketPoolEnabled(false);
+    const std::size_t free0 = packetPoolFreeBlocks();
+    const std::size_t live0 = packetPoolLiveBlocks();
+
+    HmcPacketPtr p = makeWriteRequest(0x8000, 128, 3);
+    EXPECT_EQ(packetPoolLiveBlocks(), live0);
+    p.reset();
+    EXPECT_EQ(packetPoolFreeBlocks(), free0);
+}
+
+TEST(PacketPool, InFlightToggleIsSafe)
+{
+    PoolGuard guard;
+
+    // Allocate pooled, disable the pool, then drop: the control block
+    // remembers it was pooled and must return the block to the
+    // freelist, not operator delete.
+    setPacketPoolEnabled(true);
+    HmcPacketPtr pooled = makeReadRequest(0x100, 32, 0);
+    const std::size_t live = packetPoolLiveBlocks();
+    setPacketPoolEnabled(false);
+    const std::size_t free0 = packetPoolFreeBlocks();
+    pooled.reset();
+    EXPECT_EQ(packetPoolLiveBlocks(), live - 1);
+    EXPECT_EQ(packetPoolFreeBlocks(), free0 + 1);
+
+    // And the mirror image: allocated plain, enable, then drop --
+    // must NOT land on the freelist.
+    HmcPacketPtr plain = makeReadRequest(0x200, 32, 0);
+    setPacketPoolEnabled(true);
+    const std::size_t free1 = packetPoolFreeBlocks();
+    const std::size_t live1 = packetPoolLiveBlocks();
+    plain.reset();
+    EXPECT_EQ(packetPoolFreeBlocks(), free1);
+    EXPECT_EQ(packetPoolLiveBlocks(), live1);
+}
+
+TEST(PacketPool, AllocatorEqualityTracksPoolingDecision)
+{
+    PoolGuard guard;
+    setPacketPoolEnabled(true);
+    PacketPoolAllocator<HmcPacket> pooled;
+    setPacketPoolEnabled(false);
+    PacketPoolAllocator<HmcPacket> plain;
+    EXPECT_TRUE(pooled != plain);
+    EXPECT_TRUE(pooled == PacketPoolAllocator<int>(pooled));
+}
+
+}  // namespace
+}  // namespace hmcsim
