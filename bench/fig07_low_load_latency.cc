@@ -63,7 +63,7 @@ main(int argc, char **argv)
     rep.section("Fig. 7 paper-vs-measured");
     rep.compare("floor (1 request, 16 B)", paper::kFig7FloorUs,
                 series.at({1, 16}), "us");
-    const int last = fastMode() ? 55 : 55;
+    const int last = 55;
     rep.compare("16 B at 55 requests", paper::kFig7Max16BUs,
                 series.at({last, 16}), "us");
     rep.compare("128 B at 55 requests", paper::kFig7Max128BUs,

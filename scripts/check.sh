@@ -1,10 +1,29 @@
 #!/usr/bin/env bash
 # Configure + build (warnings as errors) + ctest in one command.
-# Usage: scripts/check.sh [build-dir]
+#
+# Usage: scripts/check.sh [--lint] [--tidy] [build-dir]
+#   --lint  also run the determinism linter against its baseline
+#   --tidy  also run clang-tidy over src/ (requires clang-tidy; fails
+#           if it was requested but is not installed)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-check}"
+
+RUN_LINT=0
+RUN_TIDY=0
+BUILD_DIR=""
+for arg in "$@"; do
+    case "$arg" in
+      --lint) RUN_LINT=1 ;;
+      --tidy) RUN_TIDY=1 ;;
+      --*)
+        echo "check.sh: unknown flag '$arg'" >&2
+        exit 2
+        ;;
+      *) BUILD_DIR="$arg" ;;
+    esac
+done
+BUILD_DIR="${BUILD_DIR:-build-check}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 # Use ccache when available (CI restores its cache across runs).
@@ -16,3 +35,22 @@ fi
 cmake -B "$BUILD_DIR" -S . -DHMCSIM_WERROR=ON "${CCACHE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [[ "$RUN_LINT" == 1 ]]; then
+    echo "== determinism lint =="
+    python3 scripts/lint/determinism_lint.py \
+        --compile-commands "$BUILD_DIR/compile_commands.json"
+fi
+
+if [[ "$RUN_TIDY" == 1 ]]; then
+    echo "== clang-tidy =="
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "check.sh: --tidy requested but clang-tidy is not" \
+             "installed" >&2
+        exit 1
+    fi
+    # Zero-warning policy: .clang-tidy sets WarningsAsErrors, so any
+    # finding fails here.
+    mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
+    clang-tidy -p "$BUILD_DIR" --quiet "${TIDY_SOURCES[@]}"
+fi

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The capability objects the per-cube partitions will lock.
+ *
+ * PartitionMutex is the lock type named by the thread-safety
+ * annotations on the simulator's shared mutable state (event queue,
+ * packet-pool freelist, metrics registry, trace ring buffer).  Until
+ * the partitioned-parallel event core lands it is deliberately NOT a
+ * real mutex: the simulator is single-threaded, so lock()/unlock()
+ * compile to nothing in release builds and to a re-entrancy assertion
+ * in debug builds.  The assertion is the contract that matters today:
+ * any code path that tries to re-acquire a capability it already holds
+ * (e.g. an event callback scheduling from inside the queue's locked
+ * region) would deadlock the moment the mutex becomes real, so it
+ * fails fast now.
+ *
+ * When the parallel core lands, this type grows a real lock
+ * implementation behind the same annotated interface and every
+ * annotated access site is already correct by construction.
+ */
+
+#ifndef HMCSIM_COMMON_PARTITION_MUTEX_H_
+#define HMCSIM_COMMON_PARTITION_MUTEX_H_
+
+#include <cassert>
+
+#include "common/thread_annotations.h"
+
+namespace hmcsim {
+
+class HMCSIM_CAPABILITY("partition mutex") PartitionMutex
+{
+  public:
+    PartitionMutex() = default;
+
+    PartitionMutex(const PartitionMutex &) = delete;
+    PartitionMutex &operator=(const PartitionMutex &) = delete;
+
+    void
+    lock() HMCSIM_ACQUIRE()
+    {
+#ifndef NDEBUG
+        assert(!held_ && "PartitionMutex: re-entrant acquire -- this "
+                         "path deadlocks under the parallel core");
+        held_ = true;
+#endif
+    }
+
+    void
+    unlock() HMCSIM_RELEASE()
+    {
+#ifndef NDEBUG
+        assert(held_ && "PartitionMutex: unlock without lock");
+        held_ = false;
+#endif
+    }
+
+  private:
+#ifndef NDEBUG
+    bool held_ = false;
+#endif
+};
+
+/** RAII guard for a PartitionMutex. */
+class HMCSIM_SCOPED_CAPABILITY PartitionLock
+{
+  public:
+    explicit PartitionLock(PartitionMutex &mu) HMCSIM_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+
+    ~PartitionLock() HMCSIM_RELEASE() { mu_.unlock(); }
+
+    PartitionLock(const PartitionLock &) = delete;
+    PartitionLock &operator=(const PartitionLock &) = delete;
+
+  private:
+    PartitionMutex &mu_;
+};
+
+}  // namespace hmcsim
+
+#endif  // HMCSIM_COMMON_PARTITION_MUTEX_H_

@@ -33,7 +33,7 @@ TokenBucket::refund(std::uint32_t n)
 }
 
 void
-TokenBucket::setOnAvailable(std::function<void()> fn)
+TokenBucket::setOnAvailable(InlineFunction<void()> fn)
 {
     onAvailable_ = std::move(fn);
 }

@@ -10,7 +10,8 @@
 #define HMCSIM_HMC_FLOW_CONTROL_H_
 
 #include <cstdint>
-#include <functional>
+
+#include "common/inline_function.h"
 
 namespace hmcsim {
 
@@ -32,8 +33,9 @@ class TokenBucket
     /** Return @p n tokens and fire the availability callback. */
     void refund(std::uint32_t n);
 
-    /** Callback fired after every refund. */
-    void setOnAvailable(std::function<void()> fn);
+    /** Callback fired after every refund (inline capture; the bucket
+     *  sits on the link hot path and must never allocate). */
+    void setOnAvailable(InlineFunction<void()> fn);
 
     /** Lifetime counters for diagnostics. */
     std::uint64_t totalConsumed() const { return consumed_; }
@@ -42,7 +44,7 @@ class TokenBucket
     std::uint32_t capacity_;
     std::uint32_t available_;
     std::uint64_t consumed_ = 0;
-    std::function<void()> onAvailable_;
+    InlineFunction<void()> onAvailable_;
 };
 
 }  // namespace hmcsim

@@ -140,7 +140,7 @@ HmcDevice::HmcDevice(Kernel &kernel, Component *parent, std::string name,
 }
 
 void
-HmcDevice::setInjectSpaceHook(std::function<void(LinkId)> fn)
+HmcDevice::setInjectSpaceHook(InlineFunction<void(LinkId)> fn)
 {
     injectSpaceHook_ = std::move(fn);
 }

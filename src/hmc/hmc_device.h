@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "hmc/address_map.h"
 #include "hmc/hmc_config.h"
 #include "hmc/serdes_link.h"
@@ -78,7 +79,7 @@ class HmcDevice : public Component
      * false when the switch cannot take the packet right now; the
      * caller leaves it in the RX buffer and retries on kickLinkRx().
      */
-    using ForwardFn = std::function<bool(LinkId, const HmcPacketPtr &)>;
+    using ForwardFn = InlineFunction<bool(LinkId, const HmcPacketPtr &)>;
 
     void setForwarder(ForwardFn fn) { forwarder_ = std::move(fn); }
 
@@ -101,7 +102,7 @@ class HmcDevice : public Component
     void kickEject(LinkId l) { net_->kickEject(linkEndpoint(l)); }
 
     /** Called (additionally) whenever NoC injection credits free up. */
-    void setInjectSpaceHook(std::function<void(LinkId)> fn);
+    void setInjectSpaceHook(InlineFunction<void(LinkId)> fn);
 
   private:
     HmcConfig cfg_;
@@ -112,7 +113,7 @@ class HmcDevice : public Component
     std::vector<std::unique_ptr<VaultController>> vaults_;
     std::unique_ptr<PowerModel> power_;
     ForwardFn forwarder_;
-    std::function<void(LinkId)> injectSpaceHook_;
+    InlineFunction<void(LinkId)> injectSpaceHook_;
 
     /** Move request packets from a link's RX buffer into the NoC. */
     void drainLinkRx(LinkId l);

@@ -3,6 +3,8 @@
 #include <new>
 
 #include "common/log.h"
+#include "common/partition_mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hmcsim {
 
@@ -12,6 +14,15 @@ namespace {
 struct FreeNode {
     FreeNode *next;
 };
+
+/**
+ * Capability over the global freelist.  Assert-only today (the pool is
+ * deliberately global-single-threaded); the partitioned-parallel core
+ * will shard bins per partition, each behind its own PartitionMutex,
+ * and the annotations below already enforce that every touch of bin
+ * state happens under the capability.
+ */
+PartitionMutex g_mu;
 
 /**
  * One freelist per distinct block size.  allocate_shared produces a
@@ -29,13 +40,13 @@ struct Bin {
 };
 
 constexpr int kMaxBins = 8;
-Bin g_bins[kMaxBins];
-int g_numBins = 0;
+Bin g_bins[kMaxBins] HMCSIM_GUARDED_BY(g_mu);
+int g_numBins HMCSIM_GUARDED_BY(g_mu) = 0;
 
-bool g_enabled = true;
+bool g_enabled HMCSIM_GUARDED_BY(g_mu) = true;
 
 Bin &
-binFor(std::size_t size)
+binFor(std::size_t size) HMCSIM_REQUIRES(g_mu)
 {
     for (int i = 0; i < g_numBins; ++i) {
         if (g_bins[i].size == size)
@@ -56,18 +67,21 @@ binFor(std::size_t size)
 void
 setPacketPoolEnabled(bool enabled)
 {
+    PartitionLock lock(g_mu);
     g_enabled = enabled;
 }
 
 bool
 packetPoolEnabled()
 {
+    PartitionLock lock(g_mu);
     return g_enabled;
 }
 
 std::size_t
 packetPoolFreeBlocks()
 {
+    PartitionLock lock(g_mu);
     std::size_t n = 0;
     for (int i = 0; i < g_numBins; ++i)
         n += g_bins[i].freeBlocks;
@@ -77,6 +91,7 @@ packetPoolFreeBlocks()
 std::size_t
 packetPoolLiveBlocks()
 {
+    PartitionLock lock(g_mu);
     std::size_t n = 0;
     for (int i = 0; i < g_numBins; ++i)
         n += g_bins[i].liveBlocks;
@@ -88,6 +103,7 @@ packetPoolAcquire(std::size_t size, std::size_t align)
 {
     if (align > alignof(std::max_align_t) || size < sizeof(FreeNode))
         panic("packet pool: unsupported block geometry");
+    PartitionLock lock(g_mu);
     Bin &b = binFor(size);
     ++b.liveBlocks;
     if (b.head != nullptr) {
@@ -103,6 +119,7 @@ packetPoolAcquire(std::size_t size, std::size_t align)
 void
 packetPoolRelease(void *p, std::size_t size)
 {
+    PartitionLock lock(g_mu);
     Bin &b = binFor(size);
     FreeNode *n = new (p) FreeNode{b.head};
     b.head = n;

@@ -13,9 +13,12 @@
  *
  * The pool is process-global and intentionally NOT thread-safe (the
  * simulator is single-threaded; the partitioned-parallel core will
- * shard pools per partition).  Freed blocks are kept on an intrusive
- * freelist inside the block memory itself and reused LIFO for cache
- * warmth.
+ * shard pools per partition).  The freelist state is nonetheless
+ * annotated behind an assert-only PartitionMutex capability (see
+ * packet_pool.cc), so `-Wthread-safety` already checks the locking
+ * discipline the sharded pools will inherit.  Freed blocks are kept on
+ * an intrusive freelist inside the block memory itself and reused LIFO
+ * for cache warmth.
  *
  * Whether a given packet came from the pool is captured in its
  * control block at allocation time, so toggling the pool while

@@ -155,7 +155,7 @@ SerdesLink::arrive(LinkDir d, const HmcPacketPtr &pkt)
 }
 
 void
-SerdesLink::setOnTokensFree(LinkDir d, std::function<void()> fn)
+SerdesLink::setOnTokensFree(LinkDir d, InlineFunction<void()> fn)
 {
     Direction &dd = dir(d);
     dd.onTokensFree = std::move(fn);
@@ -166,7 +166,7 @@ SerdesLink::setOnTokensFree(LinkDir d, std::function<void()> fn)
 }
 
 void
-SerdesLink::setOnRxAvailable(LinkDir d, std::function<void()> fn)
+SerdesLink::setOnRxAvailable(LinkDir d, InlineFunction<void()> fn)
 {
     dir(d).onRxAvailable = std::move(fn);
 }

@@ -11,8 +11,8 @@
 #define HMCSIM_HMC_SERDES_LINK_H_
 
 #include <deque>
-#include <functional>
 
+#include "common/inline_function.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "hmc/flow_control.h"
@@ -92,7 +92,7 @@ class SerdesLink : public Component
     void send(LinkDir dir, const HmcPacketPtr &pkt);
 
     /** Fired whenever tokens return (transmit may resume). */
-    void setOnTokensFree(LinkDir dir, std::function<void()> fn);
+    void setOnTokensFree(LinkDir dir, InlineFunction<void()> fn);
 
     // ----- token visibility (adaptive chain routing telemetry) -----
 
@@ -109,7 +109,7 @@ class SerdesLink : public Component
     // ----- receive side -----
 
     /** Fired when a packet lands in the RX buffer. */
-    void setOnRxAvailable(LinkDir dir, std::function<void()> fn);
+    void setOnRxAvailable(LinkDir dir, InlineFunction<void()> fn);
 
     bool rxAvailable(LinkDir dir) const;
     const HmcPacketPtr &rxPeek(LinkDir dir) const;
@@ -165,8 +165,8 @@ class SerdesLink : public Component
         TokenBucket tokens;
         std::uint32_t reserved = 0;
         std::deque<HmcPacketPtr> rxQ;
-        std::function<void()> onTokensFree;
-        std::function<void()> onRxAvailable;
+        InlineFunction<void()> onTokensFree;
+        InlineFunction<void()> onRxAvailable;
         Counter packets;
         Counter flits;
         Tick busyBase = 0;  // channel busy at last stats reset

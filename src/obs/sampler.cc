@@ -19,13 +19,16 @@ TimeSeriesSampler::TimeSeriesSampler(Kernel &kernel,
 void
 TimeSeriesSampler::start()
 {
-    if (started_)
-        return;
-    started_ = true;
-    out_.open(path_);
-    if (!out_)
-        fatal("obs: cannot open sample csv '" + path_ + "'");
-    prev_ = registry_.snapshot();
+    {
+        PartitionLock lock(mu_);
+        if (started_)
+            return;
+        started_ = true;
+        out_.open(path_);
+        if (!out_)
+            fatal("obs: cannot open sample csv '" + path_ + "'");
+        prev_ = registry_.snapshot();
+    }
     kernel_.scheduleIn(interval_, [this] { fire(); });
 }
 
@@ -65,13 +68,17 @@ TimeSeriesSampler::writeRow()
 void
 TimeSeriesSampler::fire()
 {
-    writeRow();
+    {
+        PartitionLock lock(mu_);
+        writeRow();
+    }
     kernel_.scheduleIn(interval_, [this] { fire(); });
 }
 
 void
 TimeSeriesSampler::flushNow()
 {
+    PartitionLock lock(mu_);
     if (!started_)
         return;
     writeRow();

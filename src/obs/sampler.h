@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "common/partition_mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "sim/kernel.h"
 
@@ -47,7 +49,12 @@ class TimeSeriesSampler
      */
     void flushNow();
 
-    std::uint64_t rowsWritten() const { return rows_; }
+    std::uint64_t
+    rowsWritten() const
+    {
+        PartitionLock lock(mu_);
+        return rows_;
+    }
     const std::string &csvPath() const { return path_; }
 
   private:
@@ -55,15 +62,24 @@ class TimeSeriesSampler
     const MetricsRegistry &registry_;
     Tick interval_;
     std::string path_;
-    std::ofstream out_;
-    bool started_ = false;
-    std::vector<std::string> columns_;
-    MetricsSnapshot prev_;
-    std::uint64_t rows_ = 0;
+
+    /**
+     * Guards the CSV writer state: under the parallel core the
+     * sampling event fires on one partition while panic()'s
+     * flushNow() may run on another.  Held across
+     * registry_.snapshot() (sampler -> registry lock order, never the
+     * reverse) but never across kernel event execution.
+     */
+    mutable PartitionMutex mu_;
+    std::ofstream out_ HMCSIM_GUARDED_BY(mu_);
+    bool started_ HMCSIM_GUARDED_BY(mu_) = false;
+    std::vector<std::string> columns_ HMCSIM_GUARDED_BY(mu_);
+    MetricsSnapshot prev_ HMCSIM_GUARDED_BY(mu_);
+    std::uint64_t rows_ HMCSIM_GUARDED_BY(mu_) = 0;
 
     void fire();
-    void writeRow();
-    void writeHeader(const MetricsSnapshot &snap);
+    void writeRow() HMCSIM_REQUIRES(mu_);
+    void writeHeader(const MetricsSnapshot &snap) HMCSIM_REQUIRES(mu_);
 };
 
 }  // namespace hmcsim

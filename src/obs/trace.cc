@@ -67,6 +67,23 @@ PacketTracer::record(Tick tick, const HmcPacket &pkt, TraceStage stage,
     ev.cmd = pkt.cmd;
     ev.cube = cube;
     ev.where = where;
+    PartitionLock lock(mu_);
+    push(ev);
+}
+
+void
+PacketTracer::pushStage(const HmcPacket &pkt, Tick t, TraceStage stage,
+                        std::uint32_t cube, std::uint32_t where)
+{
+    if (t == 0)
+        return;  // stage never reached / not stamped
+    TraceEvent ev;
+    ev.tick = t;
+    ev.packet = lifeId(pkt);
+    ev.stage = stage;
+    ev.cmd = pkt.cmd;
+    ev.cube = cube;
+    ev.where = where;
     push(ev);
 }
 
@@ -75,31 +92,24 @@ PacketTracer::recordLifecycle(const HmcPacket &pkt, std::uint32_t port)
 {
     if (!wants(pkt))
         return;
-    const auto at = [&](Tick t, TraceStage stage, std::uint32_t cube,
-                        std::uint32_t where) {
-        if (t == 0)
-            return;  // stage never reached / not stamped
-        TraceEvent ev;
-        ev.tick = t;
-        ev.packet = lifeId(pkt);
-        ev.stage = stage;
-        ev.cmd = pkt.cmd;
-        ev.cube = cube;
-        ev.where = where;
-        push(ev);
-    };
-    at(pkt.createdAt, TraceStage::Inject, kTraceNoWhere, port);
-    at(pkt.linkTxAt, TraceStage::LinkTx, kTraceNoWhere, pkt.link);
-    at(pkt.chainIngressAt, TraceStage::ChainIngress, kTraceNoWhere,
-       pkt.link);
-    at(pkt.vaultArriveAt, TraceStage::VaultEnqueue, pkt.cube, pkt.vault);
-    at(pkt.dataReadyAt, TraceStage::DramDone, pkt.cube, pkt.vault);
-    at(pkt.respInjectAt, TraceStage::RespInject, pkt.cube, pkt.vault);
-    at(pkt.hostArriveAt, TraceStage::Eject, kTraceNoWhere, port);
+    PartitionLock lock(mu_);
+    pushStage(pkt, pkt.createdAt, TraceStage::Inject, kTraceNoWhere, port);
+    pushStage(pkt, pkt.linkTxAt, TraceStage::LinkTx, kTraceNoWhere,
+              pkt.link);
+    pushStage(pkt, pkt.chainIngressAt, TraceStage::ChainIngress,
+              kTraceNoWhere, pkt.link);
+    pushStage(pkt, pkt.vaultArriveAt, TraceStage::VaultEnqueue, pkt.cube,
+              pkt.vault);
+    pushStage(pkt, pkt.dataReadyAt, TraceStage::DramDone, pkt.cube,
+              pkt.vault);
+    pushStage(pkt, pkt.respInjectAt, TraceStage::RespInject, pkt.cube,
+              pkt.vault);
+    pushStage(pkt, pkt.hostArriveAt, TraceStage::Eject, kTraceNoWhere,
+              port);
 }
 
 std::vector<TraceEvent>
-PacketTracer::events() const
+PacketTracer::eventsLocked() const
 {
     std::vector<TraceEvent> out;
     out.reserve(ring_.size());
@@ -112,9 +122,17 @@ PacketTracer::events() const
     return out;
 }
 
+std::vector<TraceEvent>
+PacketTracer::events() const
+{
+    PartitionLock lock(mu_);
+    return eventsLocked();
+}
+
 void
 PacketTracer::clear()
 {
+    PartitionLock lock(mu_);
     ring_.clear();
     next_ = 0;
     wrapped_ = false;
@@ -180,7 +198,8 @@ PacketTracer::emitChromeEvents(std::ostream &os, bool &first) const
 void
 PacketTracer::dumpLastEvents(std::ostream &os, std::size_t n) const
 {
-    const std::vector<TraceEvent> evs = events();
+    PartitionLock lock(mu_);
+    const std::vector<TraceEvent> evs = eventsLocked();
     const std::size_t start = evs.size() > n ? evs.size() - n : 0;
     os << "packet trace: last " << (evs.size() - start) << " of "
        << total_ << " recorded events\n";

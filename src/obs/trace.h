@@ -28,6 +28,8 @@
 #include <ostream>
 #include <vector>
 
+#include "common/partition_mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "hmc/packet.h"
 #include "obs/obs_config.h"
@@ -102,7 +104,12 @@ class PacketTracer
     void recordLifecycle(const HmcPacket &pkt, std::uint32_t port);
 
     /** Events recorded over the tracer's lifetime (incl. overwritten). */
-    std::uint64_t eventsRecorded() const { return total_; }
+    std::uint64_t
+    eventsRecorded() const
+    {
+        PartitionLock lock(mu_);
+        return total_;
+    }
 
     /** Buffer contents in chronological order. */
     std::vector<TraceEvent> events() const;
@@ -129,15 +136,26 @@ class PacketTracer
     void dumpLastEvents(std::ostream &os, std::size_t n) const;
 
   private:
+    // mode_/sampleEvery_/cap_ are immutable after construction, so
+    // hook-site sampling tests (wants()) stay lock-free; the ring and
+    // its cursors are the shared mutable state the per-cube partitions
+    // will contend on, guarded by the tracer's capability.
     TraceMode mode_;
     std::uint64_t sampleEvery_;
-    std::vector<TraceEvent> ring_;
     std::size_t cap_;
-    std::size_t next_ = 0;
-    bool wrapped_ = false;
-    std::uint64_t total_ = 0;
 
-    void push(const TraceEvent &ev);
+    mutable PartitionMutex mu_;
+    std::vector<TraceEvent> ring_ HMCSIM_GUARDED_BY(mu_);
+    std::size_t next_ HMCSIM_GUARDED_BY(mu_) = 0;
+    bool wrapped_ HMCSIM_GUARDED_BY(mu_) = false;
+    std::uint64_t total_ HMCSIM_GUARDED_BY(mu_) = 0;
+
+    void push(const TraceEvent &ev) HMCSIM_REQUIRES(mu_);
+    /** One lifecycle stage from a packet timestamp (0 = not stamped). */
+    void pushStage(const HmcPacket &pkt, Tick t, TraceStage stage,
+                   std::uint32_t cube, std::uint32_t where)
+        HMCSIM_REQUIRES(mu_);
+    std::vector<TraceEvent> eventsLocked() const HMCSIM_REQUIRES(mu_);
 };
 
 }  // namespace hmcsim

@@ -17,15 +17,18 @@
  * the event queue: entries live by value inside bucket/heap vectors
  * whose capacity is retained across the run, which is the freelist --
  * after warmup no event path touches the allocator.
+ *
+ * InlineEvent is the `void()` instantiation of the general
+ * InlineFunction template (common/inline_function.h), which the link
+ * and chain callback surfaces use for non-nullary signatures.
  */
 
 #ifndef HMCSIM_SIM_INLINE_EVENT_H_
 #define HMCSIM_SIM_INLINE_EVENT_H_
 
 #include <cstddef>
-#include <new>
-#include <type_traits>
-#include <utility>
+
+#include "common/inline_function.h"
 
 namespace hmcsim {
 
@@ -40,99 +43,7 @@ namespace hmcsim {
  */
 constexpr std::size_t kInlineEventCapacity = 64;
 
-class InlineEvent
-{
-  public:
-    InlineEvent() = default;
-
-    template <typename F,
-              typename = std::enable_if_t<
-                  !std::is_same_v<std::decay_t<F>, InlineEvent>>>
-    InlineEvent(F &&fn)  // NOLINT: implicit, mirrors std::function
-    {
-        using Fn = std::decay_t<F>;
-        static_assert(sizeof(Fn) <= kInlineEventCapacity,
-                      "event capture exceeds kInlineEventCapacity; "
-                      "raise it in sim/inline_event.h");
-        static_assert(alignof(Fn) <= alignof(std::max_align_t),
-                      "over-aligned event capture");
-        static_assert(std::is_nothrow_move_constructible_v<Fn>,
-                      "event captures must be nothrow-movable");
-        new (buf_) Fn(std::forward<F>(fn));
-        ops_ = &OpsFor<Fn>::ops;
-    }
-
-    InlineEvent(InlineEvent &&other) noexcept : ops_(other.ops_)
-    {
-        if (ops_) {
-            ops_->relocate(buf_, other.buf_);
-            other.ops_ = nullptr;
-        }
-    }
-
-    InlineEvent &
-    operator=(InlineEvent &&other) noexcept
-    {
-        if (this != &other) {
-            if (ops_)
-                ops_->destroy(buf_);
-            ops_ = other.ops_;
-            if (ops_) {
-                ops_->relocate(buf_, other.buf_);
-                other.ops_ = nullptr;
-            }
-        }
-        return *this;
-    }
-
-    InlineEvent(const InlineEvent &) = delete;
-    InlineEvent &operator=(const InlineEvent &) = delete;
-
-    ~InlineEvent()
-    {
-        if (ops_)
-            ops_->destroy(buf_);
-    }
-
-    /** True when a callable is held (mirrors std::function). */
-    explicit operator bool() const { return ops_ != nullptr; }
-
-    /** Invoke the capture.  Undefined on an empty event. */
-    void operator()() { ops_->invoke(buf_); }
-
-  private:
-    struct Ops {
-        void (*invoke)(void *self);
-        /** Move-construct dst from src, then destroy src. */
-        void (*relocate)(void *dst, void *src);
-        void (*destroy)(void *self);
-    };
-
-    template <typename Fn>
-    struct OpsFor {
-        static void
-        invoke(void *self)
-        {
-            (*static_cast<Fn *>(self))();
-        }
-        static void
-        relocate(void *dst, void *src)
-        {
-            Fn *s = static_cast<Fn *>(src);
-            new (dst) Fn(std::move(*s));
-            s->~Fn();
-        }
-        static void
-        destroy(void *self)
-        {
-            static_cast<Fn *>(self)->~Fn();
-        }
-        static constexpr Ops ops{&invoke, &relocate, &destroy};
-    };
-
-    const Ops *ops_ = nullptr;
-    alignas(std::max_align_t) unsigned char buf_[kInlineEventCapacity];
-};
+using InlineEvent = InlineFunction<void(), kInlineEventCapacity>;
 
 }  // namespace hmcsim
 

@@ -7,42 +7,44 @@ namespace hmcsim {
 void
 Kernel::scheduleAt(Tick when, EventFn fn, int priority)
 {
-    if (when < now_)
+    const Tick current = now();
+    if (when < current)
         panic("Kernel::scheduleAt: time " + std::to_string(when) +
-              " is in the past (now " + std::to_string(now_) + ")");
+              " is in the past (now " + std::to_string(current) + ")");
     queue_.schedule(when, std::move(fn), priority);
 }
 
 std::uint64_t
 Kernel::run(Tick until)
 {
-    stopRequested_ = false;
+    clearStop();
     std::uint64_t executed = 0;
-    while (!queue_.empty() && !stopRequested_) {
+    while (!queue_.empty() && !stopRequested()) {
         const Tick next = queue_.nextTime();
         if (next > until)
             break;
-        now_ = next;
+        setNow(next);
         queue_.executeNext();
         ++executed;
     }
     // Advance time to the requested horizon so back-to-back windows
     // measure contiguous intervals even if the queue went idle early.
-    if (until != kTickNever && now_ < until && !stopRequested_)
-        now_ = until;
+    if (until != kTickNever && now() < until && !stopRequested())
+        setNow(until);
     return executed;
 }
 
 std::uint64_t
+// hmcsim-lint: allow(std-function) one predicate per run(), not per-event
 Kernel::runUntil(const std::function<bool()> &pred, Tick until)
 {
-    stopRequested_ = false;
+    clearStop();
     std::uint64_t executed = 0;
-    while (!queue_.empty() && !stopRequested_ && !pred()) {
+    while (!queue_.empty() && !stopRequested() && !pred()) {
         const Tick next = queue_.nextTime();
         if (next > until)
             break;
-        now_ = next;
+        setNow(next);
         queue_.executeNext();
         ++executed;
     }

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/partition_mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
 
@@ -26,13 +28,18 @@ class Kernel
     Kernel &operator=(const Kernel &) = delete;
 
     /** Current simulated time. */
-    Tick now() const { return now_; }
+    Tick
+    now() const
+    {
+        PartitionLock lock(mu_);
+        return now_;
+    }
 
     /** Schedule @p fn @p delay ticks from now. */
     void
     scheduleIn(Tick delay, EventFn fn, int priority = 0)
     {
-        queue_.schedule(now_ + delay, std::move(fn), priority);
+        queue_.schedule(now() + delay, std::move(fn), priority);
     }
 
     /** Schedule @p fn at absolute @p when; panics if @p when is past. */
@@ -49,11 +56,17 @@ class Kernel
      * Run until @p pred returns true (checked after every event), the
      * queue drains, or @p until passes.
      */
+    // hmcsim-lint: allow(std-function) one predicate per run(), not per-event
     std::uint64_t runUntil(const std::function<bool()> &pred,
                            Tick until = kTickNever);
 
     /** Request that the current run() returns after the active event. */
-    void stop() { stopRequested_ = true; }
+    void
+    stop()
+    {
+        PartitionLock lock(mu_);
+        stopRequested_ = true;
+    }
 
     /** Direct queue access (tests, stats). */
     EventQueue &queue() { return queue_; }
@@ -67,15 +80,43 @@ class Kernel
      * tracing, profiling); null -- the default -- means the layer is
      * disabled and every hook site reduces to a null check.  Published
      * by System before the component tree is built; the Observability
-     * object outlives every component registered with it.
+     * object outlives every component registered with it.  Set during
+     * single-threaded setup and immutable while events run, so it
+     * carries no capability (the parallel core reads it lock-free).
      */
     Observability *obs() const { return obs_; }
     void setObservability(Observability *obs) { obs_ = obs; }
 
   private:
+    /** Guards the kernel's own state (now_, stop flag) -- never held
+     *  across queue_.executeNext(), because event handlers re-enter
+     *  now() and scheduleIn(). */
+    mutable PartitionMutex mu_;
+
+    void
+    setNow(Tick t)
+    {
+        PartitionLock lock(mu_);
+        now_ = t;
+    }
+
+    bool
+    stopRequested() const
+    {
+        PartitionLock lock(mu_);
+        return stopRequested_;
+    }
+
+    void
+    clearStop()
+    {
+        PartitionLock lock(mu_);
+        stopRequested_ = false;
+    }
+
     EventQueue queue_;
-    Tick now_ = 0;
-    bool stopRequested_ = false;
+    Tick now_ HMCSIM_GUARDED_BY(mu_) = 0;
+    bool stopRequested_ HMCSIM_GUARDED_BY(mu_) = false;
     Observability *obs_ = nullptr;
 };
 

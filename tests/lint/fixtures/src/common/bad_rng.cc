@@ -1,0 +1,14 @@
+// Fixture: libc / std random sources are forbidden everywhere.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int
+roll()
+{
+    std::random_device rd;  // line 10: rng
+    return rand() % 6 + static_cast<int>(rd() % 1);  // line 11: rng
+}
+
+}  // namespace fixture

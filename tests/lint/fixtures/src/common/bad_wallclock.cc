@@ -1,0 +1,13 @@
+// Fixture: wall-clock reads outside src/obs/ are forbidden.
+#include <chrono>
+
+namespace fixture {
+
+long
+stamp()
+{
+    const auto t = std::chrono::system_clock::now();  // line 9: wall-clock
+    return t.time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: mentions of forbidden constructs inside comments and string
+// literals must NOT be flagged.  rand() and std::random_device in this
+// comment are fine, as is std::chrono::system_clock.
+#include <string>
+
+namespace fixture {
+
+/* Block comment mentioning new HmcPacket and std::function<void()>,
+ * still fine. */
+std::string
+describe()
+{
+    std::string s = "call rand() or std::random_device via "
+                    "std::chrono::system_clock::now()";
+    s += "for (auto &kv : perVault)";  // iterating in a string is fine
+    const char *raw = R"(time(NULL) and new HmcPacket in a raw string)";
+    s += raw;
+    return s;
+}
+
+}  // namespace fixture

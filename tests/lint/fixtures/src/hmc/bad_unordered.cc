@@ -1,0 +1,20 @@
+// Fixture: iterating an unordered container in an order-sensitive dir.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Stats {
+    std::unordered_map<int, std::uint64_t> perVault;
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &kv : perVault)  // line 14: unordered-iter
+            sum += kv.second;
+        return sum;
+    }
+};
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: src/obs/ may read wall clocks (self-profiling measures
+// host time by design) -- nothing here may be flagged.
+#include <chrono>
+
+namespace fixture {
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point t0)
+{
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    return std::chrono::duration<double>(dt).count();
+}
+
+}  // namespace fixture

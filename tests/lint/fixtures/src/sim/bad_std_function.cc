@@ -1,0 +1,10 @@
+// Fixture: std::function on a sim hot path must be flagged.
+#include <functional>
+
+namespace fixture {
+
+struct Scheduler {
+    std::function<void()> callback;  // line 7: std-function
+};
+
+}  // namespace fixture

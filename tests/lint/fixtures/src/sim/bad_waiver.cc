@@ -1,0 +1,11 @@
+// Fixture: a waiver without a reason is itself a finding.
+#include <functional>
+
+namespace fixture {
+
+struct Loop {
+    // hmcsim-lint: allow(std-function)
+    std::function<void()> hook;
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: properly waived findings must be suppressed.
+#include <functional>
+
+namespace fixture {
+
+struct RunLoop {
+    // hmcsim-lint: allow(std-function) one predicate per run, cold path
+    std::function<bool()> predicate;
+
+    std::function<void()> hook;  // hmcsim-lint: allow(std-function) test-only hook
+};
+
+}  // namespace fixture

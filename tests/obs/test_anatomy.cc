@@ -135,9 +135,9 @@ TEST(AnatomyCollector, AggregatesAndRegistersMetrics)
         // The registry saw the shared histograms and the lazily grown
         // per-(host, cube, vault, rw) breakdown cell.
         const std::vector<std::string> paths = reg.paths();
-        const auto has = [&paths](const std::string &p) {
+        const auto has = [&paths](const std::string &want) {
             for (const std::string &q : paths)
-                if (q == p)
+                if (q == want)
                     return true;
             return false;
         };
