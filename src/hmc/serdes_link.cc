@@ -124,7 +124,12 @@ SerdesLink::transmit(LinkDir d, const HmcPacketPtr &pkt, Tick earliest)
         return;
     }
 
-    kernel().scheduleAt(deliverAt, [this, d, pkt] { arrive(d, pkt); });
+    // Delivery executes in the receiver's partition.  deliverAt is at
+    // least flit serialization + wire + SerDes pipeline past now(), so
+    // it satisfies the parallel core's lookahead contract by
+    // construction (the lookahead is the minimum of exactly this sum).
+    kernel().postCross(dd.rxPart, deliverAt,
+                       [this, d, pkt] { arrive(d, pkt); });
 }
 
 void
@@ -227,8 +232,11 @@ SerdesLink::rxPop(LinkDir d)
     HmcPacketPtr pkt = dd.rxQ.front();
     dd.rxQ.pop_front();
     const std::uint32_t flits = pkt->flits();
-    kernel().scheduleIn(params_.tokenReturnLatency,
-                        [&dd, flits] { dd.tokens.refund(flits); });
+    // The token bucket is transmit-side state, so the refund executes
+    // in the sender's partition; tokenReturnLatency is part of the
+    // parallel core's lookahead floor.
+    kernel().postCross(dd.txPart, now() + params_.tokenReturnLatency,
+                       [&dd, flits] { dd.tokens.refund(flits); });
     return pkt;
 }
 

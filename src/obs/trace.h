@@ -25,6 +25,7 @@
 #define HMCSIM_OBS_TRACE_H_
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <vector>
 
@@ -91,6 +92,17 @@ class PacketTracer
     /** Sampling decision on the packet's lifecycle identity. */
     bool wants(const HmcPacket &pkt) const { return wants(lifeId(pkt)); }
 
+    /**
+     * Shard the ring per partition (sim.parallel=on): each recording
+     * thread writes the shard of the partition it is executing, so
+     * hook sites never contend, and dumps merge the shards back into
+     * tick order.  Must be called before anything records.  The
+     * default single shard is the serial flight recorder, bit-for-bit.
+     */
+    void setNumShards(std::size_t n);
+
+    std::size_t numShards() const { return shards_.size(); }
+
     /** Record one live event (full mode hooks). */
     void record(Tick tick, const HmcPacket &pkt, TraceStage stage,
                 std::uint32_t cube = kTraceNoWhere,
@@ -104,14 +116,10 @@ class PacketTracer
     void recordLifecycle(const HmcPacket &pkt, std::uint32_t port);
 
     /** Events recorded over the tracer's lifetime (incl. overwritten). */
-    std::uint64_t
-    eventsRecorded() const
-    {
-        PartitionLock lock(mu_);
-        return total_;
-    }
+    std::uint64_t eventsRecorded() const;
 
-    /** Buffer contents in chronological order. */
+    /** Buffer contents in chronological order (shards merged by tick,
+     *  shard index breaking exact ties). */
     std::vector<TraceEvent> events() const;
 
     void clear();
@@ -137,25 +145,35 @@ class PacketTracer
 
   private:
     // mode_/sampleEvery_/cap_ are immutable after construction, so
-    // hook-site sampling tests (wants()) stay lock-free; the ring and
-    // its cursors are the shared mutable state the per-cube partitions
-    // will contend on, guarded by the tracer's capability.
+    // hook-site sampling tests (wants()) stay lock-free; each shard's
+    // ring and cursors are the mutable state, guarded by the shard's
+    // capability.  Under the parallel core a shard is only ever
+    // written by the thread executing its partition, so the locks
+    // never contend -- they exist for the reader-side merges.
     TraceMode mode_;
     std::uint64_t sampleEvery_;
-    std::size_t cap_;
+    std::size_t cap_;  // ring capacity *per shard*
 
-    mutable PartitionMutex mu_;
-    std::vector<TraceEvent> ring_ HMCSIM_GUARDED_BY(mu_);
-    std::size_t next_ HMCSIM_GUARDED_BY(mu_) = 0;
-    bool wrapped_ HMCSIM_GUARDED_BY(mu_) = false;
-    std::uint64_t total_ HMCSIM_GUARDED_BY(mu_) = 0;
+    struct Shard {
+        mutable PartitionMutex mu;
+        std::vector<TraceEvent> ring HMCSIM_GUARDED_BY(mu);
+        std::size_t next HMCSIM_GUARDED_BY(mu) = 0;
+        bool wrapped HMCSIM_GUARDED_BY(mu) = false;
+        std::uint64_t total HMCSIM_GUARDED_BY(mu) = 0;
+    };
 
-    void push(const TraceEvent &ev) HMCSIM_REQUIRES(mu_);
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    /** The executing partition's shard (shard 0 in serial mode). */
+    Shard &currentShard() const;
+
+    void push(Shard &s, const TraceEvent &ev) HMCSIM_REQUIRES(s.mu);
     /** One lifecycle stage from a packet timestamp (0 = not stamped). */
-    void pushStage(const HmcPacket &pkt, Tick t, TraceStage stage,
-                   std::uint32_t cube, std::uint32_t where)
-        HMCSIM_REQUIRES(mu_);
-    std::vector<TraceEvent> eventsLocked() const HMCSIM_REQUIRES(mu_);
+    void pushStage(Shard &s, const HmcPacket &pkt, Tick t,
+                   TraceStage stage, std::uint32_t cube,
+                   std::uint32_t where) HMCSIM_REQUIRES(s.mu);
+    std::vector<TraceEvent> eventsLocked(const Shard &s) const
+        HMCSIM_REQUIRES(s.mu);
 };
 
 }  // namespace hmcsim

@@ -90,6 +90,46 @@ TEST(Kernel, RunUntilPredicateAlreadyTrue)
     EXPECT_FALSE(fired);
 }
 
+TEST(Kernel, RunUntilIdleAdvancesToHorizon)
+{
+    // Regression: runUntil used to leave now() at the last executed
+    // event when the queue drained before the horizon, so back-to-back
+    // measurement windows lost the idle tail.  It must advance to the
+    // horizon exactly like run() does when the predicate never fires.
+    Kernel k;
+    int fired = 0;
+    k.scheduleIn(10, [&] { ++fired; });
+    k.runUntil([] { return false; }, 500);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(k.now(), 500u);
+    // The advance must not manufacture time when the predicate ended
+    // the run: covered by RunUntilPredicate (now() == 4 there).
+}
+
+TEST(Kernel, RunUntilStopSuppressesIdleAdvance)
+{
+    // stop() ends the run at a meaningful simulated time; the idle
+    // horizon advance must not overwrite it.
+    Kernel k;
+    k.scheduleIn(10, [&] { k.stop(); });
+    k.runUntil([] { return false; }, 500);
+    EXPECT_EQ(k.now(), 10u);
+}
+
+TEST(Kernel, ScheduleInOverflowPanics)
+{
+    // Regression: a delay that wraps the tick clock used to overflow
+    // silently and schedule in the past (or panic with a misleading
+    // "past" message); it must be diagnosed as an overflow up front.
+    Kernel k;
+    k.scheduleIn(50, [] {});
+    k.run();
+    EXPECT_THROW(k.scheduleIn(kTickNever, [] {}), PanicError);
+    EXPECT_THROW(k.scheduleIn(kTickNever - 49, [] {}), PanicError);
+    // The largest non-wrapping delay still schedules fine.
+    k.scheduleIn(kTickNever - 50, [] {});
+}
+
 TEST(Kernel, SelfReschedulingLoopStopsAtHorizon)
 {
     Kernel k;

@@ -215,6 +215,76 @@ TEST(QueueDifferential, ScheduleFromWithinEvents)
     }
 }
 
+/**
+ * Execute half a workload, clear(), then replay a second workload on
+ * the same queue object; return the combined execution order.
+ * Exercises the clear()-then-reuse path: the ring anchor, the
+ * far-future heap, and the FIFO sequence counter must all reset so the
+ * second life of the queue behaves exactly like a fresh one.
+ */
+std::vector<int>
+executeWithClear(EventQueueKind kind, const std::vector<Op> &first,
+                 const std::vector<Op> &second)
+{
+    EventQueue q;
+    configureSmall(q, kind);
+    std::vector<int> order;
+    for (const Op &op : first)
+        q.schedule(op.when, [&order, id = op.id] { order.push_back(id); },
+                   op.priority);
+    for (std::size_t i = 0; i < first.size() / 2 && !q.empty(); ++i)
+        q.executeNext();
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    for (const Op &op : second)
+        q.schedule(op.when, [&order, id = op.id] { order.push_back(id); },
+                   op.priority);
+    while (!q.empty())
+        q.executeNext();
+    return order;
+}
+
+TEST(QueueDifferential, ClearThenReuse)
+{
+    // First life: a mix of near and far-future times so clear() has to
+    // discard state in both the ring and the overflow heap.  Second
+    // life: small times again (behind the discarded far-future ones),
+    // same-key runs to check the FIFO counter, and a far insert.
+    Rng rng(99);
+    std::vector<Op> first;
+    for (int i = 0; i < 200; ++i) {
+        Op op;
+        op.when = (i % 4 == 0) ? 500000 + rng.next(100000) : rng.next(3000);
+        op.priority = 0;
+        op.id = i;
+        first.push_back(op);
+    }
+    std::vector<Op> second;
+    for (int i = 0; i < 200; ++i) {
+        Op op;
+        // Many same-(time, priority) keys: FIFO order within a key
+        // must restart cleanly after clear().
+        op.when = rng.next(8) * 100;
+        op.priority = (i % 5 == 0) ? EventPriority::kStats
+                                   : EventPriority::kDefault;
+        op.id = 1000 + i;
+        second.push_back(op);
+    }
+    Op far;
+    far.when = 2000000;
+    far.priority = 0;
+    far.id = 9999;
+    second.push_back(far);
+
+    const auto heap =
+        executeWithClear(EventQueueKind::Heap, first, second);
+    const auto cal =
+        executeWithClear(EventQueueKind::Calendar, first, second);
+    ASSERT_EQ(heap.size(), cal.size());
+    for (std::size_t i = 0; i < heap.size(); ++i)
+        ASSERT_EQ(heap[i], cal[i]) << "divergence at event " << i;
+}
+
 TEST(QueueDifferential, MonotoneNonDecreasingFireTimes)
 {
     // The calendar clamps past-times into the current bucket; fire
